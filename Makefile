@@ -1,0 +1,39 @@
+# Standard developer workflow for the selfstab reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments experiments-quick fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runtime/ ./internal/sim/ ./internal/protocols/
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every reproduction table (EXPERIMENTS.md is this output).
+experiments:
+	$(GO) run ./cmd/experiments -markdown
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/
+	$(GO) test -fuzz=FuzzGraphJSON -fuzztime=30s ./internal/graph/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,427 @@
+// Benchmarks regenerating every experiment table (E1–E10) plus
+// micro-benchmarks of the hot paths and ablations of SMM's rule-policy
+// choices. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The BenchmarkE* benches execute one full experiment trial per
+// iteration, so their ns/op is the cost of reproducing one data point of
+// the corresponding table; the harness (cmd/experiments) aggregates the
+// statistics the tables report.
+package selfstab
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/beacon"
+	"selfstab/internal/core"
+	"selfstab/internal/daemon"
+	"selfstab/internal/graph"
+	"selfstab/internal/harness"
+	"selfstab/internal/modelcheck"
+	"selfstab/internal/protocols"
+	"selfstab/internal/sim"
+)
+
+// benchGraph returns the standard benchmark topology: a 64-node sparse
+// random connected graph, regenerated identically each call.
+func benchGraph() *graph.Graph {
+	return graph.RandomConnected(64, 0.08, rand.New(rand.NewSource(42)))
+}
+
+func benchSMMConfig(g *graph.Graph, seed int64) core.Config[core.Pointer] {
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.Randomize(core.NewSMM(), rand.New(rand.NewSource(seed)))
+	return cfg
+}
+
+// BenchmarkE1_SMMConvergence measures one Theorem 1 trial: random state
+// to maximal matching on the standard graph.
+func BenchmarkE1_SMMConvergence(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := sim.NewLockstep[core.Pointer](core.NewSMM(), benchSMMConfig(g, int64(i)))
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkE2_TypeCensus measures the Figure 2/3 instrumentation: a full
+// run with per-round classification and transition recording.
+func BenchmarkE2_TypeCensus(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchSMMConfig(g, int64(i))
+		before := core.ClassifySMM(cfg)
+		var m core.TransitionMatrix
+		l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
+		l.RunHook(g.N()+2, func(_ int, c core.Config[core.Pointer]) {
+			after := core.ClassifySMM(c)
+			m.Record(before, after)
+			before = after
+		})
+		if len(m.Violations()) != 0 {
+			b.Fatal("diagram violation")
+		}
+	}
+}
+
+// BenchmarkE3_MatchingGrowth measures a run instrumented with per-round
+// matching extraction (Lemmas 9–10).
+func BenchmarkE3_MatchingGrowth(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := sim.NewLockstep[core.Pointer](core.NewSMM(), benchSMMConfig(g, int64(i)))
+		prev := 0
+		l.RunHook(g.N()+2, func(_ int, c core.Config[core.Pointer]) {
+			prev = 2 * len(core.MatchingOf(c))
+		})
+		_ = prev
+	}
+}
+
+// BenchmarkE4_Counterexample measures 100 rounds of the oscillating
+// arbitrary-proposal variant on C4.
+func BenchmarkE4_Counterexample(b *testing.B) {
+	g := graph.Cycle(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.NewConfig[core.Pointer](g)
+		for j := range cfg.States {
+			cfg.States[j] = core.Null
+		}
+		l := sim.NewLockstep[core.Pointer](core.NewSMMArbitrary(), cfg)
+		if res := l.Run(100); res.Stable {
+			b.Fatal("counterexample stabilized")
+		}
+	}
+}
+
+// BenchmarkE5_SMIConvergence measures one Theorem 2 trial.
+func BenchmarkE5_SMIConvergence(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.NewConfig[bool](g)
+		cfg.Randomize(core.NewSMI(), rand.New(rand.NewSource(int64(i))))
+		l := sim.NewLockstep[bool](core.NewSMI(), cfg)
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkE6_SMIWaveWorstCase measures the descending-ID path — the
+// adversarial workload of the Theorem 2 wave argument.
+func BenchmarkE6_SMIWaveWorstCase(b *testing.B) {
+	n := 128
+	perm := make([]graph.NodeID, n)
+	for i := range perm {
+		perm[i] = graph.NodeID(n - 1 - i)
+	}
+	g := graph.Path(n).Relabel(perm)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.NewConfig[bool](g)
+		l := sim.NewLockstep[bool](core.NewSMI(), cfg)
+		if res := l.Run(n + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkE7_SMM and BenchmarkE7_RefinedHsuHuang are the two sides of
+// the Section 3 comparison on identical graphs; the ns/op ratio mirrors
+// the rounds ratio of table E7.
+func BenchmarkE7_SMM(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := sim.NewLockstep[core.Pointer](core.NewSMM(), benchSMMConfig(g, int64(i)))
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+func BenchmarkE7_RefinedHsuHuang(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref := protocols.Refine[core.Pointer](protocols.NewHsuHuang(), g.N(), int64(i))
+		cfg := core.NewConfig[protocols.RefState[core.Pointer]](g)
+		cfg.Randomize(ref, rand.New(rand.NewSource(int64(i))))
+		l := sim.NewLockstep[protocols.RefState[core.Pointer]](ref, cfg)
+		if res := l.Run(500 * g.N()); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkE8_Restabilize measures stabilize → churn → re-stabilize.
+func BenchmarkE8_Restabilize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		g := graph.RandomConnected(64, 0.08, rng)
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(core.NewSMM(), rng)
+		l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+		NewChurn(g, rng).Apply(4)
+		core.NormalizeSMM(cfg)
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkE9_BeaconModel measures a full discrete-event run with jitter
+// and delays on the standard graph.
+func BenchmarkE9_BeaconModel(b *testing.B) {
+	g := benchGraph()
+	prm := beacon.DefaultParams()
+	prm.Jitter = 0.2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		states := make([]core.Pointer, g.N())
+		for v := range states {
+			states[v] = core.NewSMM().Random(graph.NodeID(v), g.Neighbors(graph.NodeID(v)), rng)
+		}
+		net := beacon.NewNetwork[core.Pointer](core.NewSMM(), g.Clone(), states, prm, rng)
+		if res := net.Run(float64(50*g.N()), 6); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkE10_Coloring, _RandMIS and _HsuHuangCentral cover the
+// extension rows of table E10.
+func BenchmarkE10_Coloring(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := protocols.NewColoring()
+		cfg := core.NewConfig[int](g)
+		cfg.Randomize(p, rand.New(rand.NewSource(int64(i))))
+		l := sim.NewLockstep[int](p, cfg)
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+func BenchmarkE10_RandMIS(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := protocols.NewRandMIS(g.N(), int64(i))
+		cfg := core.NewConfig[bool](g)
+		cfg.Randomize(p, rand.New(rand.NewSource(int64(i))))
+		l := sim.NewLockstep[bool](p, cfg)
+		if res := l.Run(1000 * g.N()); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+func BenchmarkE10_SpanningTree(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := protocols.NewSpanningTree(g.N())
+		cfg := core.NewConfig[protocols.TreeState](g)
+		cfg.Randomize(p, rand.New(rand.NewSource(int64(i))))
+		l := sim.NewLockstep[protocols.TreeState](p, cfg)
+		if res := l.Run(5*g.N() + 10); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+func BenchmarkE10_HsuHuangCentral(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		p := protocols.NewHsuHuang()
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rng)
+		r := daemon.NewRunner[core.Pointer](p, cfg, daemon.NewCentral[core.Pointer](daemon.PickRandom, rng))
+		if res := r.Run(50 * g.N() * g.N()); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkRoundSMM measures a single synchronous round on the standard
+// graph (the inner loop of every experiment).
+func BenchmarkRoundSMM(b *testing.B) {
+	g := benchGraph()
+	cfg := benchSMMConfig(g, 1)
+	l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step()
+	}
+}
+
+// BenchmarkRoundSMI measures a single SMI round.
+func BenchmarkRoundSMI(b *testing.B) {
+	g := benchGraph()
+	cfg := core.NewConfig[bool](g)
+	cfg.Randomize(core.NewSMI(), rand.New(rand.NewSource(1)))
+	l := sim.NewLockstep[bool](core.NewSMI(), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step()
+	}
+}
+
+// BenchmarkParallelRound1W/4W measure one parallel round on a large
+// graph with 1 vs. 4 workers — the scaling headroom of the data-parallel
+// executor relative to BenchmarkRoundSMMLarge's serial baseline. On a
+// single-core machine (like the CI container this repository was
+// developed in) the worker pool can only add overhead; the speedup
+// materializes with GOMAXPROCS > 1.
+func BenchmarkRoundSMMLarge(b *testing.B) {
+	g := graph.RandomConnected(4096, 0.002, rand.New(rand.NewSource(42)))
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.Randomize(core.NewSMM(), rand.New(rand.NewSource(1)))
+	l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step()
+	}
+}
+
+func BenchmarkParallelRound1W(b *testing.B) { benchParallelRound(b, 1) }
+func BenchmarkParallelRound4W(b *testing.B) { benchParallelRound(b, 4) }
+
+func benchParallelRound(b *testing.B, workers int) {
+	g := graph.RandomConnected(4096, 0.002, rand.New(rand.NewSource(42)))
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.Randomize(core.NewSMM(), rand.New(rand.NewSource(1)))
+	l := sim.NewParallel[core.Pointer](core.NewSMM(), cfg, workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step()
+	}
+}
+
+// BenchmarkClassify measures the six-type classification.
+func BenchmarkClassify(b *testing.B) {
+	g := benchGraph()
+	cfg := benchSMMConfig(g, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ClassifySMM(cfg)
+	}
+}
+
+// BenchmarkConcurrentRound measures one goroutine-barrier round of the
+// concurrent runtime (communication overhead vs. BenchmarkRoundSMM).
+func BenchmarkConcurrentRound(b *testing.B) {
+	g := benchGraph()
+	net := NewConcurrentNetwork[core.Pointer](core.NewSMM(), g, NewSMMConfig(g).States)
+	defer net.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+// --- Ablations of SMM's policy choices ---
+
+// BenchmarkAblationProposeMinID / ProposeMaxID compare the two
+// consistent proposal orders (both provably stabilize; the bench shows
+// the choice is performance-neutral).
+func BenchmarkAblationProposeMinID(b *testing.B) {
+	benchProposal(b, core.ProposeMinID)
+}
+
+func BenchmarkAblationProposeMaxID(b *testing.B) {
+	benchProposal(b, core.ProposeMaxID)
+}
+
+func benchProposal(b *testing.B, pol core.ProposalPolicy) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := &core.SMM{Proposal: pol}
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rand.New(rand.NewSource(int64(i))))
+		l := sim.NewLockstep[core.Pointer](p, cfg)
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkAblationAcceptMaxID exercises the R1 accept-policy knob.
+func BenchmarkAblationAcceptMaxID(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := &core.SMM{Accept: core.AcceptMaxID}
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rand.New(rand.NewSource(int64(i))))
+		l := sim.NewLockstep[core.Pointer](p, cfg)
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+// BenchmarkE11_ExhaustiveSMM model-checks all 2187 configurations of SMM
+// on C7 (one table-E11 cell per iteration).
+func BenchmarkE11_ExhaustiveSMM(b *testing.B) {
+	g := graph.Cycle(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := modelcheck.Explore[core.Pointer](core.NewSMM(), g, modelcheck.SMMDomain, 1<<20, nil)
+		if err != nil || rep.Divergent != 0 {
+			b.Fatalf("rep=%v err=%v", rep, err)
+		}
+	}
+}
+
+// BenchmarkE11_ExhaustiveSMI model-checks all 4096 configurations of SMI
+// on C12.
+func BenchmarkE11_ExhaustiveSMI(b *testing.B) {
+	g := graph.Cycle(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := modelcheck.Explore[bool](core.NewSMI(), g, modelcheck.SMIDomain, 1<<20, nil)
+		if err != nil || rep.Divergent != 0 {
+			b.Fatalf("rep=%v err=%v", rep, err)
+		}
+	}
+}
+
+// BenchmarkHarnessQuick runs the entire quick experiment sweep — the
+// one-number regression check for the whole reproduction.
+func BenchmarkHarnessQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if failed, err := harness.RunAll(harness.QuickOptions(), io.Discard, false); err != nil || failed != 0 {
+			b.Fatalf("failed=%d err=%v", failed, err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Command experiments regenerates the paper-reproduction tables (E1–E10)
+// recorded in EXPERIMENTS.md. Each experiment checks one claim of the
+// paper — a theorem, a lemma, the transition diagram, the counterexample,
+// or the baseline comparison — and reports PASS or FAIL.
+//
+// Examples:
+//
+//	experiments                    # full sweep, text tables
+//	experiments -quick             # reduced sweep (CI-sized)
+//	experiments -markdown          # markdown tables for EXPERIMENTS.md
+//	experiments -id E7 -trials 50  # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"selfstab/internal/chart"
+	"selfstab/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		quick    = flag.Bool("quick", false, "reduced sweep")
+		markdown = flag.Bool("markdown", false, "render markdown instead of text")
+		id       = flag.String("id", "", "run a single experiment (E1..E10)")
+		seed     = flag.Int64("seed", 0, "override seed (0 = default)")
+		trials   = flag.Int("trials", 0, "override trials per cell (0 = default)")
+		sizes    = flag.String("sizes", "", "override size sweep, e.g. 8,16,32")
+		csvDir   = flag.String("csv", "", "also write each table as <dir>/<ID>.csv (figure series data)")
+		charts   = flag.Bool("charts", false, "render ASCII charts of the headline series after each table")
+	)
+	flag.Parse()
+
+	opt := harness.DefaultOptions()
+	if *quick {
+		opt = harness.QuickOptions()
+	}
+	if *seed != 0 {
+		opt.Seed = *seed
+	}
+	if *trials != 0 {
+		opt.Trials = *trials
+	}
+	if *sizes != "" {
+		opt.Sizes = nil
+		for _, part := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 2 {
+				log.Fatalf("bad -sizes entry %q", part)
+			}
+			opt.Sizes = append(opt.Sizes, n)
+		}
+	}
+
+	if *id != "" {
+		e, ok := harness.ByID(*id)
+		if !ok {
+			log.Fatalf("unknown experiment %q", *id)
+		}
+		tbl := e.Run(opt)
+		render(tbl, *markdown)
+		writeCSV(tbl, *csvDir)
+		if *charts {
+			renderChart(tbl)
+		}
+		if !tbl.Passed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	failed := 0
+	for _, e := range harness.All() {
+		tbl := e.Run(opt)
+		render(tbl, *markdown)
+		writeCSV(tbl, *csvDir)
+		if *charts {
+			renderChart(tbl)
+		}
+		if !tbl.Passed {
+			failed++
+		}
+	}
+	fmt.Printf("experiments failed: %d\n", failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// chartSpecs maps experiments to their headline series, when one makes
+// sense as a line chart.
+var chartSpecs = map[string][3]string{
+	"E1":  {"topology", "n", "rounds max"},
+	"E5":  {"topology", "n", "rounds max"},
+	"E7":  {"topology", "n", "slowdown"},
+	"E12": {"protocol", "K", "rounds mean"},
+}
+
+// renderChart draws the experiment's headline series as ASCII, when the
+// experiment has one.
+func renderChart(tbl *harness.Table) {
+	spec, ok := chartSpecs[tbl.ID]
+	if !ok {
+		return
+	}
+	series, err := chart.SeriesFromTable(tbl, spec[0], spec[1], spec[2])
+	if err != nil {
+		log.Printf("chart %s: %v", tbl.ID, err)
+		return
+	}
+	title := fmt.Sprintf("%s: %s vs %s", tbl.ID, spec[2], spec[1])
+	if err := chart.Render(os.Stdout, title, 64, 16, series...); err != nil {
+		log.Printf("chart %s: %v", tbl.ID, err)
+	}
+	fmt.Println()
+}
+
+// writeCSV dumps the table as <dir>/<ID>.csv when dir is set.
+func writeCSV(tbl *harness.Table, dir string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, tbl.ID+".csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tbl.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func render(tbl *harness.Table, markdown bool) {
+	var err error
+	if markdown {
+		err = tbl.RenderMarkdown(os.Stdout)
+	} else {
+		err = tbl.Render(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !tbl.Passed {
+		fmt.Println("FAILED")
+	}
+}

@@ -1,0 +1,89 @@
+// Command modelcheck exhaustively explores EVERY configuration of a
+// deterministic protocol on a small topology, reporting the exact
+// worst-case stabilization time, the number of reachable fixed points
+// (each verified against the graph-theoretic oracle), and any divergent
+// configurations — the machine-checked version of the paper's theorems
+// on instances small enough to enumerate.
+//
+// Examples:
+//
+//	modelcheck -protocol smm -topology cycle -n 7
+//	modelcheck -protocol smm-arbitrary -topology cycle -n 4   # the counterexample, counted
+//	modelcheck -protocol smi -topology path -n 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"selfstab/internal/cli"
+	"selfstab/internal/core"
+	"selfstab/internal/modelcheck"
+	"selfstab/internal/protocols"
+	"selfstab/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modelcheck: ")
+	var (
+		protocol = flag.String("protocol", "smm", "smm | smm-arbitrary | smi | coloring")
+		topology = flag.String("topology", "cycle", "path | cycle | complete | star | grid | tree | gnp | disk | lollipop | barbell")
+		n        = flag.Int("n", 6, "number of nodes (state space grows exponentially!)")
+		p        = flag.Float64("p", 0.2, "edge probability / radius hint")
+		seed     = flag.Int64("seed", 1, "random seed (random topologies)")
+		limit    = flag.Uint64("limit", 1<<26, "maximum state-space size")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := cli.BuildTopology(*topology, *n, *p, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s %v\n", *protocol, *topology, g)
+
+	switch *protocol {
+	case "smm", "smm-arbitrary":
+		var proto *core.SMM
+		if *protocol == "smm" {
+			proto = core.NewSMM()
+		} else {
+			proto = core.NewSMMArbitrary()
+		}
+		rep, err := modelcheck.Explore[core.Pointer](proto, g, modelcheck.SMMDomain, *limit,
+			func(states []core.Pointer) error {
+				cfg := core.Config[core.Pointer]{G: g, States: states}
+				return verify.IsMaximalMatching(g, core.MatchingOf(cfg))
+			})
+		report(rep, err, g.N()+1)
+	case "smi":
+		rep, err := modelcheck.Explore[bool](core.NewSMI(), g, modelcheck.SMIDomain, *limit,
+			func(states []bool) error {
+				cfg := core.Config[bool]{G: g, States: states}
+				return verify.IsMaximalIndependentSet(g, core.SetOf(cfg))
+			})
+		report(rep, err, g.N()+1)
+	case "coloring":
+		rep, err := modelcheck.Explore[int](protocols.NewColoring(), g, modelcheck.ColoringDomain, *limit,
+			func(states []int) error { return verify.IsProperColoring(g, states) })
+		report(rep, err, g.N()+1)
+	default:
+		log.Fatalf("unknown protocol %q (deterministic protocols only)", *protocol)
+	}
+}
+
+func report[S comparable](rep *modelcheck.Report[S], err error, bound int) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	fmt.Printf("bound n+1 = %d; worst start: %v\n", bound, rep.WorstStart)
+	if rep.Divergent > 0 {
+		fmt.Printf("example cycle configuration: %v\n", rep.CycleExample)
+	} else if rep.MaxRounds <= bound {
+		fmt.Println("every configuration stabilizes within the bound; every fixed point verified")
+	}
+}

@@ -1,0 +1,123 @@
+// Command selfstab runs one self-stabilizing protocol on one topology
+// under a chosen executor and reports convergence, with optional
+// round-by-round trace output (CSV), an ASCII timeline, and DOT
+// rendering of the final configuration.
+//
+// Examples:
+//
+//	selfstab -protocol smm -topology gnp -n 64 -trials 20
+//	selfstab -protocol smi -topology disk -n 100 -executor beacon -jitter 0.2
+//	selfstab -protocol smm-arbitrary -topology cycle -n 4 -max-rounds 50
+//	selfstab -protocol smm -topology path -n 16 -trace trace.csv -viz
+//	selfstab -protocol tree -topology lollipop -n 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"selfstab"
+	"selfstab/internal/cli"
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("selfstab: ")
+	var (
+		protocol  = flag.String("protocol", "smm", strings.Join(cli.ProtocolNames, " | "))
+		topology  = flag.String("topology", "gnp", strings.Join(cli.TopologyNames, " | "))
+		n         = flag.Int("n", 32, "number of nodes")
+		p         = flag.Float64("p", 0.1, "edge probability (gnp) / radius hint (disk)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		trials    = flag.Int("trials", 1, "independent trials (random initial states)")
+		maxRounds = flag.Int("max-rounds", 0, "round limit (0 = protocol-derived default)")
+		executor  = flag.String("executor", "lockstep", strings.Join(cli.ExecutorNames, " | "))
+		jitter    = flag.Float64("jitter", 0.1, "beacon jitter fraction (executor=beacon)")
+		loss      = flag.Float64("loss", 0, "beacon loss probability (executor=beacon)")
+		maxLag    = flag.Int("lag", 2, "staleness bound (executor=stale)")
+		traceOut  = flag.String("trace", "", "write a per-round CSV trace (lockstep smm/smi, first trial)")
+		dotOut    = flag.String("dot", "", "write the final configuration as DOT (smm, first trial)")
+		showViz   = flag.Bool("viz", false, "print a per-round ASCII timeline (lockstep smm/smi, first trial)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := cli.BuildTopology(*topology, *n, *p, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s %v, executor %s\n", *protocol, *topology, g, *executor)
+
+	for trial := 0; trial < *trials; trial++ {
+		opt := cli.TrialOptions{
+			Protocol:  *protocol,
+			Executor:  *executor,
+			Seed:      *seed + int64(trial),
+			MaxRounds: *maxRounds,
+			Jitter:    *jitter,
+			Loss:      *loss,
+			MaxLag:    *maxLag,
+		}
+		var traceFile *os.File
+		if trial == 0 && *traceOut != "" {
+			traceFile, err = os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt.Trace = traceFile
+		}
+		if trial == 0 && *showViz {
+			opt.Viz = os.Stdout
+		}
+		summary, err := cli.RunTrial(g, opt, rng)
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(" ", summary)
+	}
+
+	if *dotOut != "" && (*protocol == "smm" || *protocol == "hsuhuang") {
+		writeMatchingDOT(g, *protocol, *seed, *dotOut)
+	}
+}
+
+// writeMatchingDOT re-runs the first trial deterministically and renders
+// its matching.
+func writeMatchingDOT(g *graph.Graph, protocol string, seed int64, path string) {
+	var res selfstab.Result
+	var matching []graph.Edge
+	if protocol == "smm" {
+		res, matching = selfstab.RunSMM(g, seed)
+	} else {
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(selfstab.NewHsuHuang(), rand.New(rand.NewSource(seed)))
+		l := selfstab.NewLockstep[core.Pointer](selfstab.NewHsuHuang(), cfg)
+		res = l.Run(50 * g.N())
+		matching = core.MatchingOf(cfg)
+	}
+	if !res.Stable {
+		log.Printf("dot: run did not stabilize; rendering last state")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	highlight := map[graph.Edge]bool{}
+	for _, e := range matching {
+		highlight[e] = true
+	}
+	if err := selfstab.WriteDOT(f, g, selfstab.DOTOptions{Name: "SMM", Highlight: highlight}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  DOT written to %s\n", path)
+}

@@ -1,0 +1,82 @@
+package adversary
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/modelcheck"
+)
+
+func TestSearchNeverExceedsExhaustiveWorstCase(t *testing.T) {
+	// On instances small enough to enumerate, the climber must find at
+	// most the exact worst case — and with a decent budget it should get
+	// close to it.
+	cases := []*graph.Graph{graph.Path(6), graph.Cycle(6), graph.Complete(4)}
+	for _, g := range cases {
+		exact, err := modelcheck.Explore[core.Pointer](core.NewSMM(), g, modelcheck.SMMDomain, 1<<20, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		found := Search[core.Pointer](core.NewSMM(), g, Options{Restarts: 6, Steps: 150}, rng)
+		if found.Diverged {
+			t.Fatalf("%v: SMM reported divergent", g)
+		}
+		if found.Rounds > exact.MaxRounds {
+			t.Fatalf("%v: climber found %d rounds > exhaustive worst %d — evaluation mismatch",
+				g, found.Rounds, exact.MaxRounds)
+		}
+		if found.Rounds < exact.MaxRounds-1 {
+			t.Fatalf("%v: climber found only %d of exact worst %d", g, found.Rounds, exact.MaxRounds)
+		}
+	}
+}
+
+func TestSearchSMIMatchesExhaustive(t *testing.T) {
+	g := graph.Path(10)
+	exact, err := modelcheck.Explore[bool](core.NewSMI(), g, modelcheck.SMIDomain, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	found := Search[bool](core.NewSMI(), g, Options{Restarts: 6, Steps: 200}, rng)
+	if found.Rounds > exact.MaxRounds {
+		t.Fatalf("found %d > exact %d", found.Rounds, exact.MaxRounds)
+	}
+	// The monotone path's worst case (the all-zero wave) is easy to hit.
+	if found.Rounds < exact.MaxRounds-1 {
+		t.Fatalf("found only %d of exact %d", found.Rounds, exact.MaxRounds)
+	}
+}
+
+func TestSearchFindsDivergenceOfCounterexample(t *testing.T) {
+	// The arbitrary-proposal variant diverges from 3 of C4's 81
+	// configurations; a climber with restarts should stumble into one.
+	g := graph.Cycle(4)
+	rng := rand.New(rand.NewSource(3))
+	found := Search[core.Pointer](core.NewSMMArbitrary(), g,
+		Options{Restarts: 64, Steps: 50, Limit: 300}, rng)
+	if !found.Diverged {
+		t.Fatalf("no divergent start found: %v", found)
+	}
+	if !strings.Contains(found.String(), "non-stabilizing") {
+		t.Fatalf("String = %q", found.String())
+	}
+}
+
+func TestSearchResultString(t *testing.T) {
+	r := Result{Rounds: 7, Evaluations: 42}
+	if r.String() != "worst found: 7 rounds (42 evaluations)" {
+		t.Fatalf("%q", r.String())
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	opt := DefaultOptions()
+	if opt.Restarts <= 0 || opt.Steps <= 0 {
+		t.Fatal("degenerate defaults")
+	}
+}

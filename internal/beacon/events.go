@@ -1,0 +1,60 @@
+// Package beacon is a discrete-event simulation of the paper's System
+// Model: every node periodically broadcasts a beacon carrying its
+// protocol state; a node adds a sender it has not seen to its neighbor
+// list (neighbor discovery) and drops a neighbor whose beacons time out;
+// logical links are FIFO with bounded delay and may lose beacons; and a
+// node takes a protocol action exactly when it has received beacons from
+// all of its current neighbors since its last action. Time is continuous
+// (float64 "seconds") and beacon periods may jitter, so the executor
+// exercises the asynchrony the lockstep simulator abstracts away.
+package beacon
+
+import "container/heap"
+
+// eventKind discriminates scheduled events.
+type eventKind uint8
+
+const (
+	// evBeacon fires a node's beacon timer: expire stale neighbors,
+	// possibly act, broadcast, reschedule.
+	evBeacon eventKind = iota
+	// evDeliver delivers one beacon message over one directed link.
+	evDeliver
+)
+
+// event is a scheduled simulation event.
+type event struct {
+	at   float64
+	seq  uint64 // FIFO tiebreak for simultaneous events: deterministic order
+	kind eventKind
+	node int // evBeacon: the beaconing node; evDeliver: the receiver
+	from int // evDeliver: the sender
+	msg  any // evDeliver: the carried protocol state
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

@@ -1,0 +1,277 @@
+package beacon
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/sim"
+	"selfstab/internal/verify"
+)
+
+func nullStates(n int) []core.Pointer {
+	s := make([]core.Pointer, n)
+	for i := range s {
+		s[i] = core.Null
+	}
+	return s
+}
+
+func randomPointerStates(g *graph.Graph, seed int64) []core.Pointer {
+	rng := rand.New(rand.NewSource(seed))
+	p := core.NewSMM()
+	s := make([]core.Pointer, g.N())
+	for v := range s {
+		s[v] = p.Random(graph.NodeID(v), g.Neighbors(graph.NodeID(v)), rng)
+	}
+	return s
+}
+
+func TestParamsValidation(t *testing.T) {
+	g := graph.Path(2)
+	rng := rand.New(rand.NewSource(1))
+	for _, bad := range []Params{
+		{TB: 0, TimeoutFactor: 3},
+		{TB: 1, TimeoutFactor: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("params %+v accepted", bad)
+				}
+			}()
+			NewNetwork[core.Pointer](core.NewSMM(), g, nullStates(2), bad, rng)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong state count accepted")
+			}
+		}()
+		NewNetwork[core.Pointer](core.NewSMM(), g, nullStates(3), DefaultParams(), rng)
+	}()
+}
+
+func TestSMMStabilizesUnderBeacons(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(12, 0.25, rng)
+		net := NewNetwork[core.Pointer](core.NewSMM(), g, randomPointerStates(g, int64(trial)), DefaultParams(), rng)
+		res := net.Run(float64(20*g.N()), 5)
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if err := verify.IsMaximalMatching(g, core.MatchingOf(net.Config())); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSMIStabilizesUnderBeacons(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(14, 0.2, rng)
+		states := make([]bool, g.N())
+		for v := range states {
+			states[v] = rng.Intn(2) == 1
+		}
+		net := NewNetwork[bool](core.NewSMI(), g, states, DefaultParams(), rng)
+		res := net.Run(float64(20*g.N()), 5)
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if err := verify.IsMaximalIndependentSet(g, core.SetOf(net.Config())); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBeaconMatchesLockstepStableState(t *testing.T) {
+	// Loss-free, low-jitter beacons must reach the same *kind* of fixed
+	// point as lockstep: both maximal matchings over the same graph; and
+	// the beacon round count should be within a small factor of the
+	// lockstep rounds.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(16, 0.2, rng)
+		states := randomPointerStates(g, int64(trial))
+
+		cfg := core.NewConfig[core.Pointer](g)
+		copy(cfg.States, states)
+		l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
+		lres := l.Run(g.N() + 2)
+		if !lres.Stable {
+			t.Fatalf("lockstep: %v", lres)
+		}
+
+		net := NewNetwork[core.Pointer](core.NewSMM(), g, states, DefaultParams(), rng)
+		bres := net.Run(float64(20*g.N()), 5)
+		if !bres.Stable {
+			t.Fatalf("beacon: %v", bres)
+		}
+		if err := verify.IsMaximalMatching(g, core.MatchingOf(net.Config())); err != nil {
+			t.Fatal(err)
+		}
+		// Beacon rounds should not wildly exceed lockstep: allow discovery
+		// (~1 round) plus a 3x asynchrony factor plus slack.
+		if bres.Rounds > 3*float64(lres.Rounds)+6 {
+			t.Fatalf("trial %d: beacon %.1f rounds vs lockstep %d", trial, bres.Rounds, lres.Rounds)
+		}
+	}
+}
+
+func TestBeaconWithLossStillStabilizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prm := DefaultParams()
+	prm.Loss = 0.15
+	prm.Jitter = 0.2
+	prm.DelayJitter = 0.5
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomConnected(10, 0.3, rng)
+		net := NewNetwork[core.Pointer](core.NewSMM(), g, randomPointerStates(g, int64(trial)), prm, rng)
+		res := net.Run(float64(100*g.N()), 8)
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if err := verify.IsMaximalMatching(g, core.MatchingOf(net.Config())); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestNeighborDiscoveryFillsTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.Cycle(6)
+	net := NewNetwork[bool](core.NewSMI(), g, make([]bool, 6), DefaultParams(), rng)
+	net.Run(50, 5)
+	for v := 0; v < 6; v++ {
+		table := net.NeighborTable(graph.NodeID(v))
+		want := g.Neighbors(graph.NodeID(v))
+		if len(table) != len(want) {
+			t.Fatalf("node %d table = %v, want %v", v, table, want)
+		}
+		for i := range want {
+			if table[i] != want[i] {
+				t.Fatalf("node %d table = %v, want %v", v, table, want)
+			}
+		}
+	}
+}
+
+func TestLinkFailureDetectedByTimeout(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Path(2)
+	states := []core.Pointer{core.Null, core.Null}
+	net := NewNetwork[core.Pointer](core.NewSMM(), g, states, DefaultParams(), rng)
+	res := net.Run(60, 5)
+	if !res.Stable {
+		t.Fatalf("initial: %v", res)
+	}
+	// The pair must have matched.
+	if len(core.MatchingOf(net.Config())) != 1 {
+		t.Fatalf("pair not matched: %v", net.Config().States)
+	}
+	// Break the only link. Both nodes must time the other out, repair
+	// their pointers, and end aloof.
+	net.RemoveLink(0, 1)
+	res = net.Run(net.Now()+120, 10)
+	if !res.Stable {
+		t.Fatalf("after failure: %v", res)
+	}
+	cfg := net.Config()
+	if cfg.States[0] != core.Null || cfg.States[1] != core.Null {
+		t.Fatalf("dangling pointers after link failure: %v", cfg.States)
+	}
+	if len(net.NeighborTable(0)) != 0 || len(net.NeighborTable(1)) != 0 {
+		t.Fatal("neighbor tables not purged after timeout")
+	}
+}
+
+func TestLinkCreationRematches(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.New(2) // no links yet
+	net := NewNetwork[core.Pointer](core.NewSMM(), g, nullStates(2), DefaultParams(), rng)
+	res := net.Run(30, 5)
+	if !res.Stable || len(core.MatchingOf(net.Config())) != 0 {
+		t.Fatalf("isolated pair: %v", res)
+	}
+	net.AddLink(0, 1)
+	res = net.Run(net.Now()+60, 5)
+	if !res.Stable {
+		t.Fatalf("after link creation: %v", res)
+	}
+	if len(core.MatchingOf(net.Config())) != 1 {
+		t.Fatalf("pair did not match after link creation: %v", net.Config().States)
+	}
+}
+
+func TestMobilityRestabilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomConnected(12, 0.3, rng)
+	net := NewNetwork[core.Pointer](core.NewSMM(), g, randomPointerStates(g, 1), DefaultParams(), rng)
+	res := net.Run(float64(30*g.N()), 5)
+	if !res.Stable {
+		t.Fatalf("initial: %v", res)
+	}
+	// Apply a batch of connectivity-preserving changes and re-run.
+	for i := 0; i < 3; i++ {
+		es := g.Edges()
+		e := es[rng.Intn(len(es))]
+		if !graph.IsCutEdge(g, e.U, e.V) {
+			net.RemoveLink(e.U, e.V)
+		}
+	}
+	res = net.Run(net.Now()+float64(50*g.N()), 8)
+	if !res.Stable {
+		t.Fatalf("after churn: %v", res)
+	}
+	if err := verify.IsMaximalMatching(g, core.MatchingOf(net.Config())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Time: 8.13, Rounds: 8.1, Moves: 23, Stable: true}
+	if r.String() != "stable at t=8.13 (8.1 beacon rounds, 23 moves)" {
+		t.Fatalf("%q", r.String())
+	}
+	r.Stable = false
+	if r.String() != "NOT stable by t=8.13 (23 moves)" {
+		t.Fatalf("%q", r.String())
+	}
+}
+
+func TestRunDeadlineCounterexampleSynchronized(t *testing.T) {
+	// With synchronized beacon timers the beacon model coincides with the
+	// lockstep model, so the counterexample oscillates and Run must hit
+	// the deadline rather than "stabilize".
+	rng := rand.New(rand.NewSource(10))
+	g := graph.Cycle(4)
+	prm := DefaultParams()
+	prm.Jitter = 0
+	prm.Synchronized = true
+	net := NewNetwork[core.Pointer](core.NewSMMArbitrary(), g, nullStates(4), prm, rng)
+	res := net.Run(50, 25)
+	if res.Stable {
+		t.Fatalf("counterexample stabilized under synchronized beacons: %v", res)
+	}
+}
+
+func TestCounterexampleBrokenByAsynchrony(t *testing.T) {
+	// With random beacon phases the four moves serialize, and the
+	// otherwise-divergent arbitrary-proposal rule converges — asynchrony
+	// acts as a daemon refinement. (The paper's counterexample concerns
+	// the synchronous model; this documents the boundary.)
+	rng := rand.New(rand.NewSource(11))
+	g := graph.Cycle(4)
+	net := NewNetwork[core.Pointer](core.NewSMMArbitrary(), g, nullStates(4), DefaultParams(), rng)
+	res := net.Run(200, 10)
+	if !res.Stable {
+		t.Fatalf("asynchronous beacons did not break the oscillation: %v", res)
+	}
+	if err := verify.IsMaximalMatching(g, core.MatchingOf(net.Config())); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package beacon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/verify"
+)
+
+// Failure injection: partition the network into two halves, let each
+// half stabilize independently, then heal the partition and verify the
+// merged network re-stabilizes. Exercises timeout-driven table purging
+// on many links at once plus rediscovery on heal.
+func TestPartitionAndHeal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Two K4s joined by two links: removing the joins partitions cleanly.
+	g := graph.Barbell(4, 0)
+	g.AddEdge(0, 4) // a second cross edge so the halves interact more
+	states := make([]core.Pointer, g.N())
+	for i := range states {
+		states[i] = core.Null
+	}
+	net := NewNetwork[core.Pointer](core.NewSMM(), g, states, DefaultParams(), rng)
+	if res := net.Run(500, 6); !res.Stable {
+		t.Fatalf("initial: %v", res)
+	}
+	if err := verify.IsMaximalMatching(g, core.MatchingOf(net.Config())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition: cut every cross edge.
+	net.RemoveLink(3, 4)
+	net.RemoveLink(0, 4)
+	if res := net.Run(net.Now()+800, 10); !res.Stable {
+		t.Fatalf("during partition: %v", res)
+	}
+	if err := verify.IsMaximalMatching(g, core.MatchingOf(net.Config())); err != nil {
+		t.Fatalf("partitioned halves invalid: %v", err)
+	}
+
+	// Heal.
+	net.AddLink(3, 4)
+	net.AddLink(0, 4)
+	if res := net.Run(net.Now()+800, 10); !res.Stable {
+		t.Fatalf("after heal: %v", res)
+	}
+	if err := verify.IsMaximalMatching(g, core.MatchingOf(net.Config())); err != nil {
+		t.Fatalf("healed network invalid: %v", err)
+	}
+}
+
+// Property: SMM under randomized link-layer parameters (jitter, delay,
+// delay jitter, loss, timeout) always stabilizes to a maximal matching
+// within a generous deadline.
+func TestQuickBeaconParamsRobust(t *testing.T) {
+	f := func(seed int64, jit, dly, dlyJit, loss uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(10, 0.3, rng)
+		prm := Params{
+			TB:            1,
+			Jitter:        float64(jit%50) / 100,      // 0..0.49
+			Delay:         0.02 + float64(dly%20)/100, // 0.02..0.21
+			DelayJitter:   float64(dlyJit%80) / 100,   // 0..0.79
+			Loss:          float64(loss%25) / 100,     // 0..0.24
+			TimeoutFactor: 4,
+		}
+		states := make([]core.Pointer, g.N())
+		srng := rand.New(rand.NewSource(seed))
+		for v := range states {
+			states[v] = core.NewSMM().Random(graph.NodeID(v), g.Neighbors(graph.NodeID(v)), srng)
+		}
+		net := NewNetwork[core.Pointer](core.NewSMM(), g, states, prm, rng)
+		res := net.Run(3000, 10)
+		return res.Stable &&
+			verify.IsMaximalMatching(g, core.MatchingOf(net.Config())) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

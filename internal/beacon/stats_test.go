@@ -1,0 +1,150 @@
+package beacon
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+func TestLinkStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Cycle(6)
+	net := NewNetwork[bool](core.NewSMI(), g, make([]bool, 6), DefaultParams(), rng)
+	net.Run(40, 5)
+	st := net.LinkStats()
+	if st.Sent == 0 || st.Delivered == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+	if st.Delivered+st.Lost > st.Sent {
+		t.Fatalf("delivered %d + lost %d exceeds sent %d", st.Delivered, st.Lost, st.Sent)
+	}
+	if st.Lost != 0 {
+		t.Fatalf("loss-free run lost %d beacons", st.Lost)
+	}
+	if st.Expired != 0 {
+		t.Fatalf("static topology expired %d neighbors", st.Expired)
+	}
+}
+
+func TestLinkStatsTotalLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prm := DefaultParams()
+	prm.Loss = 1.0
+	g := graph.Path(4)
+	net := NewNetwork[bool](core.NewSMI(), g, make([]bool, 4), prm, rng)
+	net.Run(30, 5)
+	st := net.LinkStats()
+	if st.Delivered != 0 {
+		t.Fatalf("delivered %d beacons at loss=1", st.Delivered)
+	}
+	if st.Lost != st.Sent {
+		t.Fatalf("lost %d != sent %d", st.Lost, st.Sent)
+	}
+	// With no beacons ever delivered, no neighbor is discovered and no
+	// node can point anywhere — but isolated-in-practice SMI nodes still
+	// enter the set on their own timers.
+	for v, x := range net.Config().States {
+		if !x {
+			t.Fatalf("node %d did not enter the set under total loss", v)
+		}
+	}
+}
+
+func TestLinkStatsExpiry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Path(2)
+	net := NewNetwork[core.Pointer](core.NewSMM(), g,
+		[]core.Pointer{core.Null, core.Null}, DefaultParams(), rng)
+	net.Run(40, 5)
+	net.RemoveLink(0, 1)
+	net.Run(net.Now()+60, 10)
+	st := net.LinkStats()
+	if st.Expired != 2 {
+		t.Fatalf("expired = %d, want 2 (both endpoints time out)", st.Expired)
+	}
+}
+
+// Failure injection: a node "sleeps" (loses all links), its neighbors
+// repair, then it wakes and the protocol re-integrates it.
+func TestNodeSleepAndWake(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Cycle(6)
+	states := make([]core.Pointer, 6)
+	for i := range states {
+		states[i] = core.Null
+	}
+	net := NewNetwork[core.Pointer](core.NewSMM(), g, states, DefaultParams(), rng)
+	if res := net.Run(100, 6); !res.Stable {
+		t.Fatalf("initial: %v", res)
+	}
+	// Node 0 sleeps: both its links vanish.
+	neighbors := append([]graph.NodeID(nil), g.Neighbors(0)...)
+	for _, j := range neighbors {
+		net.RemoveLink(0, j)
+	}
+	if res := net.Run(net.Now()+150, 10); !res.Stable {
+		t.Fatalf("during sleep: %v", res)
+	}
+	if got := net.Config().States[0]; got != core.Null {
+		t.Fatalf("sleeping node state = %v, want Λ", got)
+	}
+	// Wake up.
+	for _, j := range neighbors {
+		net.AddLink(0, j)
+	}
+	if res := net.Run(net.Now()+150, 10); !res.Stable {
+		t.Fatalf("after wake: %v", res)
+	}
+	cfg := net.Config()
+	if err := core.ValidSMMConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FIFO property: per directed link, beacons are delivered in send order
+// even with delay jitter. We verify indirectly by checking that the
+// neighbor-table state a receiver holds is never older than a previously
+// delivered one — monotonically increasing beacon content on a 2-node
+// network with a counter protocol.
+func TestFIFODeliveryOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prm := DefaultParams()
+	prm.DelayJitter = 0.9 // heavy jitter: reordering would happen without FIFO enforcement
+	prm.Delay = 0.4
+	g := graph.Path(2)
+	p := &counterProto{}
+	net := NewNetwork[int32](p, g, []int32{0, 0}, prm, rng)
+	net.Run(200, 1000) // run to the deadline: the counter never stabilizes
+	if p.regressions != 0 {
+		t.Fatalf("%d out-of-order deliveries observed", p.regressions)
+	}
+	if p.observations == 0 {
+		t.Fatal("no observations — test is vacuous")
+	}
+}
+
+// counterProto increments its state each action and records whether the
+// peer's observed counter ever decreases (a FIFO violation).
+type counterProto struct {
+	last         [2]int32
+	regressions  int
+	observations int
+}
+
+func (*counterProto) Name() string { return "counter" }
+
+func (*counterProto) Random(_ graph.NodeID, _ []graph.NodeID, _ *rand.Rand) int32 { return 0 }
+
+func (c *counterProto) Move(v core.View[int32]) (int32, bool) {
+	for _, j := range v.Nbrs {
+		seen := v.Peer(j)
+		c.observations++
+		if seen < c.last[j] {
+			c.regressions++
+		}
+		c.last[j] = seen
+	}
+	return v.Self + 1, true
+}

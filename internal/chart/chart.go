@@ -1,0 +1,193 @@
+// Package chart renders line charts as ASCII for terminal-first
+// inspection of the experiment series — the "figures" of EXPERIMENTS.md
+// (rounds versus n, slowdown versus topology, rounds versus staleness)
+// without leaving the shell.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"selfstab/internal/harness"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers are assigned to series in order, cycling.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render plots the series onto a width×height character grid with
+// axes and a legend. Width and height are the plot area; the rendered
+// block is slightly larger. Series with no points are skipped.
+func Render(w io.Writer, title string, width, height int, series ...Series) error {
+	if width < 8 || height < 4 {
+		return fmt.Errorf("chart: plot area %dx%d too small", width, height)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	nonEmpty := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("chart: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			continue
+		}
+		nonEmpty++
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if nonEmpty == 0 {
+		return fmt.Errorf("chart: no data")
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			grid[row(s.Y[i])][col(s.X[i])] = m
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	yTop := trimFloat(maxY)
+	yBot := trimFloat(minY)
+	labelW := max(len(yTop), len(yBot))
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yTop, labelW)
+		case height - 1:
+			label = pad(yBot, labelW)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	lo, hi := trimFloat(minX), trimFloat(maxX)
+	gap := width - len(lo) - len(hi)
+	if gap < 1 {
+		gap = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%s%s\n",
+		strings.Repeat(" ", labelW), lo, strings.Repeat(" ", gap), hi); err != nil {
+		return err
+	}
+	for si, s := range series {
+		if len(s.X) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %c %s\n", markers[si%len(markers)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesFromTable extracts one series per distinct value of groupCol,
+// using xCol and yCol as coordinates. Cells that do not parse as numbers
+// (after stripping a trailing '%' or 'x') are skipped.
+func SeriesFromTable(t *harness.Table, groupCol, xCol, yCol string) ([]Series, error) {
+	gi, xi, yi := colIndex(t, groupCol), colIndex(t, xCol), colIndex(t, yCol)
+	if gi < 0 || xi < 0 || yi < 0 {
+		return nil, fmt.Errorf("chart: columns %q/%q/%q not all present in %v", groupCol, xCol, yCol, t.Cols)
+	}
+	order := []string{}
+	byName := map[string]*Series{}
+	for _, row := range t.Rows {
+		x, okX := parseCell(row[xi])
+		y, okY := parseCell(row[yi])
+		if !okX || !okY {
+			continue
+		}
+		name := row[gi]
+		s, ok := byName[name]
+		if !ok {
+			s = &Series{Name: name}
+			byName[name] = s
+			order = append(order, name)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	out := make([]Series, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chart: no numeric rows for %q vs %q", xCol, yCol)
+	}
+	return out, nil
+}
+
+func colIndex(t *harness.Table, name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func parseCell(cell string) (float64, bool) {
+	cell = strings.TrimSpace(cell)
+	cell = strings.TrimSuffix(cell, "%")
+	cell = strings.TrimSuffix(cell, "x")
+	v, err := strconv.ParseFloat(cell, 64)
+	return v, err == nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}

@@ -1,0 +1,99 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+
+	"selfstab/internal/harness"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, "rounds vs n", 40, 10,
+		Series{Name: "path", X: []float64{8, 16, 32}, Y: []float64{2, 3, 4}},
+		Series{Name: "complete", X: []float64{8, 16, 32}, Y: []float64{6, 14, 30}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"rounds vs n", "* path", "o complete", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Marker counts: all points plotted (possibly overlapping; at least one each).
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, "t", 4, 2); err == nil {
+		t.Error("tiny plot accepted")
+	}
+	if err := Render(&sb, "t", 40, 10); err == nil {
+		t.Error("no data accepted")
+	}
+	if err := Render(&sb, "t", 40, 10, Series{Name: "bad", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, "flat", 20, 5, Series{Name: "s", X: []float64{1, 1}, Y: []float64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("point not plotted")
+	}
+}
+
+func TestSeriesFromTable(t *testing.T) {
+	tbl := &harness.Table{Cols: []string{"topology", "n", "rounds mean"}}
+	tbl.AddRow("path", "8", "2.0")
+	tbl.AddRow("path", "16", "2.8")
+	tbl.AddRow("cycle", "8", "2.3")
+	tbl.AddRow("cycle", "16", "3.0")
+	tbl.AddRow("cycle", "32", "not-a-number") // skipped
+	series, err := SeriesFromTable(tbl, "topology", "n", "rounds mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if series[0].Name != "path" || len(series[0].X) != 2 || series[0].Y[1] != 2.8 {
+		t.Fatalf("path series = %+v", series[0])
+	}
+	if len(series[1].X) != 2 {
+		t.Fatalf("cycle series kept bad row: %+v", series[1])
+	}
+}
+
+func TestSeriesFromTableSuffixes(t *testing.T) {
+	tbl := &harness.Table{Cols: []string{"g", "x", "y"}}
+	tbl.AddRow("a", "1", "50%")
+	tbl.AddRow("a", "2", "1.5x")
+	series, err := SeriesFromTable(tbl, "g", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[0].Y[0] != 50 || series[0].Y[1] != 1.5 {
+		t.Fatalf("suffix parsing: %+v", series[0])
+	}
+}
+
+func TestSeriesFromTableErrors(t *testing.T) {
+	tbl := &harness.Table{Cols: []string{"a", "b"}}
+	if _, err := SeriesFromTable(tbl, "a", "b", "missing"); err == nil {
+		t.Error("missing column accepted")
+	}
+	tbl.AddRow("g", "nope")
+	if _, err := SeriesFromTable(tbl, "a", "a", "b"); err == nil {
+		t.Error("all-unparsable table accepted")
+	}
+}

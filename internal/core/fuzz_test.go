@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/graph"
+)
+
+// FuzzSMMMove decodes arbitrary bytes into a graph plus a configuration
+// (including invalid dangling pointers) and asserts that Move is total:
+// it never panics, always returns Null or a current neighbor, and its
+// guards are mutually exclusive with the reported activity (inactive ⇒
+// state unchanged for this deterministic protocol).
+func FuzzSMMMove(f *testing.F) {
+	f.Add(int64(1), uint8(6), []byte{0, 1, 2, 3})
+	f.Add(int64(2), uint8(4), []byte{255, 255, 255, 255})
+	f.Add(int64(3), uint8(9), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, size uint8, raw []byte) {
+		n := 2 + int(size%12)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGNP(n, 0.4, rng)
+		// Decode raw bytes into pointers — deliberately allowing values
+		// that point at non-neighbors or self, which the message-passing
+		// executors can transiently produce.
+		states := make([]Pointer, n)
+		for v := range states {
+			var b byte
+			if len(raw) > 0 {
+				b = raw[v%len(raw)]
+			}
+			switch int(b) % (n + 2) {
+			case n, n + 1:
+				states[v] = Null
+			default:
+				target := graph.NodeID(int(b) % n)
+				if target == graph.NodeID(v) {
+					states[v] = Null // self-pointers are unrepresentable
+				} else {
+					states[v] = PointAt(target)
+				}
+			}
+		}
+		cfg := Config[Pointer]{G: g, States: states}
+		p := NewSMM()
+		for v := 0; v < n; v++ {
+			id := graph.NodeID(v)
+			next, active := p.Move(cfg.View(id))
+			if !next.IsNull() && !g.HasEdge(id, next.Node()) {
+				t.Fatalf("node %d moved to non-neighbor %v (from %v)", v, next, states[v])
+			}
+			if !active && next != states[v] {
+				t.Fatalf("node %d inactive but state changed %v -> %v", v, states[v], next)
+			}
+			if active && next == states[v] {
+				t.Fatalf("node %d active but state unchanged (%v)", v, next)
+			}
+		}
+	})
+}
+
+// FuzzSMIMove asserts the same totality for SMI over arbitrary bit
+// configurations.
+func FuzzSMIMove(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint64(0b10110))
+	f.Add(int64(2), uint8(3), uint64(0))
+	f.Fuzz(func(t *testing.T, seed int64, size uint8, bits uint64) {
+		n := 2 + int(size%16)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomGNP(n, 0.4, rng)
+		cfg := NewConfig[bool](g)
+		for v := range cfg.States {
+			cfg.States[v] = bits>>(v%64)&1 == 1
+		}
+		p := NewSMI()
+		for v := 0; v < n; v++ {
+			next, active := p.Move(cfg.View(graph.NodeID(v)))
+			if active == (next == cfg.States[v]) {
+				t.Fatalf("node %d: active=%v but %v -> %v", v, active, cfg.States[v], next)
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// Package core implements the paper's primary contribution: the
+// synchronous-model self-stabilizing protocols SMM (maximal matching) and
+// SMI (maximal independent set), together with the protocol abstraction
+// they run under and the node-type classification (M, A°, A', PA, PM, PP)
+// used by the paper's convergence analysis.
+//
+// # Computation model
+//
+// The paper's model is synchronous shared state driven by beacons: in each
+// round every node receives the round-t states of all its neighbors and
+// simultaneously computes its round-t+1 state by applying the first
+// enabled rule. A protocol here is therefore a pure function from a local
+// view (own state plus neighbor states) to the next state. Executors — the
+// lockstep simulator, the discrete-event beacon simulator, and the
+// goroutine-per-node runtime — differ only in how they deliver the view.
+package core
+
+import (
+	"math/rand"
+
+	"selfstab/internal/graph"
+)
+
+// View is the information a node may legally consult when moving: its own
+// identity and state, and the states its neighbors reported in their last
+// beacons. Peer must be called only with IDs from Nbrs.
+type View[S any] struct {
+	// ID is the executing node.
+	ID graph.NodeID
+	// Self is the node's current state.
+	Self S
+	// Nbrs lists the node's current neighbors in ascending ID order.
+	Nbrs []graph.NodeID
+	// Peer returns the last known state of a neighbor.
+	Peer func(graph.NodeID) S
+}
+
+// Protocol is a self-stabilizing protocol in the synchronous beacon model.
+// The state type S must be comparable so executors and verifiers can
+// detect convergence and snapshot configurations cheaply.
+//
+// Move must be deterministic up to the protocol's own internal randomness
+// (protocols that randomize, such as the daemon-refinement wrapper, own
+// per-node generators so concurrent executors stay race-free).
+type Protocol[S comparable] interface {
+	// Name identifies the protocol in traces and reports.
+	Name() string
+	// Random draws an arbitrary initial state for node id, whose neighbor
+	// list is nbrs. Self-stabilization demands convergence from every
+	// state, so Random must cover the full state space.
+	Random(id graph.NodeID, nbrs []graph.NodeID, rng *rand.Rand) S
+	// Move evaluates the rules at the viewing node and returns the next
+	// state plus whether the node is active: privileged in the current
+	// configuration. For deterministic protocols active coincides with
+	// "the state changed"; randomized protocols report active even in
+	// rounds where a coin kept the state unchanged, and wrappers that
+	// piggyback auxiliary data (e.g. refinement priorities) may change
+	// auxiliary fields while inactive. Executors must always store the
+	// returned state and use the active flag — never state inequality —
+	// to detect stabilization: a configuration is stable exactly when no
+	// node reports active.
+	Move(v View[S]) (next S, moved bool)
+}
+
+// NeighborAware is implemented by protocols whose states reference
+// neighbors (e.g. SMM's pointer). When the neighbor-discovery protocol
+// drops a neighbor — its beacons timed out, or the link-layer reported
+// the link gone — executors call OnNeighborLost so the node can repair a
+// dangling reference. Protocols with self-contained states (SMI,
+// coloring) simply don't implement it.
+type NeighborAware[S comparable] interface {
+	// OnNeighborLost returns the repaired state of node self after
+	// neighbor lost disappeared from its neighbor list.
+	OnNeighborLost(self graph.NodeID, s S, lost graph.NodeID) S
+}
+
+// RepairState applies OnNeighborLost if the protocol supports it and
+// returns the (possibly unchanged) state.
+func RepairState[S comparable](p Protocol[S], self graph.NodeID, s S, lost graph.NodeID) S {
+	if na, ok := p.(NeighborAware[S]); ok {
+		return na.OnNeighborLost(self, s, lost)
+	}
+	return s
+}
+
+// Config is a global configuration: a topology plus one state per node,
+// indexed by node ID. It is the unit verifiers and traces operate on.
+type Config[S comparable] struct {
+	G      *graph.Graph
+	States []S
+}
+
+// NewConfig allocates a configuration for g with zero-valued states.
+func NewConfig[S comparable](g *graph.Graph) Config[S] {
+	return Config[S]{G: g, States: make([]S, g.N())}
+}
+
+// Randomize fills every state from p.Random.
+func (c Config[S]) Randomize(p Protocol[S], rng *rand.Rand) {
+	for v := range c.States {
+		id := graph.NodeID(v)
+		c.States[v] = p.Random(id, c.G.Neighbors(id), rng)
+	}
+}
+
+// View builds the local view of node id over the configuration.
+func (c Config[S]) View(id graph.NodeID) View[S] {
+	return View[S]{
+		ID:   id,
+		Self: c.States[id],
+		Nbrs: c.G.Neighbors(id),
+		Peer: func(j graph.NodeID) S { return c.States[j] },
+	}
+}
+
+// Privileged reports whether node id would move in the current
+// configuration.
+func (c Config[S]) Privileged(p Protocol[S], id graph.NodeID) bool {
+	_, moved := p.Move(c.View(id))
+	return moved
+}
+
+// PrivilegedNodes returns all nodes that would move, in ascending order.
+func (c Config[S]) PrivilegedNodes(p Protocol[S]) []graph.NodeID {
+	var ids []graph.NodeID
+	for v := range c.States {
+		if c.Privileged(p, graph.NodeID(v)) {
+			ids = append(ids, graph.NodeID(v))
+		}
+	}
+	return ids
+}
+
+// Clone returns a deep copy sharing the graph but not the state slice.
+func (c Config[S]) Clone() Config[S] {
+	s := make([]S, len(c.States))
+	copy(s, c.States)
+	return Config[S]{G: c.G, States: s}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"selfstab/internal/graph"
+)
+
+func TestSMMOnNeighborLost(t *testing.T) {
+	p := NewSMM()
+	if got := p.OnNeighborLost(0, PointAt(3), 3); got != Null {
+		t.Fatalf("pointer at lost neighbor: %v", got)
+	}
+	if got := p.OnNeighborLost(0, PointAt(3), 2); got != PointAt(3) {
+		t.Fatalf("pointer at surviving neighbor clobbered: %v", got)
+	}
+	if got := p.OnNeighborLost(0, Null, 2); got != Null {
+		t.Fatalf("null pointer changed: %v", got)
+	}
+}
+
+func TestRepairStateDispatch(t *testing.T) {
+	// SMM implements NeighborAware; the helper must invoke it.
+	if got := RepairState[Pointer](NewSMM(), 0, PointAt(5), 5); got != Null {
+		t.Fatalf("RepairState did not repair: %v", got)
+	}
+	// SMI does not implement it; the state must pass through untouched.
+	if got := RepairState[bool](NewSMI(), 0, true, 5); got != true {
+		t.Fatalf("RepairState mutated a repair-free protocol: %v", got)
+	}
+}
+
+func TestSMMDanglingPointerRepairMove(t *testing.T) {
+	// A pointer at a node absent from the neighbor list (possible in the
+	// message-passing executors between a link failure and its timeout)
+	// must be treated as an enabled back-off.
+	g := graph.Path(2)
+	cfg := NewConfig[Pointer](g)
+	cfg.States[0] = PointAt(1)
+	cfg.States[1] = Null
+	v := View[Pointer]{
+		ID:   0,
+		Self: PointAt(1),
+		Nbrs: nil, // the link layer already dropped neighbor 1
+		Peer: func(graph.NodeID) Pointer { panic("must not consult peers") },
+	}
+	next, active := NewSMM().Move(v)
+	if !active || next != Null {
+		t.Fatalf("dangling pointer: got (%v,%v), want (Λ,true)", next, active)
+	}
+	_ = cfg
+}
+
+func TestContainsNode(t *testing.T) {
+	nbrs := []graph.NodeID{1, 3, 5, 9}
+	for _, j := range nbrs {
+		if !containsNode(nbrs, j) {
+			t.Errorf("containsNode missed %d", j)
+		}
+	}
+	for _, j := range []graph.NodeID{0, 2, 4, 8, 10} {
+		if containsNode(nbrs, j) {
+			t.Errorf("containsNode false positive %d", j)
+		}
+	}
+	if containsNode(nil, 1) {
+		t.Error("containsNode on empty list")
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math/rand"
+
+	"selfstab/internal/graph"
+)
+
+// SMI is Algorithm SMI (Figure 4): the synchronous self-stabilizing
+// maximal independent set protocol. Each node keeps one bit x(i); the set
+// is {i : x(i) = true}.
+//
+// Rules ("j bigger than i" means j's ID exceeds i's):
+//
+//	R1 (enter): x(i)=0 ∧ ¬∃j∈N(i): j>i ∧ x(j)=1  ⇒ x(i)=1
+//	R2 (leave): x(i)=1 ∧  ∃j∈N(i): j>i ∧ x(j)=1  ⇒ x(i)=0
+//
+// The guards are complementary on the bigger-neighbor predicate, so
+// exactly one rule can be enabled at a node.
+type SMI struct{}
+
+// NewSMI returns Algorithm SMI.
+func NewSMI() *SMI { return &SMI{} }
+
+// Name implements Protocol.
+func (*SMI) Name() string { return "SMI" }
+
+// Random implements Protocol: the state space is a single bit.
+func (*SMI) Random(_ graph.NodeID, _ []graph.NodeID, rng *rand.Rand) bool {
+	return rng.Intn(2) == 1
+}
+
+// Move implements Protocol by evaluating R1 and R2.
+func (*SMI) Move(v View[bool]) (bool, bool) {
+	biggerIn := false
+	for _, j := range v.Nbrs {
+		if j > v.ID && v.Peer(j) {
+			biggerIn = true
+			break
+		}
+	}
+	switch {
+	case !v.Self && !biggerIn:
+		return true, true // R1: enter the set
+	case v.Self && biggerIn:
+		return false, true // R2: leave the set
+	}
+	return v.Self, false
+}
+
+// SetOf extracts {i : x(i)=1} from a configuration, ascending.
+func SetOf(cfg Config[bool]) []graph.NodeID {
+	var s []graph.NodeID
+	for v, x := range cfg.States {
+		if x {
+			s = append(s, graph.NodeID(v))
+		}
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/graph"
+)
+
+func boolCfg(g *graph.Graph, xs ...bool) Config[bool] {
+	if len(xs) != g.N() {
+		panic("boolCfg: wrong state count")
+	}
+	cfg := NewConfig[bool](g)
+	copy(cfg.States, xs)
+	return cfg
+}
+
+func TestSMIRule1Enter(t *testing.T) {
+	// Node 2 on a path 0-1-2: x all false; 2 has no bigger neighbor → enter.
+	g := graph.Path(3)
+	cfg := boolCfg(g, false, false, false)
+	next, moved := NewSMI().Move(cfg.View(2))
+	if !moved || next != true {
+		t.Fatalf("R1: got (%v,%v), want (true,true)", next, moved)
+	}
+	// Node 1 also enters: its bigger neighbor 2 has x=0 this round.
+	next, moved = NewSMI().Move(cfg.View(1))
+	if !moved || next != true {
+		t.Fatalf("R1 at 1: got (%v,%v), want (true,true)", next, moved)
+	}
+}
+
+func TestSMIRule1BlockedByBiggerMember(t *testing.T) {
+	g := graph.Path(3)
+	cfg := boolCfg(g, false, false, true)
+	next, moved := NewSMI().Move(cfg.View(1))
+	if moved || next != false {
+		t.Fatalf("got (%v,%v), want (false,false)", next, moved)
+	}
+}
+
+func TestSMIRule1IgnoresSmallerMembers(t *testing.T) {
+	// x(0)=1 does not block node 1 from entering (only bigger IDs count).
+	g := graph.Path(3)
+	cfg := boolCfg(g, true, false, false)
+	next, moved := NewSMI().Move(cfg.View(1))
+	if !moved || next != true {
+		t.Fatalf("got (%v,%v), want (true,true)", next, moved)
+	}
+}
+
+func TestSMIRule2Leave(t *testing.T) {
+	g := graph.Path(3)
+	cfg := boolCfg(g, false, true, true)
+	next, moved := NewSMI().Move(cfg.View(1))
+	if !moved || next != false {
+		t.Fatalf("R2: got (%v,%v), want (false,true)", next, moved)
+	}
+}
+
+func TestSMIRule2NotForSmallerMembers(t *testing.T) {
+	// 2 in the set with smaller member neighbor 1: 2 stays.
+	g := graph.Path(3)
+	cfg := boolCfg(g, false, true, true)
+	next, moved := NewSMI().Move(cfg.View(2))
+	if moved || next != true {
+		t.Fatalf("got (%v,%v), want (true,false)", next, moved)
+	}
+}
+
+func TestSMIIsolatedEnters(t *testing.T) {
+	g := graph.New(1)
+	cfg := boolCfg(g, false)
+	next, moved := NewSMI().Move(cfg.View(0))
+	if !moved || !next {
+		t.Fatal("isolated node must enter the set")
+	}
+}
+
+func TestSMISetOf(t *testing.T) {
+	g := graph.Path(4)
+	cfg := boolCfg(g, true, false, false, true)
+	s := SetOf(cfg)
+	if len(s) != 2 || s[0] != 0 || s[1] != 3 {
+		t.Fatalf("SetOf = %v", s)
+	}
+}
+
+func TestSMIRandomCoversBothBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewSMI()
+	seen := map[bool]bool{}
+	for i := 0; i < 50; i++ {
+		seen[p.Random(0, nil, rng)] = true
+	}
+	if !seen[true] || !seen[false] {
+		t.Fatal("Random does not cover the state space")
+	}
+}
+
+func TestSMIName(t *testing.T) {
+	if NewSMI().Name() != "SMI" {
+		t.Fatalf("Name = %q", NewSMI().Name())
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"selfstab/internal/graph"
+)
+
+// SMMType is the six-way classification of nodes in a global SMM state
+// (paper Section 3, Figure 2):
+//
+//	M  — matched: i ↔ j for some j
+//	A° — aloof, unsolicited: i → Λ and no neighbor points at i
+//	A' — aloof, solicited: i → Λ and some neighbor points at i
+//	PA — pointing at an aloof node
+//	PM — pointing at a matched node (without being pointed back)
+//	PP — pointing at a pointing node (that points elsewhere)
+type SMMType uint8
+
+// The classification constants. TypeA0 is the paper's A°, TypeA1 its A'.
+const (
+	TypeM SMMType = iota
+	TypeA0
+	TypeA1
+	TypePA
+	TypePM
+	TypePP
+	numSMMTypes
+)
+
+// String renders the paper's notation.
+func (t SMMType) String() string {
+	switch t {
+	case TypeM:
+		return "M"
+	case TypeA0:
+		return "A°"
+	case TypeA1:
+		return "A'"
+	case TypePA:
+		return "PA"
+	case TypePM:
+		return "PM"
+	case TypePP:
+		return "PP"
+	}
+	return fmt.Sprintf("SMMType(%d)", uint8(t))
+}
+
+// AllSMMTypes lists the types in declaration order, for iteration.
+var AllSMMTypes = [...]SMMType{TypeM, TypeA0, TypeA1, TypePA, TypePM, TypePP}
+
+// ClassifySMM assigns every node its type in the given configuration.
+// Pointers at non-neighbors are rejected by panicking; use ValidSMMConfig
+// first when handling untrusted input.
+func ClassifySMM(cfg Config[Pointer]) []SMMType {
+	n := cfg.G.N()
+	// pointedAt[i] = some neighbor points at i.
+	pointedAt := make([]bool, n)
+	for v, p := range cfg.States {
+		if !p.IsNull() {
+			if !cfg.G.HasEdge(graph.NodeID(v), p.Node()) {
+				panic(fmt.Sprintf("core: ClassifySMM: node %d points at non-neighbor %d", v, p.Node()))
+			}
+			pointedAt[p.Node()] = true
+		}
+	}
+	types := make([]SMMType, n)
+	for v := range cfg.States {
+		i := graph.NodeID(v)
+		p := cfg.States[v]
+		if p.IsNull() {
+			if pointedAt[i] {
+				types[v] = TypeA1
+			} else {
+				types[v] = TypeA0
+			}
+			continue
+		}
+		j := p.Node()
+		q := cfg.States[j]
+		switch {
+		case !q.IsNull() && q.Node() == i:
+			types[v] = TypeM
+		case q.IsNull():
+			types[v] = TypePA
+		case Matched(cfg, j):
+			types[v] = TypePM
+		default:
+			types[v] = TypePP
+		}
+	}
+	return types
+}
+
+// Census counts nodes of each type; index with an SMMType.
+type Census [numSMMTypes]int
+
+// CensusOf tallies a type assignment.
+func CensusOf(types []SMMType) Census {
+	var c Census
+	for _, t := range types {
+		c[t]++
+	}
+	return c
+}
+
+// String renders e.g. "M=4 A°=1 A'=0 PA=0 PM=2 PP=0".
+func (c Census) String() string {
+	s := ""
+	for i, t := range AllSMMTypes {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", t, c[t])
+	}
+	return s
+}
+
+// allowedSMMTransitions is the paper's type-transition diagram (Figure 3),
+// as proved by Lemmas 1–6: from each type, the set of types a node may
+// hold one round later.
+//
+//	M  → M               (Lemma 1)
+//	PM → A°              (Lemma 2: pointer nulled, and nobody can have
+//	                      proposed to a node whose pointer was set)
+//	PP → A°              (Lemma 3, same argument)
+//	PA → M, PM           (Lemma 4)
+//	A' → M               (Lemma 5)
+//	A° → A°, PM, M, PP   (Lemma 6)
+//
+// No arrows enter A' or PA, which is Lemma 7: both sets are empty for all
+// t ≥ 1.
+var allowedSMMTransitions = [numSMMTypes][numSMMTypes]bool{
+	TypeM:  {TypeM: true},
+	TypePM: {TypeA0: true},
+	TypePP: {TypeA0: true},
+	TypePA: {TypeM: true, TypePM: true},
+	TypeA1: {TypeM: true},
+	TypeA0: {TypeA0: true, TypePM: true, TypeM: true, TypePP: true},
+}
+
+// TransitionAllowed reports whether the Figure 3 diagram permits a node to
+// move from type `from` to type `to` in one round.
+func TransitionAllowed(from, to SMMType) bool {
+	return allowedSMMTransitions[from][to]
+}
+
+// CheckTransitions compares consecutive type assignments and returns the
+// first node whose transition the Figure 3 diagram forbids, or -1 if all
+// transitions are allowed. The two slices must have equal length.
+func CheckTransitions(before, after []SMMType) (node graph.NodeID, from, to SMMType, ok bool) {
+	if len(before) != len(after) {
+		panic("core: CheckTransitions: length mismatch")
+	}
+	for v := range before {
+		if !TransitionAllowed(before[v], after[v]) {
+			return graph.NodeID(v), before[v], after[v], false
+		}
+	}
+	return -1, 0, 0, true
+}
+
+// TransitionMatrix accumulates observed type transitions across rounds;
+// entry [from][to] counts nodes that went from `from` to `to`.
+type TransitionMatrix [numSMMTypes][numSMMTypes]int
+
+// Record adds the transitions between two consecutive type assignments.
+func (m *TransitionMatrix) Record(before, after []SMMType) {
+	if len(before) != len(after) {
+		panic("core: TransitionMatrix.Record: length mismatch")
+	}
+	for v := range before {
+		m[before[v]][after[v]]++
+	}
+}
+
+// Violations returns the observed transitions the diagram forbids, as
+// (from, to, count) triples in declaration order.
+func (m *TransitionMatrix) Violations() []TransitionCount {
+	var out []TransitionCount
+	for _, from := range AllSMMTypes {
+		for _, to := range AllSMMTypes {
+			if m[from][to] > 0 && !TransitionAllowed(from, to) {
+				out = append(out, TransitionCount{From: from, To: to, Count: m[from][to]})
+			}
+		}
+	}
+	return out
+}
+
+// Observed returns all transitions that occurred at least once.
+func (m *TransitionMatrix) Observed() []TransitionCount {
+	var out []TransitionCount
+	for _, from := range AllSMMTypes {
+		for _, to := range AllSMMTypes {
+			if m[from][to] > 0 {
+				out = append(out, TransitionCount{From: from, To: to, Count: m[from][to]})
+			}
+		}
+	}
+	return out
+}
+
+// TransitionCount is one cell of a TransitionMatrix.
+type TransitionCount struct {
+	From, To SMMType
+	Count    int
+}
+
+// String renders e.g. "PA→M ×12".
+func (t TransitionCount) String() string {
+	return fmt.Sprintf("%s→%s ×%d", t.From, t.To, t.Count)
+}

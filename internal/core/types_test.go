@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"selfstab/internal/graph"
+)
+
+func TestClassifySMMAllTypes(t *testing.T) {
+	// Build a configuration exhibiting every one of the six types on a
+	// path 0-1-2-3-4-5-6:
+	//   0↔1 matched            → 0,1 ∈ M
+	//   2→1 (1 matched)        → 2 ∈ PM
+	//   3→2 (2 points on)      → 3 ∈ PP
+	//   4→5, 5→Λ               → 4 ∈ PA, 5 ∈ A' (4 points at it)... but 5
+	//   must be aloof: 5→Λ ✓ and 4→5 means someone points at 5 → A'.
+	//   6→Λ with neighbor 5→Λ  → nobody points at 6 → A°.
+	g := graph.Path(7)
+	cfg := pointerCfg(g,
+		PointAt(1), PointAt(0), PointAt(1), PointAt(2), PointAt(5), Null, Null)
+	types := ClassifySMM(cfg)
+	want := []SMMType{TypeM, TypeM, TypePM, TypePP, TypePA, TypeA1, TypeA0}
+	for v := range want {
+		if types[v] != want[v] {
+			t.Errorf("node %d: type %v, want %v", v, types[v], want[v])
+		}
+	}
+	c := CensusOf(types)
+	if c[TypeM] != 2 || c[TypePM] != 1 || c[TypePP] != 1 || c[TypePA] != 1 || c[TypeA1] != 1 || c[TypeA0] != 1 {
+		t.Fatalf("census = %v", c)
+	}
+	if s := c.String(); !strings.Contains(s, "M=2") || !strings.Contains(s, "A°=1") {
+		t.Fatalf("census string = %q", s)
+	}
+}
+
+func TestClassifySMMPanicsOnInvalid(t *testing.T) {
+	g := graph.Path(3)
+	cfg := pointerCfg(g, PointAt(2), Null, Null) // 0-2 not an edge
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClassifySMM accepted pointer at non-neighbor")
+		}
+	}()
+	ClassifySMM(cfg)
+}
+
+func TestTypeStrings(t *testing.T) {
+	wants := map[SMMType]string{
+		TypeM: "M", TypeA0: "A°", TypeA1: "A'", TypePA: "PA", TypePM: "PM", TypePP: "PP",
+	}
+	for typ, want := range wants {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestTransitionDiagramShape(t *testing.T) {
+	// Lemma 7's structural fact: no arrows enter A' or PA.
+	for _, from := range AllSMMTypes {
+		if TransitionAllowed(from, TypeA1) {
+			t.Errorf("diagram has arrow %v→A'", from)
+		}
+		if TransitionAllowed(from, TypePA) {
+			t.Errorf("diagram has arrow %v→PA", from)
+		}
+	}
+	// Lemma 1: M is absorbing.
+	for _, to := range AllSMMTypes {
+		if to == TypeM {
+			if !TransitionAllowed(TypeM, to) {
+				t.Error("M→M missing")
+			}
+		} else if TransitionAllowed(TypeM, to) {
+			t.Errorf("M→%v should be forbidden", to)
+		}
+	}
+	// Lemmas 2,3: PM and PP go only to A°.
+	for _, from := range []SMMType{TypePM, TypePP} {
+		for _, to := range AllSMMTypes {
+			want := to == TypeA0
+			if TransitionAllowed(from, to) != want {
+				t.Errorf("%v→%v allowed=%v, want %v", from, to, !want, want)
+			}
+		}
+	}
+	// Lemma 5: A' goes only to M.
+	for _, to := range AllSMMTypes {
+		want := to == TypeM
+		if TransitionAllowed(TypeA1, to) != want {
+			t.Errorf("A'→%v allowed=%v, want %v", to, !want, want)
+		}
+	}
+}
+
+func TestCheckTransitions(t *testing.T) {
+	before := []SMMType{TypeM, TypePA, TypeA1}
+	after := []SMMType{TypeM, TypePM, TypeM}
+	if _, _, _, ok := CheckTransitions(before, after); !ok {
+		t.Fatal("legal transitions rejected")
+	}
+	bad := []SMMType{TypeM, TypePM, TypePA} // A'→PA forbidden
+	node, from, to, ok := CheckTransitions(before, bad)
+	if ok || node != 2 || from != TypeA1 || to != TypePA {
+		t.Fatalf("got (%d,%v,%v,%v)", node, from, to, ok)
+	}
+}
+
+func TestCheckTransitionsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	CheckTransitions([]SMMType{TypeM}, nil)
+}
+
+func TestTransitionMatrix(t *testing.T) {
+	var m TransitionMatrix
+	m.Record([]SMMType{TypePA, TypeA0}, []SMMType{TypeM, TypeA0})
+	m.Record([]SMMType{TypeM, TypeA0}, []SMMType{TypeM, TypePP})
+	obs := m.Observed()
+	if len(obs) != 4 {
+		t.Fatalf("Observed = %v", obs)
+	}
+	if v := m.Violations(); len(v) != 0 {
+		t.Fatalf("unexpected violations %v", v)
+	}
+	// Record a forbidden transition and check it is flagged.
+	m.Record([]SMMType{TypeM}, []SMMType{TypePA})
+	v := m.Violations()
+	if len(v) != 1 || v[0].From != TypeM || v[0].To != TypePA || v[0].Count != 1 {
+		t.Fatalf("Violations = %v", v)
+	}
+	if s := v[0].String(); s != "M→PA ×1" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,226 @@
+package daemon
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/verify"
+)
+
+func nullCfg(g *graph.Graph) core.Config[core.Pointer] {
+	cfg := core.NewConfig[core.Pointer](g)
+	for i := range cfg.States {
+		cfg.States[i] = core.Null
+	}
+	return cfg
+}
+
+func TestCentralPickStrategies(t *testing.T) {
+	g := graph.Path(6)
+	p := core.NewSMM()
+	cfg := nullCfg(g)
+	privileged := cfg.PrivilegedNodes(p)
+	if len(privileged) == 0 {
+		t.Fatal("no privileged nodes on all-null path")
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	min := NewCentral[core.Pointer](PickMin, nil)
+	if got := min.Select(cfg, p, privileged); len(got) != 1 || got[0] != privileged[0] {
+		t.Fatalf("PickMin selected %v", got)
+	}
+	max := NewCentral[core.Pointer](PickMax, nil)
+	if got := max.Select(cfg, p, privileged); len(got) != 1 || got[0] != privileged[len(privileged)-1] {
+		t.Fatalf("PickMax selected %v", got)
+	}
+	rnd := NewCentral[core.Pointer](PickRandom, rng)
+	if got := rnd.Select(cfg, p, privileged); len(got) != 1 {
+		t.Fatalf("PickRandom selected %v", got)
+	}
+	adv := NewCentral[core.Pointer](PickAdversarial, nil)
+	if got := adv.Select(cfg, p, privileged); len(got) != 1 {
+		t.Fatalf("PickAdversarial selected %v", got)
+	}
+}
+
+func TestPickStrings(t *testing.T) {
+	wants := map[Pick]string{
+		PickRandom: "random", PickMin: "min", PickMax: "max", PickAdversarial: "adversarial",
+	}
+	for p, want := range wants {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// On an all-null path every node is privileged; the round-robin
+	// daemon must cycle through them rather than starving anyone.
+	g := graph.Path(5)
+	p := core.NewSMM()
+	cfg := nullCfg(g)
+	rr := NewRoundRobin[core.Pointer]()
+	if rr.Name() != "central-roundrobin" {
+		t.Fatal(rr.Name())
+	}
+	privileged := cfg.PrivilegedNodes(p)
+	seen := map[graph.NodeID]bool{}
+	for i := 0; i < len(privileged); i++ {
+		got := rr.Select(cfg, p, privileged)
+		if len(got) != 1 {
+			t.Fatalf("selected %v", got)
+		}
+		if seen[got[0]] {
+			t.Fatalf("node %d activated twice before others ran", got[0])
+		}
+		seen[got[0]] = true
+	}
+	if len(seen) != len(privileged) {
+		t.Fatalf("only %d of %d nodes activated in one cycle", len(seen), len(privileged))
+	}
+}
+
+func TestRoundRobinRunnerConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(12, 0.25, rng)
+		p := core.NewSMM()
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rng)
+		r := NewRunner[core.Pointer](p, cfg, NewRoundRobin[core.Pointer]())
+		res := r.Run(20 * g.N() * g.N())
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if err := verify.IsMaximalMatching(g, core.MatchingOf(r.Config())); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestDistributedSelectsNonemptySubset(t *testing.T) {
+	g := graph.Path(8)
+	p := core.NewSMM()
+	cfg := nullCfg(g)
+	privileged := cfg.PrivilegedNodes(p)
+	rng := rand.New(rand.NewSource(2))
+	d := NewDistributed[core.Pointer](0.0, rng) // forces the fallback branch
+	for i := 0; i < 20; i++ {
+		got := d.Select(cfg, p, privileged)
+		if len(got) != 1 {
+			t.Fatalf("p=0 selected %v", got)
+		}
+	}
+	d1 := NewDistributed[core.Pointer](1.0, rng)
+	if got := d1.Select(cfg, p, privileged); len(got) != len(privileged) {
+		t.Fatalf("p=1 selected %d of %d", len(got), len(privileged))
+	}
+}
+
+func TestSynchronousSelectsAll(t *testing.T) {
+	g := graph.Path(8)
+	p := core.NewSMM()
+	cfg := nullCfg(g)
+	privileged := cfg.PrivilegedNodes(p)
+	var s Synchronous[core.Pointer]
+	if got := s.Select(cfg, p, privileged); len(got) != len(privileged) {
+		t.Fatalf("synchronous selected %d of %d", len(got), len(privileged))
+	}
+	if s.Name() != "synchronous" {
+		t.Fatal(s.Name())
+	}
+}
+
+func TestRunnerCentralDaemonSMM(t *testing.T) {
+	// SMM is also correct under a central daemon (serial moves are a
+	// special case of the convergence argument).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(10, 0.3, rng)
+		p := core.NewSMM()
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rng)
+		r := NewRunner[core.Pointer](p, cfg, NewCentral[core.Pointer](PickRandom, rng))
+		res := r.Run(10 * g.N() * g.N())
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if res.Steps != res.Moves {
+			t.Fatalf("central daemon: steps %d != moves %d", res.Steps, res.Moves)
+		}
+		if err := verify.IsMaximalMatching(g, core.MatchingOf(r.Config())); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRunnerDistributedDaemonSMI(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(12, 0.25, rng)
+		p := core.NewSMI()
+		cfg := core.NewConfig[bool](g)
+		cfg.Randomize(p, rng)
+		r := NewRunner[bool](p, cfg, NewDistributed[bool](0.5, rng))
+		res := r.Run(100 * g.N())
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if err := verify.IsMaximalIndependentSet(g, core.SetOf(r.Config())); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRunnerStopsAtFixedPoint(t *testing.T) {
+	g := graph.Path(2)
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.States[0] = core.PointAt(1)
+	cfg.States[1] = core.PointAt(0)
+	r := NewRunner[core.Pointer](core.NewSMM(), cfg, NewCentral[core.Pointer](PickMin, nil))
+	if got := r.Step(); got != 0 {
+		t.Fatalf("Step on fixed point moved %d nodes", got)
+	}
+	res := r.Run(10)
+	if !res.Stable || res.Steps != 0 {
+		t.Fatalf("Run on fixed point: %v", res)
+	}
+}
+
+func TestRunnerHonorsStepLimit(t *testing.T) {
+	// Synchronous scheduler + the divergent successor policy on C4.
+	g := graph.Cycle(4)
+	p := core.NewSMMArbitrary()
+	cfg := nullCfg(g)
+	r := NewRunner[core.Pointer](p, cfg, Synchronous[core.Pointer]{})
+	res := r.Run(9)
+	if res.Stable || res.Steps != 9 {
+		t.Fatalf("res = %v", res)
+	}
+	if r.Steps() != 9 || r.Moves() != 9*4 {
+		t.Fatalf("Steps=%d Moves=%d", r.Steps(), r.Moves())
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Steps: 3, Moves: 3, Stable: true}
+	if r.String() != "stable in 3 steps (3 moves)" {
+		t.Fatalf("%q", r.String())
+	}
+	r.Stable = false
+	if r.String() != "NOT stable after 3 steps (3 moves)" {
+		t.Fatalf("%q", r.String())
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewCentral[bool](PickAdversarial, nil).Name() != "central-adversarial" {
+		t.Fatal("central name")
+	}
+	if NewDistributed[bool](0.25, nil).Name() != "distributed-0.25" {
+		t.Fatal("distributed name")
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+// Bridges returns all cut edges of g — edges whose removal disconnects
+// their component — via a single iterative Tarjan low-link DFS in
+// O(n + m). The churn generator calls this once per event instead of
+// probing every edge with a BFS, turning an O(m²) scan into linear work.
+// Edges are returned normalized (U < V) in discovery order.
+func Bridges(g *Graph) []Edge {
+	n := g.N()
+	disc := make([]int, n) // discovery time, 0 = unvisited
+	low := make([]int, n)  // low-link
+	parent := make([]NodeID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var bridges []Edge
+	timer := 0
+
+	// Iterative DFS: a frame tracks the node and the index into its
+	// adjacency list so the walk resumes after child returns.
+	type frame struct {
+		v   NodeID
+		idx int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack := []frame{{v: NodeID(start)}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			nbrs := g.Neighbors(f.v)
+			if f.idx < len(nbrs) {
+				u := nbrs[f.idx]
+				f.idx++
+				if disc[u] == 0 {
+					parent[u] = f.v
+					timer++
+					disc[u] = timer
+					low[u] = timer
+					stack = append(stack, frame{v: u})
+				} else if u != parent[f.v] {
+					if disc[u] < low[f.v] {
+						low[f.v] = disc[u]
+					}
+				}
+				continue
+			}
+			// f.v is finished: propagate low-link to the parent and
+			// test the tree edge for bridgehood.
+			stack = stack[:len(stack)-1]
+			p := parent[f.v]
+			if p < 0 {
+				continue
+			}
+			if low[f.v] < low[p] {
+				low[p] = low[f.v]
+			}
+			if low[f.v] > disc[p] {
+				bridges = append(bridges, NewEdge(p, f.v))
+			}
+		}
+	}
+	return bridges
+}
+
+// Note on parallel edges: the Graph type is simple (no multi-edges), so
+// the `u != parent[f.v]` test is exact — there cannot be a second edge
+// back to the parent that would make the tree edge a non-bridge.

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedEdges(es []Edge) []Edge {
+	out := append([]Edge(nil), es...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// bridgesBrute recomputes bridges by per-edge connectivity probing.
+func bridgesBrute(g *Graph) []Edge {
+	var out []Edge
+	for _, e := range g.Edges() {
+		if IsCutEdge(g, e.U, e.V) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestBridgesKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"path5", Path(5), 4},           // every edge
+		{"cycle5", Cycle(5), 0},         // none
+		{"star6", Star(6), 5},           // every spoke
+		{"complete5", Complete(5), 0},   // none
+		{"lollipop", Lollipop(4, 3), 3}, // the tail
+		{"barbell", Barbell(3, 1), 2},   // the two bridge links
+		{"tree", CompleteBinaryTree(7), 6},
+		{"empty", New(4), 0},
+	}
+	for _, c := range cases {
+		got := Bridges(c.g)
+		if len(got) != c.want {
+			t.Errorf("%s: %d bridges, want %d (%v)", c.name, len(got), c.want, got)
+		}
+	}
+}
+
+func TestBridgesDisconnected(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1) // bridge in component 1
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(2, 4) // triangle: no bridges in component 2
+	got := Bridges(g)
+	if len(got) != 1 || got[0] != NewEdge(0, 1) {
+		t.Fatalf("bridges = %v", got)
+	}
+}
+
+// Property: Tarjan agrees with the brute-force probe on random graphs.
+func TestQuickBridgesMatchBruteForce(t *testing.T) {
+	f := func(seed int64, size, pTenths uint8) bool {
+		n := 2 + int(size%16)
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGNP(n, float64(pTenths%11)/10, rng)
+		fast := sortedEdges(Bridges(g))
+		slow := sortedEdges(bridgesBrute(g))
+		if len(fast) != len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

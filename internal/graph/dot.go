@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DOTOptions controls WriteDOT output.
+type DOTOptions struct {
+	// Name is the graph name in the DOT header; "G" if empty.
+	Name string
+	// Highlight marks edges to render bold (e.g. the current matching).
+	Highlight map[Edge]bool
+	// FillNodes marks nodes to render filled (e.g. the independent set).
+	FillNodes map[NodeID]bool
+	// Labels overrides node labels; defaults to the numeric ID.
+	Labels map[NodeID]string
+}
+
+// WriteDOT renders g in Graphviz DOT format. Output is deterministic:
+// nodes ascending, edges lexicographic.
+func WriteDOT(w io.Writer, g *Graph, opt DOTOptions) error {
+	name := opt.Name
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "graph %s {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		attrs := ""
+		if opt.FillNodes[NodeID(v)] {
+			attrs = ` [style=filled, fillcolor=gray80]`
+		}
+		label, ok := opt.Labels[NodeID(v)]
+		if ok {
+			if attrs == "" {
+				attrs = fmt.Sprintf(" [label=%q]", label)
+			} else {
+				attrs = fmt.Sprintf(" [style=filled, fillcolor=gray80, label=%q]", label)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %d%s;\n", v, attrs); err != nil {
+			return err
+		}
+	}
+	es := g.Edges()
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	for _, e := range es {
+		attrs := ""
+		if opt.Highlight[e] {
+			attrs = ` [style=bold, penwidth=2]`
+		}
+		if _, err := fmt.Fprintf(w, "  %d -- %d%s;\n", e.U, e.V, attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTBasic(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, Path(3), DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph G {", "0 -- 1;", "1 -- 2;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTOptions(t *testing.T) {
+	var sb strings.Builder
+	opt := DOTOptions{
+		Name:      "M",
+		Highlight: map[Edge]bool{NewEdge(0, 1): true},
+		FillNodes: map[NodeID]bool{2: true},
+		Labels:    map[NodeID]string{0: "root"},
+	}
+	if err := WriteDOT(&sb, Path(3), opt); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph M {", "style=bold", "fillcolor=gray80", `label="root"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if err := WriteDOT(&sb, Complete(4), DOTOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if render() != render() {
+		t.Fatal("WriteDOT output not deterministic")
+	}
+}

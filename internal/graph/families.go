@@ -1,0 +1,110 @@
+package graph
+
+import "fmt"
+
+// Barbell returns two K_k cliques joined by a path of bridge nodes:
+// clique nodes 0..k-1 and k..2k-1, path nodes 2k..2k+bridge-1 between
+// node k-1 and node k. With bridge = 0 the cliques share one edge
+// directly. Barbells maximize the mixing penalty between dense regions —
+// a stress case for wave-based protocols.
+func Barbell(k, bridge int) *Graph {
+	if k < 2 {
+		panic(fmt.Sprintf("graph: Barbell(%d,%d): need k >= 2", k, bridge))
+	}
+	g := New(2*k + bridge)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(NodeID(i), NodeID(j))
+			g.AddEdge(NodeID(k+i), NodeID(k+j))
+		}
+	}
+	if bridge == 0 {
+		g.AddEdge(NodeID(k-1), NodeID(k))
+		return g
+	}
+	prev := NodeID(k - 1)
+	for b := 0; b < bridge; b++ {
+		cur := NodeID(2*k + b)
+		g.AddEdge(prev, cur)
+		prev = cur
+	}
+	g.AddEdge(prev, NodeID(k))
+	return g
+}
+
+// Lollipop returns a K_k clique with a path of tail nodes attached:
+// clique 0..k-1, tail k..k+tail-1 hanging off node k-1. The lollipop is
+// the classical worst case for cover-time-like dynamics.
+func Lollipop(k, tail int) *Graph {
+	if k < 2 {
+		panic(fmt.Sprintf("graph: Lollipop(%d,%d): need k >= 2", k, tail))
+	}
+	g := New(k + tail)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	prev := NodeID(k - 1)
+	for t := 0; t < tail; t++ {
+		cur := NodeID(k + t)
+		g.AddEdge(prev, cur)
+		prev = cur
+	}
+	return g
+}
+
+// Caterpillar returns a spine path of length spine with legs leaf nodes
+// attached to every spine node: spine nodes 0..spine-1, legs appended in
+// spine order. Caterpillars are the trees on which many domination-type
+// parameters are extremal.
+func Caterpillar(spine, legs int) *Graph {
+	if spine < 1 || legs < 0 {
+		panic(fmt.Sprintf("graph: Caterpillar(%d,%d): need spine >= 1, legs >= 0", spine, legs))
+	}
+	g := New(spine + spine*legs)
+	for i := 0; i < spine-1; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(NodeID(i), NodeID(next))
+			next++
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree on n nodes with
+// node 0 as the root and node i's children at 2i+1 and 2i+2.
+func CompleteBinaryTree(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			g.AddEdge(NodeID(i), NodeID(l))
+		}
+		if r := 2*i + 2; r < n {
+			g.AddEdge(NodeID(i), NodeID(r))
+		}
+	}
+	return g
+}
+
+// Wheel returns the wheel W_n: a cycle on nodes 1..n-1 plus a hub (node
+// 0) adjacent to every cycle node. Needs n >= 4.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic(fmt.Sprintf("graph: Wheel(%d): need n >= 4", n))
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, NodeID(i))
+		next := i + 1
+		if next == n {
+			next = 1
+		}
+		g.AddEdge(NodeID(i), NodeID(next))
+	}
+	return g
+}

@@ -1,0 +1,121 @@
+package graph
+
+import "testing"
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(4, 2)
+	if g.N() != 10 {
+		t.Fatalf("N = %d", g.N())
+	}
+	wantM := 2*6 + 3 // two K4s + path of 2 bridge nodes (3 edges)
+	if g.M() != wantM {
+		t.Fatalf("M = %d, want %d", g.M(), wantM)
+	}
+	if !IsConnected(g) {
+		t.Fatal("disconnected")
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Zero bridge: cliques joined by one edge.
+	g0 := Barbell(3, 0)
+	if g0.N() != 6 || g0.M() != 2*3+1 {
+		t.Fatalf("Barbell(3,0): n=%d m=%d", g0.N(), g0.M())
+	}
+	if !g0.HasEdge(2, 3) {
+		t.Fatal("joining edge missing")
+	}
+}
+
+func TestBarbellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Barbell(1, 0)
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(5, 7)
+	if g.N() != 12 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() != 10+7 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if d := Diameter(g); d != 8 { // across the clique (1) + tail (7)
+		t.Fatalf("diameter = %d, want 8", d)
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, 2)
+	if g.N() != 4+8 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() != 3+8 { // a tree
+		t.Fatalf("M = %d", g.M())
+	}
+	if !IsConnected(g) {
+		t.Fatal("disconnected")
+	}
+	// Spine interior nodes have degree 2 + legs.
+	if d := g.Degree(1); d != 4 {
+		t.Fatalf("spine degree = %d, want 4", d)
+	}
+	// Legless caterpillar is a path.
+	if !Caterpillar(5, 0).Equal(Path(5)) {
+		t.Fatal("Caterpillar(5,0) != Path(5)")
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g := CompleteBinaryTree(7)
+	if g.M() != 6 || !IsConnected(g) {
+		t.Fatalf("m=%d", g.M())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 3 || g.Degree(6) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	if d := Diameter(g); d != 4 {
+		t.Fatalf("diameter = %d, want 4", d)
+	}
+	// Single node and empty cases.
+	if CompleteBinaryTree(1).M() != 0 {
+		t.Fatal("n=1")
+	}
+	if CompleteBinaryTree(0).N() != 0 {
+		t.Fatal("n=0")
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g := Wheel(6) // hub + C5
+	if g.N() != 6 || g.M() != 10 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 5 {
+		t.Fatalf("hub degree = %d", g.Degree(0))
+	}
+	for v := 1; v < 6; v++ {
+		if g.Degree(NodeID(v)) != 3 {
+			t.Fatalf("rim degree = %d", g.Degree(NodeID(v)))
+		}
+	}
+	if d := Diameter(g); d != 2 {
+		t.Fatalf("diameter = %d", d)
+	}
+}
+
+func TestWheelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Wheel(3)
+}

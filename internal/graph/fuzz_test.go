@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList asserts the parser never panics and that everything
+// it accepts is a valid graph that round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("3\n0 1\n1 2\n")
+	f.Add("# comment\n2\n0 1\n")
+	f.Add("")
+	f.Add("0\n")
+	f.Add("5\n0 1\n0 1\n")
+	f.Add("1\n0 0\n")
+	f.Add("4\n-1 2\n")
+	f.Add("x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if vErr := Validate(g); vErr != nil {
+			t.Fatalf("accepted invalid graph: %v\ninput: %q", vErr, input)
+		}
+		var sb strings.Builder
+		if wErr := WriteEdgeList(&sb, g); wErr != nil {
+			t.Fatal(wErr)
+		}
+		back, rErr := ReadEdgeList(strings.NewReader(sb.String()))
+		if rErr != nil || !g.Equal(back) {
+			t.Fatalf("round trip failed: %v\ninput: %q", rErr, input)
+		}
+	})
+}
+
+// FuzzGraphJSON asserts the JSON decoder never panics and that accepted
+// graphs are valid and round-trip.
+func FuzzGraphJSON(f *testing.F) {
+	f.Add(`{"n":3,"edges":[[0,1],[1,2]]}`)
+	f.Add(`{"n":0,"edges":[]}`)
+	f.Add(`{"n":-1}`)
+	f.Add(`{"n":2,"edges":[[0,0]]}`)
+	f.Add(`{"n":2,"edges":[[0,1],[1,0]]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var g Graph
+		if err := json.Unmarshal([]byte(input), &g); err != nil {
+			return
+		}
+		if vErr := Validate(&g); vErr != nil {
+			t.Fatalf("accepted invalid graph: %v\ninput: %q", vErr, input)
+		}
+		data, mErr := json.Marshal(&g)
+		if mErr != nil {
+			t.Fatal(mErr)
+		}
+		var back Graph
+		if uErr := json.Unmarshal(data, &back); uErr != nil || !g.Equal(&back) {
+			t.Fatalf("round trip failed: %v", uErr)
+		}
+	})
+}

@@ -1,0 +1,446 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selfstab/internal/beacon"
+	"selfstab/internal/core"
+	"selfstab/internal/daemon"
+	"selfstab/internal/graph"
+	"selfstab/internal/mobility"
+	"selfstab/internal/protocols"
+	"selfstab/internal/sim"
+	"selfstab/internal/stats"
+	"selfstab/internal/verify"
+)
+
+// E6SMIWave measures how SMI's stabilization time tracks the ID-descent
+// wave of the Theorem 2 proof sketch: on paths, ascending IDs stabilize
+// in O(1) rounds while descending IDs force the wave to traverse the
+// whole path; the rounds-vs-n fit quantifies the linearity.
+func E6SMIWave(opt Options) *Table {
+	t := &Table{
+		ID:    "E6",
+		Title: "SMI ID-wave scaling (Theorem 2 proof sketch)",
+		Claim: "stabilization time is O(n), driven by the descending-ID wave",
+		Cols:  []string{"ID order", "rounds per n (fit)", "R²", "max rounds", "max n+1"},
+	}
+	t.Passed = true
+	orders := []struct {
+		name string
+		perm func(n int, rng *rand.Rand) []graph.NodeID
+	}{
+		{"ascending", func(n int, _ *rand.Rand) []graph.NodeID { return identityPerm(n) }},
+		{"descending", func(n int, _ *rand.Rand) []graph.NodeID { return reversePerm(n) }},
+		{"random", func(n int, rng *rand.Rand) []graph.NodeID { return graph.RandomPermutation(n, rng) }},
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for _, ord := range orders {
+		var xs, ys []float64
+		maxRounds, maxBound := 0, 0
+		for _, n := range opt.Sizes {
+			g := graph.Path(n).Relabel(ord.perm(n, rng))
+			worst := 0
+			for trial := 0; trial < opt.Trials; trial++ {
+				// From the all-zero state the wave is fully exposed.
+				cfg := core.NewConfig[bool](g)
+				if trial > 0 { // remaining trials randomize
+					cfg.Randomize(core.NewSMI(), rand.New(rand.NewSource(opt.Seed+int64(trial))))
+				}
+				l := sim.NewLockstep[bool](core.NewSMI(), cfg)
+				res := l.Run(n + 2)
+				if !res.Stable || res.Rounds > n+1 {
+					t.Passed = false
+				}
+				if res.Rounds > worst {
+					worst = res.Rounds
+				}
+			}
+			xs = append(xs, float64(n))
+			ys = append(ys, float64(worst))
+			if worst > maxRounds {
+				maxRounds = worst
+				maxBound = n + 1
+			}
+		}
+		fit := stats.FitLine(xs, ys)
+		t.AddRow(ord.name, fmt.Sprintf("%.3f", fit.Slope), fmt.Sprintf("%.3f", fit.R2),
+			itoa(maxRounds), itoa(maxBound))
+	}
+	t.Notes = append(t.Notes,
+		"paths with relabeled IDs; 'descending' reverses the path so the wave must traverse it")
+	return t
+}
+
+// E7Baseline reproduces the Section 3 comparison: converting the
+// Hsu–Huang central-daemon algorithm to the synchronous model via daemon
+// refinement stabilizes, but is slower than the purpose-built SMM.
+func E7Baseline(opt Options) *Table {
+	t := &Table{
+		ID:    "E7",
+		Title: "SMM vs. synchronized Hsu–Huang (Section 3)",
+		Claim: "the refined central-daemon algorithm is correct but not as fast as SMM",
+		Cols:  []string{"topology", "n", "SMM rounds", "refined HH rounds", "slowdown", "both maximal"},
+	}
+	t.Passed = true
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for _, topo := range opt.topologies() {
+		for _, n := range opt.Sizes {
+			if n > 128 && opt.Quick {
+				continue
+			}
+			g := topo.Gen(n, rng)
+			var smmRounds, refRounds []float64
+			bothMaximal := true
+			for trial := 0; trial < opt.Trials; trial++ {
+				l, res := runSMM(g, opt.Seed+int64(trial), core.NewSMM())
+				if !res.Stable {
+					t.Passed = false
+				}
+				if verify.IsMaximalMatching(g, core.MatchingOf(l.Config())) != nil {
+					bothMaximal = false
+				}
+				smmRounds = append(smmRounds, float64(res.Rounds))
+
+				ref := protocols.Refine[core.Pointer](protocols.NewHsuHuang(), n, opt.Seed+int64(trial))
+				cfg := core.NewConfig[protocols.RefState[core.Pointer]](g)
+				cfg.Randomize(ref, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+				lr := sim.NewLockstep[protocols.RefState[core.Pointer]](ref, cfg)
+				rres := lr.Run(500 * n)
+				if !rres.Stable {
+					t.Passed = false
+				}
+				inner := core.NewConfig[core.Pointer](g)
+				for v, s := range lr.Config().States {
+					inner.States[v] = s.Inner
+				}
+				if verify.IsMaximalMatching(g, core.MatchingOf(inner)) != nil {
+					bothMaximal = false
+				}
+				refRounds = append(refRounds, float64(rres.Rounds))
+			}
+			if !bothMaximal {
+				t.Passed = false
+			}
+			ms, rs := stats.Mean(smmRounds), stats.Mean(refRounds)
+			slowdown := rs / ms
+			if slowdown <= 1 {
+				t.Passed = false // the paper's claim is that SMM is faster
+			}
+			t.AddRow(topo.Name, itoa(n), fmt.Sprintf("%.1f", ms), fmt.Sprintf("%.1f", rs),
+				fmt.Sprintf("%.1fx", slowdown), boolMark(bothMaximal))
+		}
+	}
+	return t
+}
+
+// E8Restabilization reproduces the fault-tolerance claim: after k link
+// failures/creations both protocols re-stabilize, and the disruption
+// (nodes whose state changes) stays commensurate with k rather than n.
+func E8Restabilization(opt Options) *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "Re-stabilization after topology changes",
+		Claim: "the algorithms detect link failures/creations and readjust the predicate",
+		Cols:  []string{"protocol", "k events", "re-rounds mean", "re-rounds max", "disrupted mean", "n"},
+	}
+	t.Passed = true
+	n := opt.Sizes[len(opt.Sizes)-1]
+	if n > 128 {
+		n = 128
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for _, proto := range []string{"SMM", "SMI"} {
+		for _, k := range []int{1, 2, 4, 8} {
+			var rounds, disrupted []float64
+			for trial := 0; trial < opt.Trials; trial++ {
+				g := graph.RandomConnected(n, 0.1, rng)
+				switch proto {
+				case "SMM":
+					r, d, ok := restabilizeSMM(g, k, opt.Seed+int64(trial), rng)
+					if !ok {
+						t.Passed = false
+					}
+					rounds = append(rounds, float64(r))
+					disrupted = append(disrupted, float64(d))
+				case "SMI":
+					r, d, ok := restabilizeSMI(g, k, opt.Seed+int64(trial), rng)
+					if !ok {
+						t.Passed = false
+					}
+					rounds = append(rounds, float64(r))
+					disrupted = append(disrupted, float64(d))
+				}
+			}
+			rs := stats.Summarize(rounds)
+			ds := stats.Summarize(disrupted)
+			t.AddRow(proto, itoa(k), fmt.Sprintf("%.1f", rs.Mean), itoa(int(rs.Max)),
+				fmt.Sprintf("%.1f", ds.Mean), itoa(n))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"disrupted = nodes whose state differs between the pre-churn and post-churn fixed points")
+	return t
+}
+
+func restabilizeSMM(g *graph.Graph, k int, seed int64, rng *rand.Rand) (rounds, disrupted int, ok bool) {
+	p := core.NewSMM()
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+	l := sim.NewLockstep[core.Pointer](p, cfg)
+	if res := l.Run(g.N() + 2); !res.Stable {
+		return 0, 0, false
+	}
+	before := append([]core.Pointer(nil), cfg.States...)
+	mobility.NewChurn(g, rng).Apply(k)
+	core.NormalizeSMM(cfg)
+	res := l.Run(g.N() + 2)
+	if !res.Stable || verify.IsMaximalMatching(g, core.MatchingOf(l.Config())) != nil {
+		return res.Rounds, 0, false
+	}
+	for v := range before {
+		if before[v] != cfg.States[v] {
+			disrupted++
+		}
+	}
+	return res.Rounds, disrupted, true
+}
+
+func restabilizeSMI(g *graph.Graph, k int, seed int64, rng *rand.Rand) (rounds, disrupted int, ok bool) {
+	p := core.NewSMI()
+	cfg := core.NewConfig[bool](g)
+	cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+	l := sim.NewLockstep[bool](p, cfg)
+	if res := l.Run(g.N() + 2); !res.Stable {
+		return 0, 0, false
+	}
+	before := append([]bool(nil), cfg.States...)
+	mobility.NewChurn(g, rng).Apply(k)
+	res := l.Run(g.N() + 2)
+	if !res.Stable || verify.IsMaximalIndependentSet(g, core.SetOf(l.Config())) != nil {
+		return res.Rounds, 0, false
+	}
+	for v := range before {
+		if before[v] != cfg.States[v] {
+			disrupted++
+		}
+	}
+	return res.Rounds, disrupted, true
+}
+
+// E9BeaconModel validates the system-model substitution: under the
+// discrete-event beacon layer (jitter, delays, loss, discovery) SMM
+// still stabilizes, and with synchronized loss-free beacons the beacon
+// round count matches the lockstep count plus the fixed discovery
+// warmup.
+func E9BeaconModel(opt Options) *Table {
+	t := &Table{
+		ID:    "E9",
+		Title: "Beacon-model fidelity (System Model, Section 2)",
+		Claim: "convergence in beacon rounds matches the synchronous analysis; asynchrony and loss only add slack",
+		Cols:  []string{"setting", "n", "lockstep rounds", "beacon rounds", "beacons sent", "stable", "maximal"},
+	}
+	t.Passed = true
+	settings := []struct {
+		name string
+		prm  beacon.Params
+	}{
+		{"synchronized", beacon.Params{TB: 1, TimeoutFactor: 3, Synchronized: true}},
+		{"jitter-10%", beacon.Params{TB: 1, Jitter: 0.10, Delay: 0.05, TimeoutFactor: 3}},
+		{"jitter-40%", beacon.Params{TB: 1, Jitter: 0.40, Delay: 0.10, DelayJitter: 0.5, TimeoutFactor: 3}},
+		{"loss-10%", beacon.Params{TB: 1, Jitter: 0.10, Delay: 0.05, Loss: 0.10, TimeoutFactor: 4}},
+	}
+	sizes := opt.Sizes
+	if len(sizes) > 3 {
+		sizes = sizes[:3]
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for _, setting := range settings {
+		for _, n := range sizes {
+			g, _ := graph.RandomUnitDisk(n, 1.2/float64(n), rng)
+			trials := opt.Trials
+			if trials > 10 {
+				trials = 10
+			}
+			var lockRounds, beacRounds, sent []float64
+			stable, maximal := true, true
+			for trial := 0; trial < trials; trial++ {
+				states := make([]core.Pointer, g.N())
+				srng := rand.New(rand.NewSource(opt.Seed + int64(trial)))
+				for v := range states {
+					states[v] = core.NewSMM().Random(graph.NodeID(v), g.Neighbors(graph.NodeID(v)), srng)
+				}
+				cfg := core.NewConfig[core.Pointer](g)
+				copy(cfg.States, states)
+				l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
+				lres := l.Run(n + 2)
+
+				net := beacon.NewNetwork[core.Pointer](core.NewSMM(), g.Clone(),
+					append([]core.Pointer(nil), states...), setting.prm, rng)
+				bres := net.Run(float64(50*n), 6)
+				if !lres.Stable || !bres.Stable {
+					stable = false
+					t.Passed = false
+				}
+				if verify.IsMaximalMatching(g, core.MatchingOf(net.Config())) != nil {
+					maximal = false
+					t.Passed = false
+				}
+				lockRounds = append(lockRounds, float64(lres.Rounds))
+				beacRounds = append(beacRounds, bres.Rounds)
+				sent = append(sent, float64(net.LinkStats().Sent))
+			}
+			t.AddRow(setting.name, itoa(n),
+				fmt.Sprintf("%.1f", stats.Mean(lockRounds)),
+				fmt.Sprintf("%.1f", stats.Mean(beacRounds)),
+				fmt.Sprintf("%.0f", stats.Mean(sent)),
+				boolMark(stable), boolMark(maximal))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"beacon rounds = time of last protocol move / t_b, including the ~2-round discovery warmup")
+	return t
+}
+
+// E10Extensions reproduces the conclusion's claim on the other problems
+// the introduction motivates: the synchronous model also solves coloring
+// (fast, deterministic) and anonymous MIS (randomized), and the daemon
+// machinery executes the baselines under classical schedulers.
+func E10Extensions(opt Options) *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "Extensions and daemons (Conclusions)",
+		Claim: "central-daemon-solvable problems are solvable in the synchronous model",
+		Cols:  []string{"protocol", "model", "n", "rounds/steps mean", "max", "valid"},
+	}
+	t.Passed = true
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := opt.Sizes[len(opt.Sizes)-1]
+	if n > 64 {
+		n = 64
+	}
+	trials := opt.Trials
+	if trials > 20 {
+		trials = 20
+	}
+
+	// Grundy coloring, synchronous.
+	var rounds []float64
+	valid := true
+	for trial := 0; trial < trials; trial++ {
+		g := graph.RandomConnected(n, 0.15, rng)
+		p := protocols.NewColoring()
+		cfg := core.NewConfig[int](g)
+		cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+		l := sim.NewLockstep[int](p, cfg)
+		res := l.Run(n + 2)
+		if !res.Stable || verify.IsProperColoring(g, l.Config().States) != nil {
+			valid = false
+			t.Passed = false
+		}
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	s := stats.Summarize(rounds)
+	t.AddRow("Coloring", "synchronous", itoa(n), fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+
+	// Randomized anonymous MIS, synchronous.
+	rounds, valid = nil, true
+	for trial := 0; trial < trials; trial++ {
+		g := graph.RandomConnected(n, 0.15, rng)
+		p := protocols.NewRandMIS(n, opt.Seed+int64(trial))
+		cfg := core.NewConfig[bool](g)
+		cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+		l := sim.NewLockstep[bool](p, cfg)
+		res := l.Run(1000 * n)
+		if !res.Stable || verify.IsMaximalIndependentSet(g, core.SetOf(l.Config())) != nil {
+			valid = false
+			t.Passed = false
+		}
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	s = stats.Summarize(rounds)
+	t.AddRow("RandMIS", "synchronous", itoa(n), fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+
+	// Hsu–Huang under the classical daemons.
+	for _, strat := range []daemon.Pick{daemon.PickRandom, daemon.PickAdversarial} {
+		var steps []float64
+		valid = true
+		dTrials := trials
+		if strat == daemon.PickAdversarial && dTrials > 5 {
+			dTrials = 5 // the greedy adversary is O(n²) per step
+		}
+		for trial := 0; trial < dTrials; trial++ {
+			g := graph.RandomConnected(n, 0.15, rng)
+			p := protocols.NewHsuHuang()
+			cfg := core.NewConfig[core.Pointer](g)
+			cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+			r := daemon.NewRunner[core.Pointer](p, cfg, daemon.NewCentral[core.Pointer](strat, rng))
+			res := r.Run(50 * n * n)
+			if !res.Stable || verify.IsMaximalMatching(g, core.MatchingOf(r.Config())) != nil {
+				valid = false
+				t.Passed = false
+			}
+			steps = append(steps, float64(res.Steps))
+		}
+		s = stats.Summarize(steps)
+		t.AddRow("HsuHuang", "central-"+strat.String(), itoa(n),
+			fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+	}
+
+	// BFS spanning tree (the multicast-tree maintenance the paper's
+	// introduction motivates), synchronous, from states with fake roots.
+	rounds, valid = nil, true
+	for trial := 0; trial < trials; trial++ {
+		g := graph.RandomConnected(n, 0.15, rng)
+		p := protocols.NewSpanningTree(n)
+		cfg := core.NewConfig[protocols.TreeState](g)
+		cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+		l := sim.NewLockstep[protocols.TreeState](p, cfg)
+		res := l.Run(5*n + 10)
+		if !res.Stable || protocols.VerifyTree(g, l.Config().States) != nil {
+			valid = false
+			t.Passed = false
+		}
+		rounds = append(rounds, float64(res.Rounds))
+	}
+	s = stats.Summarize(rounds)
+	t.AddRow("SpanningTree", "synchronous", itoa(n), fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+
+	// SMI under a distributed daemon (robustness beyond the paper).
+	var steps []float64
+	valid = true
+	for trial := 0; trial < trials; trial++ {
+		g := graph.RandomConnected(n, 0.15, rng)
+		p := core.NewSMI()
+		cfg := core.NewConfig[bool](g)
+		cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+		r := daemon.NewRunner[bool](p, cfg, daemon.NewDistributed[bool](0.5, rng))
+		res := r.Run(200 * n)
+		if !res.Stable || verify.IsMaximalIndependentSet(g, core.SetOf(r.Config())) != nil {
+			valid = false
+			t.Passed = false
+		}
+		steps = append(steps, float64(res.Steps))
+	}
+	s = stats.Summarize(steps)
+	t.AddRow("SMI", "distributed-0.50", itoa(n), fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+
+	return t
+}
+
+func identityPerm(n int) []graph.NodeID {
+	p := make([]graph.NodeID, n)
+	for i := range p {
+		p[i] = graph.NodeID(i)
+	}
+	return p
+}
+
+func reversePerm(n int) []graph.NodeID {
+	p := make([]graph.NodeID, n)
+	for i := range p {
+		p[i] = graph.NodeID(n - 1 - i)
+	}
+	return p
+}

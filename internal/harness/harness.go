@@ -1,0 +1,214 @@
+// Package harness defines the reproduction experiments E1–E10: one per
+// claim of the paper (theorems, lemmas, the transition diagram, the
+// counterexample, and the baseline comparison), each regenerating a table
+// that EXPERIMENTS.md records. Experiments are deterministic given
+// Options.Seed.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/sim"
+)
+
+// Options scopes an experiment run.
+type Options struct {
+	// Seed derives all randomness. Runs with equal options are identical.
+	Seed int64
+	// Trials is the number of random initial states per cell.
+	Trials int
+	// Sizes is the node-count sweep.
+	Sizes []int
+	// Quick shrinks sweeps for use in unit tests.
+	Quick bool
+}
+
+// DefaultOptions is the full sweep the committed EXPERIMENTS.md uses.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Trials: 100, Sizes: []int{8, 16, 32, 64, 128, 256}}
+}
+
+// QuickOptions is a reduced sweep for tests.
+func QuickOptions() Options {
+	return Options{Seed: 1, Trials: 8, Sizes: []int{8, 16, 32}, Quick: true}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string
+	Cols   []string
+	Rows   [][]string
+	Notes  []string
+	Passed bool
+}
+
+// AddRow appends a row; it panics if the arity disagrees with Cols.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Cols) {
+		panic(fmt.Sprintf("harness: row arity %d != %d columns", len(cells), len(t.Cols)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	status := "PASS"
+	if !t.Passed {
+		status = "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s [%s]\n   claim: %s\n", t.ID, t.Title, status, t.Claim); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return "   " + strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Cols)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "   note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	status := "PASS"
+	if !t.Passed {
+		status = "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "### %s — %s (**%s**)\n\n*Claim:* %s\n\n", t.ID, t.Title, status, t.Claim); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Cols, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n*Note:* %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV exports the table's rows as CSV with the column names as
+// header — the series data behind any plotted figure.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Cols); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Topology is a named graph generator, parameterized by size.
+type Topology struct {
+	Name string
+	Gen  func(n int, rng *rand.Rand) *graph.Graph
+}
+
+// Topologies is the standard sweep: the structured families plus random
+// connected and geometric graphs.
+func Topologies() []Topology {
+	return []Topology{
+		{"path", func(n int, _ *rand.Rand) *graph.Graph { return graph.Path(n) }},
+		{"cycle", func(n int, _ *rand.Rand) *graph.Graph { return graph.Cycle(n) }},
+		{"complete", func(n int, _ *rand.Rand) *graph.Graph { return graph.Complete(n) }},
+		{"star", func(n int, _ *rand.Rand) *graph.Graph { return graph.Star(n) }},
+		{"tree", func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomTree(n, rng) }},
+		{"gnp-sparse", func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomConnected(n, 2.0/float64(n), rng) }},
+		{"gnp-dense", func(n int, rng *rand.Rand) *graph.Graph { return graph.RandomConnected(n, 0.3, rng) }},
+		{"unit-disk", func(n int, rng *rand.Rand) *graph.Graph {
+			g, _ := graph.RandomUnitDisk(n, 1.2/float64(n), rng)
+			return g
+		}},
+	}
+}
+
+// quickTopologies is the reduced set used when Options.Quick is set.
+func quickTopologies() []Topology {
+	all := Topologies()
+	return []Topology{all[0], all[1], all[6]}
+}
+
+func (opt Options) topologies() []Topology {
+	if opt.Quick {
+		return quickTopologies()
+	}
+	return Topologies()
+}
+
+// runSMM executes one SMM trial and returns the lockstep handle and
+// result.
+func runSMM(g *graph.Graph, seed int64, variant *core.SMM) (*sim.Lockstep[core.Pointer], sim.Result) {
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.Randomize(variant, rand.New(rand.NewSource(seed)))
+	l := sim.NewLockstep[core.Pointer](variant, cfg)
+	return l, l.Run(g.N() + 2)
+}
+
+// runSMI executes one SMI trial.
+func runSMI(g *graph.Graph, seed int64) (*sim.Lockstep[bool], sim.Result) {
+	p := core.NewSMI()
+	cfg := core.NewConfig[bool](g)
+	cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+	l := sim.NewLockstep[bool](p, cfg)
+	return l, l.Run(g.N() + 2)
+}

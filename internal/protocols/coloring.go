@@ -1,0 +1,63 @@
+package protocols
+
+import (
+	"math/rand"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// Coloring is a synchronous self-stabilizing Grundy-style coloring in the
+// spirit of the authors' earlier linear-time coloring work (the paper's
+// reference [7]) and of SMI's ID-descent wave: each node recolors itself
+// to the smallest color unused by its *bigger-ID* neighbors. For every
+// edge the smaller endpoint avoids the bigger endpoint's color, so a
+// stable configuration is a proper coloring, and it uses at most Δ+1
+// colors because a node's color never exceeds its bigger-degree.
+// Convergence follows the SMI wave argument: the largest ID fixes its
+// color in round one and the wave descends, stabilizing in O(n) rounds.
+//
+// The protocol exists to reproduce the paper's concluding claim (E10):
+// problems solvable in the central-daemon model are generally solvable —
+// and here fast — in the synchronous model.
+type Coloring struct {
+	// MaxColor bounds the arbitrary initial colors drawn by Random;
+	// the protocol itself may only ever lower a node's color below its
+	// degree+1. Zero means n is used.
+	MaxColor int
+}
+
+// NewColoring returns the coloring protocol.
+func NewColoring() *Coloring { return &Coloring{} }
+
+// Name implements core.Protocol.
+func (*Coloring) Name() string { return "Coloring" }
+
+// Random implements core.Protocol: any non-negative color up to MaxColor
+// (or the degree+1 default space when unset).
+func (c *Coloring) Random(_ graph.NodeID, nbrs []graph.NodeID, rng *rand.Rand) int {
+	limit := c.MaxColor
+	if limit <= 0 {
+		limit = len(nbrs) + 2
+	}
+	return rng.Intn(limit)
+}
+
+// Move implements core.Protocol: recolor to the minimum excludant of the
+// bigger neighbors' colors.
+func (*Coloring) Move(v core.View[int]) (int, bool) {
+	used := make(map[int]bool, len(v.Nbrs))
+	for _, j := range v.Nbrs {
+		if j > v.ID {
+			used[v.Peer(j)] = true
+		}
+	}
+	mex := 0
+	for used[mex] {
+		mex++
+	}
+	if v.Self != mex {
+		return mex, true
+	}
+	return v.Self, false
+}

@@ -1,0 +1,166 @@
+package protocols
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// LayerState is the state of a hierarchically composed protocol: the
+// base layer's state plus the layer built on top of it.
+type LayerState[SA, SB comparable] struct {
+	A SA
+	B SB
+}
+
+// Layer is the upper half of a collateral composition: a rule system
+// that reads its own state AND the base layer's states (its own node's
+// and its neighbors') but never writes the base layer.
+type Layer[SA, SB comparable] interface {
+	// Name identifies the layer.
+	Name() string
+	// Random draws an arbitrary initial layer state.
+	Random(id graph.NodeID, nbrs []graph.NodeID, rng *rand.Rand) SB
+	// Move evaluates the layer's rules over the composed view.
+	Move(v core.View[LayerState[SA, SB]]) (SB, bool)
+}
+
+// Layered is the classical collateral composition of self-stabilizing
+// protocols: the base protocol runs unmodified, the layer treats the
+// base's outputs as inputs, and both move in the same rounds. Once the
+// base stabilizes the layer sees constant inputs and stabilizes by its
+// own convergence; composed stabilization time is at most the sum. The
+// canonical instance here is SMI + ClusterAssign: clusterhead election
+// with per-node head assignment, the ad hoc network organization the
+// paper's introduction motivates.
+type Layered[SA, SB comparable] struct {
+	base  core.Protocol[SA]
+	layer Layer[SA, SB]
+}
+
+// Compose builds the collateral composition of base and layer.
+func Compose[SA, SB comparable](base core.Protocol[SA], layer Layer[SA, SB]) *Layered[SA, SB] {
+	return &Layered[SA, SB]{base: base, layer: layer}
+}
+
+// Name implements core.Protocol.
+func (l *Layered[SA, SB]) Name() string {
+	return fmt.Sprintf("%s∘%s", l.layer.Name(), l.base.Name())
+}
+
+// Random implements core.Protocol.
+func (l *Layered[SA, SB]) Random(id graph.NodeID, nbrs []graph.NodeID, rng *rand.Rand) LayerState[SA, SB] {
+	return LayerState[SA, SB]{
+		A: l.base.Random(id, nbrs, rng),
+		B: l.layer.Random(id, nbrs, rng),
+	}
+}
+
+// Move implements core.Protocol: both layers evaluate against the same
+// round-t snapshot; the composed node is active if either layer is.
+func (l *Layered[SA, SB]) Move(v core.View[LayerState[SA, SB]]) (LayerState[SA, SB], bool) {
+	baseView := core.View[SA]{
+		ID:   v.ID,
+		Self: v.Self.A,
+		Nbrs: v.Nbrs,
+		Peer: func(j graph.NodeID) SA { return v.Peer(j).A },
+	}
+	aNext, aActive := l.base.Move(baseView)
+	bNext, bActive := l.layer.Move(v)
+	return LayerState[SA, SB]{A: aNext, B: bNext}, aActive || bActive
+}
+
+// OnNeighborLost implements core.NeighborAware by repairing both layers.
+func (l *Layered[SA, SB]) OnNeighborLost(self graph.NodeID, s LayerState[SA, SB], lost graph.NodeID) LayerState[SA, SB] {
+	s.A = core.RepairState(l.base, self, s.A, lost)
+	if na, ok := l.layer.(interface {
+		OnNeighborLost(graph.NodeID, SB, graph.NodeID) SB
+	}); ok {
+		s.B = na.OnNeighborLost(self, s.B, lost)
+	}
+	return s
+}
+
+// ClusterAssign is the layer that turns an MIS into a clustering: heads
+// (base x = true) hold a Null pointer; every other node points at its
+// maximum-ID head neighbor. Because an MIS dominates the graph, every
+// non-head has a head neighbor once the base stabilizes, so the stable
+// assignment is total.
+type ClusterAssign struct{}
+
+// NewClusterAssign returns the layer.
+func NewClusterAssign() *ClusterAssign { return &ClusterAssign{} }
+
+// Name implements Layer.
+func (*ClusterAssign) Name() string { return "ClusterAssign" }
+
+// Random implements Layer: Null or any neighbor.
+func (*ClusterAssign) Random(_ graph.NodeID, nbrs []graph.NodeID, rng *rand.Rand) core.Pointer {
+	if len(nbrs) == 0 || rng.Intn(2) == 0 {
+		return core.Null
+	}
+	return core.PointAt(nbrs[rng.Intn(len(nbrs))])
+}
+
+// Move implements Layer: converge the pointer to the desired assignment.
+func (*ClusterAssign) Move(v core.View[LayerState[bool, core.Pointer]]) (core.Pointer, bool) {
+	desired := core.Null
+	if !v.Self.A {
+		for i := len(v.Nbrs) - 1; i >= 0; i-- { // descending: first head is max
+			if v.Peer(v.Nbrs[i]).A {
+				desired = core.PointAt(v.Nbrs[i])
+				break
+			}
+		}
+	}
+	if desired != v.Self.B {
+		return desired, true
+	}
+	return v.Self.B, false
+}
+
+// OnNeighborLost nulls an assignment pointing at a departed neighbor.
+func (*ClusterAssign) OnNeighborLost(_ graph.NodeID, p core.Pointer, lost graph.NodeID) core.Pointer {
+	if !p.IsNull() && p.Node() == lost {
+		return core.Null
+	}
+	return p
+}
+
+// NewClustering composes SMI with ClusterAssign: a one-call
+// self-stabilizing clusterhead election plus head assignment.
+func NewClustering() *Layered[bool, core.Pointer] {
+	return Compose[bool, core.Pointer](core.NewSMI(), NewClusterAssign())
+}
+
+// VerifyClustering checks a stable clustering: the head set is a maximal
+// independent set obligation is the base layer's (verify separately);
+// here we check the assignment itself — heads have no pointer, every
+// non-head points at a neighboring head.
+func VerifyClustering(g *graph.Graph, states []LayerState[bool, core.Pointer]) error {
+	if len(states) != g.N() {
+		return fmt.Errorf("protocols: %d states for %d nodes", len(states), g.N())
+	}
+	for v, s := range states {
+		id := graph.NodeID(v)
+		if s.A {
+			if !s.B.IsNull() {
+				return fmt.Errorf("protocols: head %d has assignment %s", v, s.B)
+			}
+			continue
+		}
+		if s.B.IsNull() {
+			return fmt.Errorf("protocols: non-head %d unassigned", v)
+		}
+		h := s.B.Node()
+		if !g.HasEdge(id, h) {
+			return fmt.Errorf("protocols: node %d assigned to non-neighbor %d", v, h)
+		}
+		if !states[h].A {
+			return fmt.Errorf("protocols: node %d assigned to non-head %d", v, h)
+		}
+	}
+	return nil
+}

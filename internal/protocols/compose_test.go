@@ -1,0 +1,176 @@
+package protocols
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/mobility"
+	"selfstab/internal/sim"
+	"selfstab/internal/verify"
+)
+
+func runClustering(g *graph.Graph, seed int64) (*sim.Lockstep[LayerState[bool, core.Pointer]], sim.Result) {
+	p := NewClustering()
+	cfg := core.NewConfig[LayerState[bool, core.Pointer]](g)
+	cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+	l := sim.NewLockstep[LayerState[bool, core.Pointer]](p, cfg)
+	return l, l.Run(g.N() + 4)
+}
+
+func headsOf(states []LayerState[bool, core.Pointer]) []graph.NodeID {
+	var hs []graph.NodeID
+	for v, s := range states {
+		if s.A {
+			hs = append(hs, graph.NodeID(v))
+		}
+	}
+	return hs
+}
+
+func TestClusteringConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gens := []*graph.Graph{
+		graph.Path(12),
+		graph.Cycle(10),
+		graph.Star(8),
+		graph.Complete(6),
+		graph.RandomConnected(20, 0.2, rng),
+		graph.Caterpillar(5, 2),
+	}
+	for gi, g := range gens {
+		for trial := 0; trial < 8; trial++ {
+			l, res := runClustering(g, int64(trial))
+			if !res.Stable {
+				t.Fatalf("gen %d trial %d: %v", gi, trial, res)
+			}
+			states := l.Config().States
+			if err := verify.IsMaximalIndependentSet(g, headsOf(states)); err != nil {
+				t.Fatalf("gen %d trial %d: %v", gi, trial, err)
+			}
+			if err := VerifyClustering(g, states); err != nil {
+				t.Fatalf("gen %d trial %d: %v", gi, trial, err)
+			}
+		}
+	}
+}
+
+func TestClusteringAssignsMaxHead(t *testing.T) {
+	// Star with center 0: heads are the leaves; the center must point at
+	// the maximum leaf.
+	g := graph.Star(5)
+	l, res := runClustering(g, 3)
+	if !res.Stable {
+		t.Fatalf("%v", res)
+	}
+	s := l.Config().States
+	if s[0].A {
+		t.Fatal("center became a head")
+	}
+	if s[0].B != core.PointAt(4) {
+		t.Fatalf("center assigned to %s, want max head 4", s[0].B)
+	}
+}
+
+func TestClusteringName(t *testing.T) {
+	if NewClustering().Name() != "ClusterAssign∘SMI" {
+		t.Fatalf("Name = %q", NewClustering().Name())
+	}
+}
+
+func TestClusteringRestabilizesAfterChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomConnected(16, 0.2, rng)
+	p := NewClustering()
+	cfg := core.NewConfig[LayerState[bool, core.Pointer]](g)
+	cfg.Randomize(p, rng)
+	l := sim.NewLockstep[LayerState[bool, core.Pointer]](p, cfg)
+	if res := l.Run(g.N() + 4); !res.Stable {
+		t.Fatalf("initial: %v", res)
+	}
+	for epoch := 0; epoch < 5; epoch++ {
+		events := mobility.NewChurn(g, rng).Apply(2)
+		for _, ev := range events {
+			if !ev.Add {
+				for _, v := range [2]graph.NodeID{ev.Edge.U, ev.Edge.V} {
+					other := ev.Edge.U ^ ev.Edge.V ^ v
+					cfg.States[v] = p.OnNeighborLost(v, cfg.States[v], other)
+				}
+			}
+		}
+		if res := l.Run(g.N() + 4); !res.Stable {
+			t.Fatalf("epoch %d: %v", epoch, res)
+		}
+		if err := VerifyClustering(g, cfg.States); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+	}
+}
+
+func TestVerifyClusteringRejects(t *testing.T) {
+	g := graph.Path(3)
+	good := []LayerState[bool, core.Pointer]{
+		{A: false, B: core.PointAt(1)},
+		{A: true, B: core.Null},
+		{A: false, B: core.PointAt(1)},
+	}
+	if err := VerifyClustering(g, good); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]LayerState[bool, core.Pointer])
+	}{
+		{"head with pointer", func(s []LayerState[bool, core.Pointer]) { s[1].B = core.PointAt(0) }},
+		{"unassigned", func(s []LayerState[bool, core.Pointer]) { s[0].B = core.Null }},
+		{"non-neighbor", func(s []LayerState[bool, core.Pointer]) { s[0].B = core.PointAt(2) }},
+		{"non-head target", func(s []LayerState[bool, core.Pointer]) {
+			s[2].A = true
+			s[2].B = core.Null
+			s[0].B = core.PointAt(1)
+			s[1].A = false
+			s[1].B = core.PointAt(2)
+		}},
+	}
+	for _, c := range cases {
+		bad := append([]LayerState[bool, core.Pointer](nil), good...)
+		c.mutate(bad)
+		if VerifyClustering(g, bad) == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	if VerifyClustering(g, good[:2]) == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestLayeredOnNeighborLost(t *testing.T) {
+	p := NewClustering()
+	s := LayerState[bool, core.Pointer]{A: false, B: core.PointAt(3)}
+	got := p.OnNeighborLost(1, s, 3)
+	if !got.B.IsNull() {
+		t.Fatalf("assignment not repaired: %v", got)
+	}
+	if got.A != s.A {
+		t.Fatal("base layer corrupted")
+	}
+}
+
+// Property: clustering converges to a verified clustering on random
+// connected graphs within n+4 rounds.
+func TestQuickClustering(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := 3 + int(size%20)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(n, 0.25, rng)
+		l, res := runClustering(g, seed)
+		return res.Stable &&
+			VerifyClustering(g, l.Config().States) == nil &&
+			verify.IsMaximalIndependentSet(g, headsOf(l.Config().States)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

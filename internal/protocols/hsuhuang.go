@@ -1,0 +1,51 @@
+// Package protocols contains the baseline and extension protocols the
+// experiments compare the paper's SMM/SMI against: the Hsu–Huang
+// central-daemon maximal matching algorithm, a daemon-refinement
+// synchronizer that converts central-daemon protocols to the synchronous
+// beacon model (the conversion Section 3 of the paper calls "not as
+// fast"), a synchronous self-stabilizing Grundy coloring in the style of
+// the authors' earlier work, and a randomized anonymous MIS protocol.
+package protocols
+
+import (
+	"math/rand"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// HsuHuang is the self-stabilizing maximal matching algorithm of Hsu and
+// Huang (Information Processing Letters 43:77–81, 1992), the paper's
+// reference [15]. It uses the same pointer variable and the same three
+// rules as SMM except that rule R2 may propose to an *arbitrary*
+// null-pointer neighbor — correct under a central daemon, where only one
+// node moves at a time, but not under the synchronous model (the paper's
+// four-cycle counterexample). Run it under daemon.Central, or convert it
+// with Refine for a synchronous execution.
+//
+// The arbitrary choice is realized as the cyclic successor of the
+// proposer's own ID, the most adversarial choice for the synchronous
+// model; under a central daemon every choice converges.
+type HsuHuang struct{}
+
+// NewHsuHuang returns the baseline protocol.
+func NewHsuHuang() *HsuHuang { return &HsuHuang{} }
+
+// Name implements core.Protocol.
+func (*HsuHuang) Name() string { return "HsuHuang" }
+
+// Random implements core.Protocol: Null or any neighbor.
+func (*HsuHuang) Random(id graph.NodeID, nbrs []graph.NodeID, rng *rand.Rand) core.Pointer {
+	return (&core.SMM{}).Random(id, nbrs, rng)
+}
+
+// Move implements core.Protocol with the Hsu–Huang rules.
+func (*HsuHuang) Move(v core.View[core.Pointer]) (core.Pointer, bool) {
+	return (&core.SMM{Proposal: core.ProposeSuccessor}).Move(v)
+}
+
+// OnNeighborLost implements core.NeighborAware like SMM: null a pointer
+// at a departed neighbor.
+func (*HsuHuang) OnNeighborLost(self graph.NodeID, p core.Pointer, lost graph.NodeID) core.Pointer {
+	return (&core.SMM{}).OnNeighborLost(self, p, lost)
+}

@@ -1,0 +1,254 @@
+package protocols
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/daemon"
+	"selfstab/internal/graph"
+	"selfstab/internal/sim"
+	"selfstab/internal/verify"
+)
+
+func TestHsuHuangUnderCentralDaemonAllStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	strategies := []daemon.Pick{daemon.PickRandom, daemon.PickMin, daemon.PickMax, daemon.PickAdversarial}
+	for _, strat := range strategies {
+		for trial := 0; trial < 10; trial++ {
+			g := graph.RandomConnected(12, 0.25, rng)
+			p := NewHsuHuang()
+			cfg := core.NewConfig[core.Pointer](g)
+			cfg.Randomize(p, rng)
+			sch := daemon.NewCentral[core.Pointer](strat, rng)
+			r := daemon.NewRunner[core.Pointer](p, cfg, sch)
+			res := r.Run(20 * g.N() * g.N())
+			if !res.Stable {
+				t.Fatalf("%s trial %d: %v", sch.Name(), trial, res)
+			}
+			if err := verify.IsMaximalMatching(g, core.MatchingOf(r.Config())); err != nil {
+				t.Fatalf("%s trial %d: %v", sch.Name(), trial, err)
+			}
+		}
+	}
+}
+
+func TestHsuHuangDivergesSynchronouslyOnC4(t *testing.T) {
+	// Sanity: the baseline really does exhibit the paper's counterexample
+	// when run synchronously without refinement.
+	g := graph.Cycle(4)
+	p := NewHsuHuang()
+	cfg := core.NewConfig[core.Pointer](g)
+	for i := range cfg.States {
+		cfg.States[i] = core.Null
+	}
+	l := sim.NewLockstep[core.Pointer](p, cfg)
+	if res := l.Run(500); res.Stable {
+		t.Fatalf("expected divergence, got %v", res)
+	}
+}
+
+func TestRefinedHsuHuangStabilizesSynchronously(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomConnected(14, 0.25, rng)
+		ref := Refine[core.Pointer](NewHsuHuang(), g.N(), int64(trial))
+		cfg := core.NewConfig[RefState[core.Pointer]](g)
+		cfg.Randomize(ref, rng)
+		l := sim.NewLockstep[RefState[core.Pointer]](ref, cfg)
+		res := l.Run(200 * g.N())
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		inner := core.NewConfig[core.Pointer](g)
+		for v, s := range l.Config().States {
+			inner.States[v] = s.Inner
+		}
+		if err := verify.IsMaximalMatching(g, core.MatchingOf(inner)); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRefinedRescuesC4Counterexample(t *testing.T) {
+	// The same all-null C4 start that oscillates forever unrefined
+	// stabilizes once neighbors are serialized.
+	g := graph.Cycle(4)
+	ref := Refine[core.Pointer](NewHsuHuang(), 4, 7)
+	cfg := core.NewConfig[RefState[core.Pointer]](g)
+	for i := range cfg.States {
+		cfg.States[i] = RefState[core.Pointer]{Inner: core.Null}
+	}
+	l := sim.NewLockstep[RefState[core.Pointer]](ref, cfg)
+	res := l.Run(2000)
+	if !res.Stable {
+		t.Fatalf("refined C4 did not stabilize: %v", res)
+	}
+	inner := core.NewConfig[core.Pointer](g)
+	for v, s := range l.Config().States {
+		inner.States[v] = s.Inner
+	}
+	if err := verify.IsMaximalMatching(g, core.MatchingOf(inner)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Refinement safety: adjacent nodes never execute an inner move in the
+// same round.
+func TestRefinedLocalMutualExclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(12, 0.3, rng)
+		ref := Refine[core.Pointer](NewHsuHuang(), g.N(), int64(trial))
+		cfg := core.NewConfig[RefState[core.Pointer]](g)
+		cfg.Randomize(ref, rng)
+		l := sim.NewLockstep[RefState[core.Pointer]](ref, cfg)
+		prev := make([]core.Pointer, g.N())
+		snapshot := func() {
+			for v, s := range l.Config().States {
+				prev[v] = s.Inner
+			}
+		}
+		snapshot()
+		for round := 0; round < 50*g.N(); round++ {
+			if l.Step() == 0 {
+				break
+			}
+			var movers []graph.NodeID
+			for v, s := range l.Config().States {
+				if s.Inner != prev[v] {
+					movers = append(movers, graph.NodeID(v))
+				}
+			}
+			for i := 0; i < len(movers); i++ {
+				for j := i + 1; j < len(movers); j++ {
+					if g.HasEdge(movers[i], movers[j]) {
+						t.Fatalf("trial %d round %d: adjacent movers %d,%d",
+							trial, round, movers[i], movers[j])
+					}
+				}
+			}
+			snapshot()
+		}
+	}
+}
+
+func TestRefinedName(t *testing.T) {
+	ref := Refine[core.Pointer](NewHsuHuang(), 4, 1)
+	if ref.Name() != "Refined(HsuHuang)" {
+		t.Fatalf("Name = %q", ref.Name())
+	}
+}
+
+func TestColoringStabilizesProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	gens := []*graph.Graph{
+		graph.Path(10),
+		graph.Cycle(9),
+		graph.Complete(7),
+		graph.Star(8),
+		graph.RandomConnected(20, 0.2, rng),
+	}
+	for gi, g := range gens {
+		for trial := 0; trial < 5; trial++ {
+			p := NewColoring()
+			cfg := core.NewConfig[int](g)
+			cfg.Randomize(p, rand.New(rand.NewSource(int64(trial))))
+			l := sim.NewLockstep[int](p, cfg)
+			res := l.Run(g.N() + 1)
+			if !res.Stable {
+				t.Fatalf("gen %d trial %d: %v", gi, trial, res)
+			}
+			if err := verify.IsProperColoring(g, l.Config().States); err != nil {
+				t.Fatalf("gen %d trial %d: %v", gi, trial, err)
+			}
+			// At most Δ+1 colors.
+			maxDeg := graph.Degrees(g).Max
+			for v, c := range l.Config().States {
+				if c > maxDeg {
+					t.Fatalf("gen %d: node %d color %d exceeds Δ=%d", gi, v, c, maxDeg)
+				}
+			}
+		}
+	}
+}
+
+func TestColoringCompleteGraphUsesAllColors(t *testing.T) {
+	g := graph.Complete(5)
+	p := NewColoring()
+	cfg := core.NewConfig[int](g)
+	cfg.Randomize(p, rand.New(rand.NewSource(2)))
+	l := sim.NewLockstep[int](p, cfg)
+	if res := l.Run(g.N() + 1); !res.Stable {
+		t.Fatalf("%v", res)
+	}
+	// On K_n the stable coloring is exactly n-1-i for node i (descending wave).
+	for v, c := range l.Config().States {
+		if c != g.N()-1-v {
+			t.Fatalf("K5 coloring = %v", l.Config().States)
+		}
+	}
+}
+
+func TestRandMISStabilizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomConnected(16, 0.2, rng)
+		p := NewRandMIS(g.N(), int64(trial))
+		cfg := core.NewConfig[bool](g)
+		cfg.Randomize(p, rng)
+		l := sim.NewLockstep[bool](p, cfg)
+		res := l.Run(500 * g.N()) // probabilistic bound; generous limit
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if err := verify.IsMaximalIndependentSet(g, core.SetOf(l.Config())); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRandMISReportsActiveWhenCoinDeclines(t *testing.T) {
+	// A single uncovered node is enabled regardless of the coin outcome.
+	g := graph.New(1)
+	p := NewRandMIS(1, 99)
+	cfg := core.NewConfig[bool](g)
+	for i := 0; i < 10; i++ {
+		_, active := p.Move(cfg.View(0))
+		if !active {
+			t.Fatal("uncovered node reported inactive")
+		}
+	}
+}
+
+func TestProtocolNames(t *testing.T) {
+	if NewColoring().Name() != "Coloring" {
+		t.Fatal(NewColoring().Name())
+	}
+	if NewRandMIS(1, 0).Name() != "RandMIS" {
+		t.Fatal(NewRandMIS(1, 0).Name())
+	}
+	if NewHsuHuang().Name() != "HsuHuang" {
+		t.Fatal(NewHsuHuang().Name())
+	}
+}
+
+// SMI's output doubles as a minimal dominating set (an MIS is exactly an
+// independent dominating set) — the paper's introduction motivates
+// dominating sets for resource placement; this closes that loop.
+func TestSMIOutputIsMinimalDominating(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(14, 0.25, rng)
+		p := core.NewSMI()
+		cfg := core.NewConfig[bool](g)
+		cfg.Randomize(p, rng)
+		l := sim.NewLockstep[bool](p, cfg)
+		if res := l.Run(g.N() + 1); !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if err := verify.IsMinimalDominatingSet(g, core.SetOf(l.Config())); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

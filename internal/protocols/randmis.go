@@ -1,0 +1,73 @@
+package protocols
+
+import (
+	"math/rand"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// RandMIS is a randomized self-stabilizing maximal independent set
+// protocol for *anonymous* networks, after Shukla, Rosenkrantz and Ravi
+// (the paper's reference [12]): symmetry between identical neighbors is
+// broken by coin flips instead of IDs.
+//
+// Rules at node i:
+//
+//	enter: x(i)=0 ∧ no neighbor has x=1          ⇒ with probability ½, x(i)=1
+//	leave: x(i)=1 ∧ some neighbor has x=1        ⇒ with probability ½, x(i)=0
+//
+// Both rules randomize so that two adjacent nodes firing simultaneously
+// eventually diverge. A node is reported active whenever a rule's guard
+// holds, even in rounds where the coin declines the move, so executors
+// keep running until the configuration is genuinely stable; expected
+// convergence is O(log n) rounds on bounded-degree graphs and O(n) in
+// general.
+//
+// The protocol exists as an ablation against SMI: it needs no IDs but
+// trades the deterministic n-round bound for a probabilistic one (E10).
+type RandMIS struct {
+	rngs []*rand.Rand
+}
+
+// NewRandMIS returns the protocol for a network of n nodes with per-node
+// generators derived from seed (race-free under concurrent executors).
+func NewRandMIS(n int, seed int64) *RandMIS {
+	p := &RandMIS{rngs: make([]*rand.Rand, n)}
+	for i := range p.rngs {
+		p.rngs[i] = rand.New(rand.NewSource(seed ^ int64(i)*0x5DEECE66D))
+	}
+	return p
+}
+
+// Name implements core.Protocol.
+func (*RandMIS) Name() string { return "RandMIS" }
+
+// Random implements core.Protocol.
+func (*RandMIS) Random(_ graph.NodeID, _ []graph.NodeID, rng *rand.Rand) bool {
+	return rng.Intn(2) == 1
+}
+
+// Move implements core.Protocol.
+func (p *RandMIS) Move(v core.View[bool]) (bool, bool) {
+	neighborIn := false
+	for _, j := range v.Nbrs {
+		if v.Peer(j) {
+			neighborIn = true
+			break
+		}
+	}
+	switch {
+	case !v.Self && !neighborIn:
+		if p.rngs[v.ID].Intn(2) == 0 {
+			return true, true
+		}
+		return false, true // enabled, coin declined
+	case v.Self && neighborIn:
+		if p.rngs[v.ID].Intn(2) == 0 {
+			return false, true
+		}
+		return true, true // enabled, coin declined
+	}
+	return v.Self, false
+}

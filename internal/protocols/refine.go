@@ -1,0 +1,115 @@
+package protocols
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// RefState is the state published by a refined protocol: the wrapped
+// protocol's state plus the local-mutual-exclusion handshake fields that
+// ride along in each beacon.
+type RefState[S comparable] struct {
+	// Inner is the wrapped protocol's state.
+	Inner S
+	// Want announces that the node was privileged (in the wrapped
+	// protocol) when it last beaconed.
+	Want bool
+	// Prio is the random priority drawn for the current arbitration.
+	Prio uint32
+}
+
+// Refined converts a central-daemon protocol into the synchronous beacon
+// model using randomized local mutual exclusion — the standard
+// daemon-refinement construction behind the techniques the paper cites
+// ([12], [16]). Each round a privileged node publishes a fresh random
+// priority; a node executes its wrapped move only if it announced Want in
+// its previous beacon and its announced priority beats every announcing
+// neighbor's (ties broken by ID). Neighbors therefore never move in the
+// same round, and since moves of non-adjacent nodes commute, every
+// synchronous execution is equivalent to a serial central-daemon
+// execution — so any protocol correct under a central daemon remains
+// correct, at the cost of extra rounds. Quantifying that cost against the
+// purpose-built SMM is experiment E7.
+type Refined[S comparable] struct {
+	inner core.Protocol[S]
+	rngs  []*rand.Rand // one generator per node, for race-free concurrent executors
+}
+
+// Refine wraps inner for a network of n nodes. Each node gets its own
+// deterministic generator derived from seed, so concurrent executors can
+// call Move for distinct nodes from distinct goroutines.
+func Refine[S comparable](inner core.Protocol[S], n int, seed int64) *Refined[S] {
+	r := &Refined[S]{inner: inner, rngs: make([]*rand.Rand, n)}
+	for i := range r.rngs {
+		r.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*0x9E3779B9))
+	}
+	return r
+}
+
+// Name implements core.Protocol.
+func (r *Refined[S]) Name() string { return fmt.Sprintf("Refined(%s)", r.inner.Name()) }
+
+// Random implements core.Protocol: arbitrary inner state and arbitrary
+// handshake fields (self-stabilization must cope with any of them).
+func (r *Refined[S]) Random(id graph.NodeID, nbrs []graph.NodeID, rng *rand.Rand) RefState[S] {
+	return RefState[S]{
+		Inner: r.inner.Random(id, nbrs, rng),
+		Want:  rng.Intn(2) == 1,
+		Prio:  rng.Uint32(),
+	}
+}
+
+// Move implements core.Protocol. The active flag reports whether the node
+// is privileged in the wrapped protocol, so executors keep scheduling
+// rounds until the wrapped protocol is stable even while individual nodes
+// lose arbitration.
+func (r *Refined[S]) Move(v core.View[RefState[S]]) (RefState[S], bool) {
+	innerView := core.View[S]{
+		ID:   v.ID,
+		Self: v.Self.Inner,
+		Nbrs: v.Nbrs,
+		Peer: func(j graph.NodeID) S { return v.Peer(j).Inner },
+	}
+	innerNext, privileged := r.inner.Move(innerView)
+	active := privileged
+	next := v.Self
+	if privileged && v.Self.Want && r.winsArbitration(v) {
+		next.Inner = innerNext
+		// Re-evaluate the guard after our own move: the result feeds the
+		// next beacon's Want announcement but not the active flag, which
+		// must report the pre-move privilege (the round did real work and
+		// its effects may privilege neighbors next round).
+		innerView.Self = next.Inner
+		_, privileged = r.inner.Move(innerView)
+	}
+	next.Want = privileged
+	if privileged {
+		next.Prio = r.rngs[v.ID].Uint32()
+	}
+	return next, active
+}
+
+// OnNeighborLost implements core.NeighborAware by delegating to the
+// wrapped protocol's repair (if any).
+func (r *Refined[S]) OnNeighborLost(self graph.NodeID, s RefState[S], lost graph.NodeID) RefState[S] {
+	s.Inner = core.RepairState[S](r.inner, self, s.Inner, lost)
+	return s
+}
+
+// winsArbitration reports whether the node's announced priority beats all
+// announcing neighbors, with ties broken toward the larger ID.
+func (r *Refined[S]) winsArbitration(v core.View[RefState[S]]) bool {
+	for _, j := range v.Nbrs {
+		pj := v.Peer(j)
+		if !pj.Want {
+			continue
+		}
+		if pj.Prio > v.Self.Prio || (pj.Prio == v.Self.Prio && j > v.ID) {
+			return false
+		}
+	}
+	return true
+}

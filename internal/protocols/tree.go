@@ -1,0 +1,195 @@
+package protocols
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// TreeState is the per-node state of the spanning-tree protocol: the
+// root the node currently believes in, its hop distance from that root,
+// and the parent pointer toward it (Null at the root).
+type TreeState struct {
+	Root   graph.NodeID
+	Dist   int32
+	Parent core.Pointer
+}
+
+// String renders e.g. "(root=7 d=2 parent=3)".
+func (s TreeState) String() string {
+	return fmt.Sprintf("(root=%d d=%d parent=%s)", s.Root, s.Dist, s.Parent)
+}
+
+// SpanningTree is a synchronous self-stabilizing BFS spanning-tree
+// protocol — the multicast/broadcast tree maintenance the paper's
+// introduction motivates ("a minimal spanning tree must be maintained to
+// minimize latency and bandwidth requirements of multicast/broadcast
+// messages") and the problem of its companion references [13, 14].
+//
+// Every node tracks (root, dist, parent) and repeatedly adopts the best
+// offer in its neighborhood: the largest visible root, at the smallest
+// distance, through the smallest parent ID. A node that sees no better
+// root than itself becomes a root. Corrupted states that advertise
+// nonexistent ("fake") roots are flushed by the distance bound: a fake
+// root has no node at distance 0, so the minimum advertised distance for
+// it rises every round until it exceeds MaxN and the claim is dropped.
+// The protocol therefore stabilizes from arbitrary states in O(MaxN)
+// rounds to the BFS tree rooted at the component's maximum ID, with
+// exact hop distances.
+type SpanningTree struct {
+	// MaxN is an upper bound on the network size, used to flush fake
+	// root claims. The paper's system model fixes the node set, so the
+	// bound is deployment knowledge. Must be at least the actual n.
+	MaxN int32
+}
+
+// NewSpanningTree returns the protocol for networks of at most maxN
+// nodes.
+func NewSpanningTree(maxN int) *SpanningTree {
+	if maxN <= 0 {
+		panic(fmt.Sprintf("protocols: NewSpanningTree(%d): need maxN > 0", maxN))
+	}
+	return &SpanningTree{MaxN: int32(maxN)}
+}
+
+// Name implements core.Protocol.
+func (*SpanningTree) Name() string { return "SpanningTree" }
+
+// Random implements core.Protocol: arbitrary states include fake roots
+// beyond any real ID and inconsistent distances — the hard part of the
+// state space.
+func (p *SpanningTree) Random(id graph.NodeID, nbrs []graph.NodeID, rng *rand.Rand) TreeState {
+	s := TreeState{
+		Root: graph.NodeID(rng.Intn(int(p.MaxN) * 2)), // may be nonexistent
+		Dist: int32(rng.Intn(int(p.MaxN) + 1)),
+		Parent: func() core.Pointer {
+			if len(nbrs) == 0 || rng.Intn(2) == 0 {
+				return core.Null
+			}
+			return core.PointAt(nbrs[rng.Intn(len(nbrs))])
+		}(),
+	}
+	return s
+}
+
+// Move implements core.Protocol: adopt the best consistent offer.
+func (p *SpanningTree) Move(v core.View[TreeState]) (TreeState, bool) {
+	desired := TreeState{Root: v.ID, Dist: 0, Parent: core.Null}
+	for _, j := range v.Nbrs {
+		sj := v.Peer(j)
+		if sj.Dist < 0 || sj.Dist >= p.MaxN {
+			continue // inconsistent or flushing claim: not a valid offer
+		}
+		offer := TreeState{Root: sj.Root, Dist: sj.Dist + 1, Parent: core.PointAt(j)}
+		if better(offer, desired) {
+			desired = offer
+		}
+	}
+	if desired != v.Self {
+		return desired, true
+	}
+	return v.Self, false
+}
+
+// better orders offers: larger root first, then smaller distance, then
+// smaller parent ID (a deterministic total order, so the stable tree is
+// unique).
+func better(a, b TreeState) bool {
+	if a.Root != b.Root {
+		return a.Root > b.Root
+	}
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	// Both Null is impossible here (offers always carry a parent); a
+	// Null parent denotes self-rooting, preferred only via Root order.
+	switch {
+	case a.Parent.IsNull():
+		return false
+	case b.Parent.IsNull():
+		return true
+	default:
+		return a.Parent.Node() < b.Parent.Node()
+	}
+}
+
+// OnNeighborLost implements core.NeighborAware: losing the parent resets
+// the node to self-rooting, triggering re-attachment on the next round.
+func (*SpanningTree) OnNeighborLost(self graph.NodeID, s TreeState, lost graph.NodeID) TreeState {
+	if !s.Parent.IsNull() && s.Parent.Node() == lost {
+		return TreeState{Root: self, Dist: 0, Parent: core.Null}
+	}
+	return s
+}
+
+// VerifyTree checks that states form the unique stable configuration on
+// a *connected* graph: every node names the maximum ID as root, Dist is
+// the exact BFS hop distance, and parent pointers descend toward the
+// root along edges of g.
+func VerifyTree(g *graph.Graph, states []TreeState) error {
+	n := g.N()
+	if len(states) != n {
+		return fmt.Errorf("protocols: %d states for %d nodes", len(states), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	root := graph.NodeID(n - 1)
+	dist := graph.BFSDistances(g, root)
+	for v, s := range states {
+		if s.Root != root {
+			return fmt.Errorf("protocols: node %d has root %d, want %d", v, s.Root, root)
+		}
+		if int(s.Dist) != dist[v] {
+			return fmt.Errorf("protocols: node %d has dist %d, want %d", v, s.Dist, dist[v])
+		}
+		if graph.NodeID(v) == root {
+			if !s.Parent.IsNull() {
+				return fmt.Errorf("protocols: root %d has parent %s", v, s.Parent)
+			}
+			continue
+		}
+		if s.Parent.IsNull() {
+			return fmt.Errorf("protocols: non-root %d has no parent", v)
+		}
+		parent := s.Parent.Node()
+		if !g.HasEdge(graph.NodeID(v), parent) {
+			return fmt.Errorf("protocols: node %d's parent %d is not a neighbor", v, parent)
+		}
+		if int(states[parent].Dist) != dist[v]-1 {
+			return fmt.Errorf("protocols: node %d's parent %d at dist %d, want %d",
+				v, parent, states[parent].Dist, dist[v]-1)
+		}
+	}
+	return nil
+}
+
+// LeaderOf returns the root the (stable) tree states agree on, and
+// whether they in fact all agree — the spanning-tree protocol doubles as
+// self-stabilizing leader election (the elected leader is the maximum
+// ID, the paper's implicit convention for ID-symmetric tie-breaking).
+func LeaderOf(states []TreeState) (graph.NodeID, bool) {
+	if len(states) == 0 {
+		return -1, false
+	}
+	leader := states[0].Root
+	for _, s := range states[1:] {
+		if s.Root != leader {
+			return -1, false
+		}
+	}
+	return leader, true
+}
+
+// TreeEdges extracts the parent edges, one per non-root node.
+func TreeEdges(states []TreeState) []graph.Edge {
+	var edges []graph.Edge
+	for v, s := range states {
+		if !s.Parent.IsNull() {
+			edges = append(edges, graph.NewEdge(graph.NodeID(v), s.Parent.Node()))
+		}
+	}
+	return edges
+}

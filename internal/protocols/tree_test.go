@@ -1,0 +1,249 @@
+package protocols
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/mobility"
+	"selfstab/internal/sim"
+)
+
+func runTree(g *graph.Graph, seed int64, limit int) (*sim.Lockstep[TreeState], sim.Result) {
+	p := NewSpanningTree(g.N())
+	cfg := core.NewConfig[TreeState](g)
+	cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+	l := sim.NewLockstep[TreeState](p, cfg)
+	return l, l.Run(limit)
+}
+
+func TestSpanningTreeConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gens := []*graph.Graph{
+		graph.Path(12),
+		graph.Cycle(11),
+		graph.Complete(8),
+		graph.Star(9),
+		graph.Grid(4, 4),
+		graph.RandomTree(15, rng),
+		graph.RandomConnected(20, 0.15, rng),
+	}
+	for gi, g := range gens {
+		for trial := 0; trial < 10; trial++ {
+			l, res := runTree(g, int64(trial), 5*g.N()+10)
+			if !res.Stable {
+				t.Fatalf("gen %d trial %d: %v", gi, trial, res)
+			}
+			if err := VerifyTree(g, l.Config().States); err != nil {
+				t.Fatalf("gen %d trial %d: %v", gi, trial, err)
+			}
+		}
+	}
+}
+
+func TestSpanningTreeFlushesFakeRoots(t *testing.T) {
+	// Every node starts claiming a nonexistent root at distance 1 — the
+	// classical hard case for self-stabilizing BFS.
+	g := graph.Cycle(10)
+	p := NewSpanningTree(g.N())
+	cfg := core.NewConfig[TreeState](g)
+	for v := range cfg.States {
+		cfg.States[v] = TreeState{Root: 9999, Dist: 1, Parent: core.PointAt(g.Neighbors(graph.NodeID(v))[0])}
+	}
+	l := sim.NewLockstep[TreeState](p, cfg)
+	res := l.Run(5*g.N() + 10)
+	if !res.Stable {
+		t.Fatalf("fake roots never flushed: %v", res)
+	}
+	if err := VerifyTree(g, cfg.States); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanningTreeSingleNode(t *testing.T) {
+	g := graph.New(1)
+	l, res := runTree(g, 1, 5)
+	if !res.Stable {
+		t.Fatalf("%v", res)
+	}
+	s := l.Config().States[0]
+	if s.Root != 0 || s.Dist != 0 || !s.Parent.IsNull() {
+		t.Fatalf("state = %v", s)
+	}
+}
+
+func TestSpanningTreeDistancesExact(t *testing.T) {
+	// On a path relabeled so the max ID sits at one end, distances must
+	// equal positions.
+	n := 9
+	perm := make([]graph.NodeID, n)
+	for i := range perm {
+		perm[i] = graph.NodeID(i) // identity: max ID n-1 at the far end
+	}
+	g := graph.Path(n).Relabel(perm)
+	l, res := runTree(g, 3, 5*n+10)
+	if !res.Stable {
+		t.Fatalf("%v", res)
+	}
+	for v, s := range l.Config().States {
+		if int(s.Dist) != n-1-v {
+			t.Fatalf("node %d dist %d, want %d", v, s.Dist, n-1-v)
+		}
+	}
+}
+
+func TestSpanningTreeEdgesFormSpanningTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomConnected(18, 0.2, rng)
+	l, res := runTree(g, 7, 5*g.N()+10)
+	if !res.Stable {
+		t.Fatalf("%v", res)
+	}
+	edges := TreeEdges(l.Config().States)
+	if len(edges) != g.N()-1 {
+		t.Fatalf("%d tree edges for %d nodes", len(edges), g.N())
+	}
+	// The parent edges must form a connected spanning subgraph.
+	tree := graph.New(g.N())
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("tree edge %v not in graph", e)
+		}
+		tree.AddEdge(e.U, e.V)
+	}
+	if !graph.IsConnected(tree) {
+		t.Fatal("parent edges do not span")
+	}
+}
+
+func TestSpanningTreeRestabilizesAfterChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomConnected(16, 0.2, rng)
+	p := NewSpanningTree(g.N())
+	cfg := core.NewConfig[TreeState](g)
+	cfg.Randomize(p, rng)
+	l := sim.NewLockstep[TreeState](p, cfg)
+	if res := l.Run(5*g.N() + 10); !res.Stable {
+		t.Fatalf("initial: %v", res)
+	}
+	for epoch := 0; epoch < 5; epoch++ {
+		events := mobility.NewChurn(g, rng).Apply(2)
+		for _, ev := range events {
+			if !ev.Add {
+				for _, v := range [2]graph.NodeID{ev.Edge.U, ev.Edge.V} {
+					other := ev.Edge.U ^ ev.Edge.V ^ v
+					cfg.States[v] = p.OnNeighborLost(v, cfg.States[v], other)
+				}
+			}
+		}
+		if res := l.Run(5*g.N() + 10); !res.Stable {
+			t.Fatalf("epoch %d: %v", epoch, res)
+		}
+		if err := VerifyTree(g, cfg.States); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+	}
+}
+
+func TestSpanningTreeOnNeighborLost(t *testing.T) {
+	p := NewSpanningTree(8)
+	s := TreeState{Root: 7, Dist: 3, Parent: core.PointAt(2)}
+	repaired := p.OnNeighborLost(5, s, 2)
+	if repaired.Root != 5 || repaired.Dist != 0 || !repaired.Parent.IsNull() {
+		t.Fatalf("repaired = %v", repaired)
+	}
+	// Losing a non-parent neighbor changes nothing.
+	if got := p.OnNeighborLost(5, s, 3); got != s {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestVerifyTreeRejectsBadStates(t *testing.T) {
+	g := graph.Path(3) // root is node 2
+	good := []TreeState{
+		{Root: 2, Dist: 2, Parent: core.PointAt(1)},
+		{Root: 2, Dist: 1, Parent: core.PointAt(2)},
+		{Root: 2, Dist: 0, Parent: core.Null},
+	}
+	if err := VerifyTree(g, good); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]TreeState)
+	}{
+		{"wrong root", func(s []TreeState) { s[0].Root = 1 }},
+		{"wrong dist", func(s []TreeState) { s[0].Dist = 1 }},
+		{"root with parent", func(s []TreeState) { s[2].Parent = core.PointAt(1) }},
+		{"orphan", func(s []TreeState) { s[0].Parent = core.Null }},
+		{"parent not neighbor", func(s []TreeState) { s[0].Parent = core.PointAt(2) }},
+	}
+	for _, c := range cases {
+		bad := append([]TreeState(nil), good...)
+		c.mutate(bad)
+		if VerifyTree(g, bad) == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	if VerifyTree(g, good[:2]) == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestLeaderOf(t *testing.T) {
+	g := graph.Cycle(7)
+	l, res := runTree(g, 5, 5*g.N()+10)
+	if !res.Stable {
+		t.Fatalf("%v", res)
+	}
+	leader, ok := LeaderOf(l.Config().States)
+	if !ok || leader != graph.NodeID(g.N()-1) {
+		t.Fatalf("leader = %d ok=%v, want %d", leader, ok, g.N()-1)
+	}
+	// Disagreement is reported.
+	states := append([]TreeState(nil), l.Config().States...)
+	states[0].Root = 0
+	if _, ok := LeaderOf(states); ok {
+		t.Fatal("disagreeing roots reported as agreement")
+	}
+	if _, ok := LeaderOf(nil); ok {
+		t.Fatal("empty states elected a leader")
+	}
+}
+
+func TestSpanningTreeName(t *testing.T) {
+	if NewSpanningTree(4).Name() != "SpanningTree" {
+		t.Fatal("name")
+	}
+	s := TreeState{Root: 7, Dist: 2, Parent: core.PointAt(3)}
+	if s.String() != "(root=7 d=2 parent=3)" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestNewSpanningTreeRejectsBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSpanningTree(0)
+}
+
+// Property: from any random state (including fake roots) on any random
+// connected graph, the protocol stabilizes within 5n+10 rounds to the
+// exact BFS tree of the maximum ID.
+func TestQuickSpanningTree(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := 3 + int(size%20)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(n, 0.2, rng)
+		l, res := runTree(g, seed, 5*n+10)
+		return res.Stable && VerifyTree(g, l.Config().States) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

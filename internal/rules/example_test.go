@@ -1,0 +1,30 @@
+package rules_test
+
+import (
+	"fmt"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/rules"
+	"selfstab/internal/sim"
+)
+
+// ExampleSMMRules runs the executable Figure 1 pseudocode and prints the
+// per-rule firing census — from the all-null start R1 never fires,
+// because min-ID proposals are always mutual.
+func ExampleSMMRules() {
+	eng := rules.SMMRules()
+	g := graph.Path(6)
+	cfg := core.NewConfig[core.Pointer](g)
+	for i := range cfg.States {
+		cfg.States[i] = core.Null
+	}
+	l := sim.NewLockstep[core.Pointer](eng, cfg)
+	res := l.Run(g.N() + 1)
+	f := eng.Firings()
+	fmt.Println("stable:", res.Stable)
+	fmt.Printf("R1=%d R2=%d R3=%d\n", f["R1"], f["R2"], f["R3"])
+	// Output:
+	// stable: true
+	// R1=0 R2=12 R3=6
+}

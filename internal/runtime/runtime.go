@@ -1,0 +1,210 @@
+// Package runtime executes a protocol with one goroutine per network
+// node and Go channels as the logical links — the "nodes are processes,
+// beacons are messages" reading of the paper's system model. Rounds are
+// bulk-synchronous: in each round every node goroutine broadcasts its
+// state to its neighbors' inboxes (the beacons), waits for the barrier,
+// drains exactly one beacon per neighbor, evaluates its rules, and
+// reports the move to the coordinator, which commits all new states at
+// once. The semantics therefore coincide with sim.Lockstep (verified by
+// the equivalence tests) while the execution is genuinely concurrent.
+//
+// Topology changes are applied by the coordinator between rounds, which
+// models the link layer updating the neighbor lists before the next
+// beacon exchange; states referencing a departed neighbor are repaired
+// through core.NeighborAware.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/mobility"
+)
+
+// beaconMsg is one beacon: the sender and the state it carried.
+type beaconMsg[S comparable] struct {
+	from  graph.NodeID
+	state S
+}
+
+// roundCmd tells a node goroutine to run one round (or stop).
+type roundCmd uint8
+
+const (
+	cmdRound roundCmd = iota
+	cmdStop
+)
+
+// moveReport is a node's per-round result.
+type moveReport[S comparable] struct {
+	id     graph.NodeID
+	next   S
+	active bool
+}
+
+// Network runs one protocol over a mutable topology with one goroutine
+// per node. Create with New, drive with Step/Run, always Close.
+type Network[S comparable] struct {
+	p      core.Protocol[S]
+	g      *graph.Graph
+	states []S
+
+	inboxes []chan beaconMsg[S]
+	cmds    []chan roundCmd
+	reports chan moveReport[S]
+	sent    *sync.WaitGroup // beacons of the current round all sent
+
+	// snapshot handed to node goroutines for the current round.
+	roundNbrs   [][]graph.NodeID
+	roundStates []S
+
+	rounds int
+	moves  int
+	closed bool
+}
+
+// New starts one goroutine per node of g with the given initial states
+// (used in place). Callers must Close the network when done.
+func New[S comparable](p core.Protocol[S], g *graph.Graph, states []S) *Network[S] {
+	n := g.N()
+	if len(states) != n {
+		panic(fmt.Sprintf("runtime: %d states for %d nodes", len(states), n))
+	}
+	net := &Network[S]{
+		p:           p,
+		g:           g,
+		states:      states,
+		inboxes:     make([]chan beaconMsg[S], n),
+		cmds:        make([]chan roundCmd, n),
+		reports:     make(chan moveReport[S], n),
+		sent:        &sync.WaitGroup{},
+		roundNbrs:   make([][]graph.NodeID, n),
+		roundStates: make([]S, n),
+	}
+	for v := 0; v < n; v++ {
+		net.inboxes[v] = make(chan beaconMsg[S], n) // capacity ≥ max degree
+		net.cmds[v] = make(chan roundCmd)
+	}
+	for v := 0; v < n; v++ {
+		go net.nodeLoop(graph.NodeID(v))
+	}
+	return net
+}
+
+// nodeLoop is the per-node process: beacon, gather, move, report.
+func (net *Network[S]) nodeLoop(id graph.NodeID) {
+	for cmd := range net.cmds[id] {
+		if cmd == cmdStop {
+			return
+		}
+		nbrs := net.roundNbrs[id]
+		self := net.roundStates[id]
+		// Beacon phase: broadcast our state to every neighbor.
+		for _, j := range nbrs {
+			net.inboxes[j] <- beaconMsg[S]{from: id, state: self}
+		}
+		net.sent.Done()
+		net.sent.Wait() // barrier: all beacons of this round are in flight
+		// Gather phase: exactly one beacon per neighbor.
+		heard := make(map[graph.NodeID]S, len(nbrs))
+		for range nbrs {
+			m := <-net.inboxes[id]
+			heard[m.from] = m.state
+		}
+		next, active := net.p.Move(core.View[S]{
+			ID:   id,
+			Self: self,
+			Nbrs: nbrs,
+			Peer: func(j graph.NodeID) S { return heard[j] },
+		})
+		net.reports <- moveReport[S]{id: id, next: next, active: active}
+	}
+}
+
+// Step runs one synchronous round and returns the number of active
+// nodes.
+func (net *Network[S]) Step() int {
+	if net.closed {
+		panic("runtime: Step after Close")
+	}
+	n := net.g.N()
+	// Publish the round snapshot: neighbor lists and states are stable
+	// while node goroutines run.
+	for v := 0; v < n; v++ {
+		net.roundNbrs[v] = net.g.Neighbors(graph.NodeID(v))
+	}
+	copy(net.roundStates, net.states)
+	net.sent.Add(n)
+	for v := 0; v < n; v++ {
+		net.cmds[v] <- cmdRound
+	}
+	active := 0
+	for i := 0; i < n; i++ {
+		rep := <-net.reports
+		net.states[rep.id] = rep.next
+		if rep.active {
+			active++
+		}
+	}
+	if active > 0 {
+		net.rounds++
+		net.moves += active
+	}
+	return active
+}
+
+// Run drives Step until a quiet round or until maxRounds active rounds.
+// The result mirrors sim.Result.
+func (net *Network[S]) Run(maxRounds int) (rounds, moves int, stable bool) {
+	start := net.rounds
+	for net.rounds-start < maxRounds {
+		if net.Step() == 0 {
+			return net.rounds - start, net.moves, true
+		}
+	}
+	return net.rounds - start, net.moves, false
+}
+
+// Config snapshots the current configuration.
+func (net *Network[S]) Config() core.Config[S] {
+	cfg := core.NewConfig[S](net.g)
+	copy(cfg.States, net.states)
+	return cfg
+}
+
+// Rounds returns the number of active rounds executed.
+func (net *Network[S]) Rounds() int { return net.rounds }
+
+// Moves returns the total number of active node evaluations.
+func (net *Network[S]) Moves() int { return net.moves }
+
+// ApplyEvents mutates the topology between rounds (the link layer
+// reporting created/destroyed links) and repairs states that referenced
+// departed neighbors.
+func (net *Network[S]) ApplyEvents(events []mobility.Event) {
+	for _, ev := range events {
+		if ev.Add {
+			net.g.AddEdge(ev.Edge.U, ev.Edge.V)
+			continue
+		}
+		net.g.RemoveEdge(ev.Edge.U, ev.Edge.V)
+		for _, v := range [2]graph.NodeID{ev.Edge.U, ev.Edge.V} {
+			other := ev.Edge.U ^ ev.Edge.V ^ v
+			net.states[v] = core.RepairState(net.p, v, net.states[v], other)
+		}
+	}
+}
+
+// Close stops all node goroutines. The network is unusable afterwards.
+func (net *Network[S]) Close() {
+	if net.closed {
+		return
+	}
+	net.closed = true
+	for _, c := range net.cmds {
+		c <- cmdStop
+		close(c)
+	}
+}

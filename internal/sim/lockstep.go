@@ -1,0 +1,148 @@
+// Package sim provides the reference executor for protocols in the
+// synchronous beacon model: a deterministic lockstep simulator in which
+// every round each node observes the round-t states of all its neighbors
+// and all privileged nodes move simultaneously. A round here corresponds
+// exactly to the paper's "period of time in which each node in the system
+// receives beacon messages from all its neighbors".
+package sim
+
+import (
+	"fmt"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// Result summarizes a run.
+type Result struct {
+	// Rounds is the number of rounds in which at least one node moved —
+	// the paper's stabilization time. If Stable is false, Rounds equals
+	// the round limit.
+	Rounds int
+	// Moves is the total number of individual node moves.
+	Moves int
+	// Stable reports whether a fixed point was reached within the limit.
+	Stable bool
+}
+
+// String renders e.g. "stable in 5 rounds (12 moves)".
+func (r Result) String() string {
+	if r.Stable {
+		return fmt.Sprintf("stable in %d rounds (%d moves)", r.Rounds, r.Moves)
+	}
+	return fmt.Sprintf("NOT stable after %d rounds (%d moves)", r.Rounds, r.Moves)
+}
+
+// Instance is the protocol-agnostic face of a running simulation, used by
+// the experiment harness to drive heterogeneous protocols uniformly.
+type Instance interface {
+	// Name identifies the protocol under simulation.
+	Name() string
+	// Step executes one synchronous round and returns how many nodes moved.
+	Step() int
+	// Run drives Step until a round with zero moves or until maxRounds
+	// rounds with moves have executed.
+	Run(maxRounds int) Result
+	// Rounds returns the number of rounds with moves executed so far.
+	Rounds() int
+	// Moves returns the total moves executed so far.
+	Moves() int
+}
+
+// Lockstep runs one protocol on one configuration in lockstep rounds.
+// It is the reference semantics the beacon simulator and the concurrent
+// runtime are validated against.
+type Lockstep[S comparable] struct {
+	p      core.Protocol[S]
+	cfg    core.Config[S]
+	next   []S
+	rounds int
+	moves  int
+}
+
+// NewLockstep wraps protocol p over configuration cfg. The configuration
+// is used in place (not copied): callers observing cfg see the evolving
+// states.
+func NewLockstep[S comparable](p core.Protocol[S], cfg core.Config[S]) *Lockstep[S] {
+	return &Lockstep[S]{p: p, cfg: cfg, next: make([]S, len(cfg.States))}
+}
+
+// Name implements Instance.
+func (l *Lockstep[S]) Name() string { return l.p.Name() }
+
+// Config exposes the current configuration.
+func (l *Lockstep[S]) Config() core.Config[S] { return l.cfg }
+
+// Rounds implements Instance.
+func (l *Lockstep[S]) Rounds() int { return l.rounds }
+
+// Moves implements Instance.
+func (l *Lockstep[S]) Moves() int { return l.moves }
+
+// Step implements Instance: every node evaluates its rules against the
+// current configuration and all resulting states are installed at once.
+func (l *Lockstep[S]) Step() int {
+	moved := 0
+	// One Peer closure serves every node this round: it reads the shared
+	// pre-round state vector, so hoisting it out of the loop removes the
+	// dominant per-node allocation of the hot path.
+	states := l.cfg.States
+	peer := func(j graph.NodeID) S { return states[j] }
+	for v := range l.cfg.States {
+		id := graph.NodeID(v)
+		next, m := l.p.Move(core.View[S]{
+			ID:   id,
+			Self: states[v],
+			Nbrs: l.cfg.G.Neighbors(id),
+			Peer: peer,
+		})
+		l.next[v] = next
+		if m {
+			moved++
+		}
+	}
+	copy(l.cfg.States, l.next)
+	if moved > 0 {
+		l.rounds++
+		l.moves += moved
+	}
+	return moved
+}
+
+// Run implements Instance.
+func (l *Lockstep[S]) Run(maxRounds int) Result {
+	return l.RunHook(maxRounds, nil)
+}
+
+// RunHook is Run with an observation hook invoked after every round that
+// had at least one move, receiving the 1-based round index and the
+// post-round configuration. The hook must not mutate the configuration.
+func (l *Lockstep[S]) RunHook(maxRounds int, hook func(round int, cfg core.Config[S])) Result {
+	start := l.rounds
+	for l.rounds-start < maxRounds {
+		if l.Step() == 0 {
+			return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: true}
+		}
+		if hook != nil {
+			hook(l.rounds-start, l.cfg)
+		}
+	}
+	// One more probe: the limit-th round may have reached the fixed point.
+	stable := l.quiescent()
+	return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: stable}
+}
+
+// quiescent reports whether no node is privileged, without mutating state.
+func (l *Lockstep[S]) quiescent() bool {
+	for v := range l.cfg.States {
+		if _, m := l.p.Move(l.cfg.View(graph.NodeID(v))); m {
+			return false
+		}
+	}
+	return true
+}
+
+// Stable reports whether the current configuration is a fixed point.
+func (l *Lockstep[S]) Stable() bool { return l.quiescent() }
+
+var _ Instance = (*Lockstep[bool])(nil)

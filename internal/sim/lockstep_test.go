@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/verify"
+)
+
+func runSMM(t *testing.T, g *graph.Graph, seed int64) (*Lockstep[core.Pointer], Result) {
+	t.Helper()
+	p := core.NewSMM()
+	cfg := core.NewConfig[core.Pointer](g)
+	for i := range cfg.States {
+		cfg.States[i] = core.Null
+	}
+	if seed >= 0 {
+		cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+	}
+	l := NewLockstep[core.Pointer](p, cfg)
+	res := l.Run(g.N() + 2)
+	return l, res
+}
+
+func TestSMMStabilizesOnPath(t *testing.T) {
+	l, res := runSMM(t, graph.Path(6), -1)
+	if !res.Stable {
+		t.Fatalf("not stable: %v", res)
+	}
+	if res.Rounds > 7 {
+		t.Fatalf("rounds %d exceed n+1=7", res.Rounds)
+	}
+	if err := verify.IsMaximalMatching(l.Config().G, core.MatchingOf(l.Config())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSMMTheorem1AcrossTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gens := map[string]func() *graph.Graph{
+		"path16":   func() *graph.Graph { return graph.Path(16) },
+		"cycle17":  func() *graph.Graph { return graph.Cycle(17) },
+		"star12":   func() *graph.Graph { return graph.Star(12) },
+		"k9":       func() *graph.Graph { return graph.Complete(9) },
+		"k44":      func() *graph.Graph { return graph.CompleteBipartite(4, 4) },
+		"grid45":   func() *graph.Graph { return graph.Grid(4, 5) },
+		"tree20":   func() *graph.Graph { return graph.RandomTree(20, rng) },
+		"gnp20":    func() *graph.Graph { return graph.RandomConnected(20, 0.2, rng) },
+		"disk20":   func() *graph.Graph { g, _ := graph.RandomUnitDisk(20, 0.2, rng); return g },
+		"isolated": func() *graph.Graph { return graph.New(5) },
+	}
+	for name, gen := range gens {
+		g := gen()
+		for trial := 0; trial < 10; trial++ {
+			l, res := runSMM(t, g, int64(trial))
+			if !res.Stable {
+				t.Fatalf("%s trial %d: %v", name, trial, res)
+			}
+			if res.Rounds > g.N()+1 {
+				t.Fatalf("%s trial %d: %d rounds exceeds Theorem 1 bound %d",
+					name, trial, res.Rounds, g.N()+1)
+			}
+			if err := verify.IsMaximalMatching(g, core.MatchingOf(l.Config())); err != nil {
+				t.Fatalf("%s trial %d: %v", name, trial, err)
+			}
+		}
+	}
+}
+
+// Lemma 1 closure: matched pairs never unmatch during a run.
+func TestSMMLemma1MatchingMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomConnected(15, 0.25, rng)
+		p := core.NewSMM()
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rng)
+		l := NewLockstep[core.Pointer](p, cfg)
+		prev := map[graph.Edge]bool{}
+		res := l.RunHook(g.N()+2, func(round int, c core.Config[core.Pointer]) {
+			cur := map[graph.Edge]bool{}
+			for _, e := range core.MatchingOf(c) {
+				cur[e] = true
+			}
+			for e := range prev {
+				if !cur[e] {
+					t.Fatalf("trial %d round %d: matched edge %v unmatched", trial, round, e)
+				}
+			}
+			prev = cur
+		})
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+	}
+}
+
+// Lemma 7: A' and PA are empty at every time t >= 1, and all observed
+// type transitions obey the Figure 3 diagram.
+func TestSMMLemma7AndTransitionDiagram(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		g := graph.RandomConnected(12, 0.3, rng)
+		p := core.NewSMM()
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rng)
+		before := core.ClassifySMM(cfg)
+		l := NewLockstep[core.Pointer](p, cfg)
+		var m core.TransitionMatrix
+		res := l.RunHook(g.N()+2, func(round int, c core.Config[core.Pointer]) {
+			after := core.ClassifySMM(c)
+			m.Record(before, after)
+			cen := core.CensusOf(after)
+			if cen[core.TypeA1] != 0 || cen[core.TypePA] != 0 {
+				t.Fatalf("trial %d round %d: A'=%d PA=%d nonzero (Lemma 7)",
+					trial, round, cen[core.TypeA1], cen[core.TypePA])
+			}
+			before = after
+		})
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if v := m.Violations(); len(v) != 0 {
+			t.Fatalf("trial %d: forbidden transitions %v", trial, v)
+		}
+	}
+}
+
+// Lemma 10: from t >= 1, if moves happen at t and t+1 then |M| grows by
+// at least 2 over those two rounds.
+func TestSMMLemma10MatchingGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomConnected(14, 0.3, rng)
+		p := core.NewSMM()
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rng)
+		l := NewLockstep[core.Pointer](p, cfg)
+		var sizes []int // matched-node counts after each round
+		res := l.RunHook(g.N()+2, func(round int, c core.Config[core.Pointer]) {
+			sizes = append(sizes, 2*len(core.MatchingOf(c)))
+		})
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		// sizes[k] is |M| after round k+1. Lemma 10 (t >= 1): if a move
+		// occurred in rounds t+1 and t+2 then sizes grows by >= 2.
+		for k := 0; k+2 < len(sizes); k++ {
+			if sizes[k+2] < sizes[k]+2 {
+				t.Fatalf("trial %d: |M| after rounds %d..%d = %d,%d — grew < 2",
+					trial, k+1, k+3, sizes[k], sizes[k+2])
+			}
+		}
+	}
+}
+
+// The Section 3 counterexample: on C4, arbitrary (clockwise) proposals
+// oscillate forever with period 2.
+func TestSMMArbitraryCounterexample(t *testing.T) {
+	g := graph.Cycle(4)
+	p := core.NewSMMArbitrary()
+	cfg := core.NewConfig[core.Pointer](g)
+	for i := range cfg.States {
+		cfg.States[i] = core.Null
+	}
+	l := NewLockstep[core.Pointer](p, cfg)
+	res := l.Run(1000)
+	if res.Stable {
+		t.Fatalf("counterexample stabilized: %v", res)
+	}
+	if res.Rounds != 1000 {
+		t.Fatalf("rounds = %d, want 1000 (ran to limit)", res.Rounds)
+	}
+	// Verify the period-2 oscillation: after an even number of rounds all
+	// pointers are null again.
+	for _, s := range l.Config().States {
+		if s != core.Null {
+			t.Fatalf("after even rounds states = %v, want all null", l.Config().States)
+		}
+	}
+}
+
+// The same selection policy stabilizes fine when proposals are consistent
+// (max-ID is a total order, so the proof carries over).
+func TestSMMMaxIDPolicyStabilizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(12, 0.3, rng)
+		p := &core.SMM{Proposal: core.ProposeMaxID}
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rng)
+		l := NewLockstep[core.Pointer](p, cfg)
+		res := l.Run(g.N() + 2)
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if err := verify.IsMaximalMatching(g, core.MatchingOf(l.Config())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func runSMI(g *graph.Graph, seed int64) (*Lockstep[bool], Result) {
+	p := core.NewSMI()
+	cfg := core.NewConfig[bool](g)
+	if seed >= 0 {
+		cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+	}
+	l := NewLockstep[bool](p, cfg)
+	res := l.Run(2*g.N() + 2)
+	return l, res
+}
+
+func TestSMITheorem2AcrossTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	gens := []func() *graph.Graph{
+		func() *graph.Graph { return graph.Path(16) },
+		func() *graph.Graph { return graph.Cycle(15) },
+		func() *graph.Graph { return graph.Star(10) },
+		func() *graph.Graph { return graph.Complete(8) },
+		func() *graph.Graph { return graph.Grid(4, 4) },
+		func() *graph.Graph { return graph.RandomConnected(24, 0.15, rng) },
+		func() *graph.Graph { return graph.New(6) },
+	}
+	for gi, gen := range gens {
+		g := gen()
+		for trial := 0; trial < 10; trial++ {
+			l, res := runSMI(g, int64(trial))
+			if !res.Stable {
+				t.Fatalf("gen %d trial %d: %v", gi, trial, res)
+			}
+			if res.Rounds > g.N()+1 {
+				t.Fatalf("gen %d trial %d: %d rounds exceeds O(n) bound n+1=%d",
+					gi, trial, res.Rounds, g.N()+1)
+			}
+			if err := verify.IsMaximalIndependentSet(g, core.SetOf(l.Config())); err != nil {
+				t.Fatalf("gen %d trial %d: %v", gi, trial, err)
+			}
+		}
+	}
+}
+
+// The largest-ID node always ends up in the MIS (Theorem 2 proof sketch:
+// it enters at t=1 and never leaves).
+func TestSMILargestAlwaysEnters(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomConnected(12, 0.3, rng)
+		l, res := runSMI(g, int64(trial))
+		if !res.Stable {
+			t.Fatalf("trial %d: %v", trial, res)
+		}
+		if !l.Config().States[g.N()-1] {
+			t.Fatalf("trial %d: largest node %d not in MIS", trial, g.N()-1)
+		}
+	}
+}
+
+// Closure: a legitimate state (any MIS written greedily) is a fixed point.
+func TestSMIClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomConnected(12, 0.3, rng)
+		// Greedy MIS by descending ID — matches the protocol's ID order.
+		cfg := core.NewConfig[bool](g)
+		for v := g.N() - 1; v >= 0; v-- {
+			blocked := false
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if cfg.States[u] && u > graph.NodeID(v) {
+					blocked = true
+					break
+				}
+			}
+			cfg.States[v] = !blocked
+		}
+		l := NewLockstep[bool](core.NewSMI(), cfg)
+		if got := l.Step(); got != 0 {
+			t.Fatalf("trial %d: legitimate state had %d moves", trial, got)
+		}
+	}
+}
+
+// SMM closure: a stable configuration stays stable forever.
+func TestSMMClosure(t *testing.T) {
+	g := graph.Path(6)
+	l, res := runSMM(t, g, 3)
+	if !res.Stable {
+		t.Fatalf("%v", res)
+	}
+	for round := 0; round < 5; round++ {
+		if l.Step() != 0 {
+			t.Fatal("stable configuration moved")
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Rounds: 5, Moves: 12, Stable: true}
+	if r.String() != "stable in 5 rounds (12 moves)" {
+		t.Fatalf("String = %q", r.String())
+	}
+	r.Stable = false
+	if r.String() != "NOT stable after 5 rounds (12 moves)" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestRunHonorsLimit(t *testing.T) {
+	g := graph.Cycle(4)
+	p := core.NewSMMArbitrary()
+	cfg := core.NewConfig[core.Pointer](g)
+	for i := range cfg.States {
+		cfg.States[i] = core.Null
+	}
+	l := NewLockstep[core.Pointer](p, cfg)
+	res := l.Run(7)
+	if res.Stable || res.Rounds != 7 {
+		t.Fatalf("res = %v, want 7 unstable rounds", res)
+	}
+	if l.Rounds() != 7 || l.Moves() != 7*4 {
+		t.Fatalf("Rounds=%d Moves=%d", l.Rounds(), l.Moves())
+	}
+}
+
+// Property: SMM from any random connected graph and any initial state
+// stabilizes within n+1 rounds to a maximal matching (Theorem 1).
+func TestQuickSMMTheorem1(t *testing.T) {
+	f := func(seed int64, size uint8, pTenths uint8) bool {
+		n := 3 + int(size%30)
+		prob := 0.05 + float64(pTenths%10)/10.0*0.5
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(n, prob, rng)
+		p := core.NewSMM()
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(p, rng)
+		l := NewLockstep[core.Pointer](p, cfg)
+		res := l.Run(n + 1)
+		return res.Stable &&
+			verify.IsMaximalMatching(g, core.MatchingOf(l.Config())) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SMI from any random connected graph and initial bits
+// stabilizes within n+1 rounds to an MIS (Theorem 2).
+func TestQuickSMITheorem2(t *testing.T) {
+	f := func(seed int64, size uint8, pTenths uint8) bool {
+		n := 3 + int(size%30)
+		prob := 0.05 + float64(pTenths%10)/10.0*0.5
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(n, prob, rng)
+		p := core.NewSMI()
+		cfg := core.NewConfig[bool](g)
+		cfg.Randomize(p, rng)
+		l := NewLockstep[bool](p, cfg)
+		res := l.Run(n + 1)
+		return res.Stable &&
+			verify.IsMaximalIndependentSet(g, core.SetOf(l.Config())) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// disjointUnion embeds g1 on IDs 0..n1-1 and g2 on IDs n1..n1+n2-1.
+// Shifting preserves the relative ID order inside each component, and
+// SMM/SMI consult IDs only within neighborhoods, so the dynamics of each
+// component must be exactly the separate dynamics.
+func disjointUnion(g1, g2 *graph.Graph) *graph.Graph {
+	u := graph.New(g1.N() + g2.N())
+	for _, e := range g1.Edges() {
+		u.AddEdge(e.U, e.V)
+	}
+	off := graph.NodeID(g1.N())
+	for _, e := range g2.Edges() {
+		u.AddEdge(e.U+off, e.V+off)
+	}
+	return u
+}
+
+func TestMetamorphicSMMDisjointUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g1 := graph.RandomConnected(8, 0.3, rng)
+		g2 := graph.RandomConnected(11, 0.25, rng)
+		u := disjointUnion(g1, g2)
+		p := core.NewSMM()
+
+		cfg1 := core.NewConfig[core.Pointer](g1)
+		cfg1.Randomize(p, rand.New(rand.NewSource(int64(trial))))
+		cfg2 := core.NewConfig[core.Pointer](g2)
+		cfg2.Randomize(p, rand.New(rand.NewSource(int64(trial)+1000)))
+
+		// Union initial state = shifted copies of the component states.
+		cfgU := core.NewConfig[core.Pointer](u)
+		copy(cfgU.States[:g1.N()], cfg1.States)
+		for v, s := range cfg2.States {
+			if s.IsNull() {
+				cfgU.States[g1.N()+v] = core.Null
+			} else {
+				cfgU.States[g1.N()+v] = core.PointAt(s.Node() + graph.NodeID(g1.N()))
+			}
+		}
+
+		r1 := NewLockstep[core.Pointer](p, cfg1).Run(g1.N() + 2)
+		r2 := NewLockstep[core.Pointer](p, cfg2).Run(g2.N() + 2)
+		rU := NewLockstep[core.Pointer](p, cfgU).Run(u.N() + 2)
+		if !r1.Stable || !r2.Stable || !rU.Stable {
+			t.Fatalf("trial %d: not stable", trial)
+		}
+		want := max(r1.Rounds, r2.Rounds)
+		if rU.Rounds != want {
+			t.Fatalf("trial %d: union rounds %d != max(%d,%d)", trial, rU.Rounds, r1.Rounds, r2.Rounds)
+		}
+		for v := 0; v < g1.N(); v++ {
+			if cfgU.States[v] != cfg1.States[v] {
+				t.Fatalf("trial %d: component-1 node %d diverged", trial, v)
+			}
+		}
+		for v := 0; v < g2.N(); v++ {
+			got := cfgU.States[g1.N()+v]
+			want := cfg2.States[v]
+			if want.IsNull() != got.IsNull() {
+				t.Fatalf("trial %d: component-2 node %d diverged", trial, v)
+			}
+			if !want.IsNull() && got.Node() != want.Node()+graph.NodeID(g1.N()) {
+				t.Fatalf("trial %d: component-2 node %d points at %v, want shifted %v",
+					trial, v, got, want)
+			}
+		}
+	}
+}
+
+func TestMetamorphicSMIDisjointUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		g1 := graph.RandomConnected(9, 0.3, rng)
+		g2 := graph.RandomConnected(7, 0.3, rng)
+		u := disjointUnion(g1, g2)
+		p := core.NewSMI()
+
+		cfg1 := core.NewConfig[bool](g1)
+		cfg1.Randomize(p, rand.New(rand.NewSource(int64(trial))))
+		cfg2 := core.NewConfig[bool](g2)
+		cfg2.Randomize(p, rand.New(rand.NewSource(int64(trial)+1000)))
+		cfgU := core.NewConfig[bool](u)
+		copy(cfgU.States[:g1.N()], cfg1.States)
+		copy(cfgU.States[g1.N():], cfg2.States)
+
+		r1 := NewLockstep[bool](p, cfg1).Run(g1.N() + 2)
+		r2 := NewLockstep[bool](p, cfg2).Run(g2.N() + 2)
+		rU := NewLockstep[bool](p, cfgU).Run(u.N() + 2)
+		if !r1.Stable || !r2.Stable || !rU.Stable {
+			t.Fatalf("trial %d: not stable", trial)
+		}
+		for v := 0; v < g1.N(); v++ {
+			if cfgU.States[v] != cfg1.States[v] {
+				t.Fatalf("trial %d: component-1 node %d diverged", trial, v)
+			}
+		}
+		for v := 0; v < g2.N(); v++ {
+			if cfgU.States[g1.N()+v] != cfg2.States[v] {
+				t.Fatalf("trial %d: component-2 node %d diverged", trial, v)
+			}
+		}
+	}
+}
+
+// SMI's fixed point is unique (the greedy descending-ID MIS), so the
+// final set must be independent of the initial configuration.
+func TestMetamorphicSMIInitIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnected(20, 0.2, rng)
+		p := core.NewSMI()
+		var reference []bool
+		for init := 0; init < 5; init++ {
+			cfg := core.NewConfig[bool](g)
+			cfg.Randomize(p, rand.New(rand.NewSource(int64(init))))
+			res := NewLockstep[bool](p, cfg).Run(g.N() + 2)
+			if !res.Stable {
+				t.Fatalf("trial %d init %d: %v", trial, init, res)
+			}
+			if reference == nil {
+				reference = append([]bool(nil), cfg.States...)
+				continue
+			}
+			for v := range reference {
+				if cfg.States[v] != reference[v] {
+					t.Fatalf("trial %d init %d: node %d in set = %v, reference %v",
+						trial, init, v, cfg.States[v], reference[v])
+				}
+			}
+		}
+	}
+}
+
+// Adding isolated nodes (fresh IDs above the component) must not change
+// the behavior of the original nodes.
+func TestMetamorphicIsolatedPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomConnected(12, 0.3, rng)
+	padded := graph.New(g.N() + 3)
+	for _, e := range g.Edges() {
+		padded.AddEdge(e.U, e.V)
+	}
+	p := core.NewSMM()
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.Randomize(p, rand.New(rand.NewSource(9)))
+	cfgP := core.NewConfig[core.Pointer](padded)
+	copy(cfgP.States, cfg.States)
+	for v := g.N(); v < padded.N(); v++ {
+		cfgP.States[v] = core.Null
+	}
+	res := NewLockstep[core.Pointer](p, cfg).Run(g.N() + 2)
+	resP := NewLockstep[core.Pointer](p, cfgP).Run(padded.N() + 2)
+	if !res.Stable || !resP.Stable {
+		t.Fatal("not stable")
+	}
+	for v := 0; v < g.N(); v++ {
+		if cfg.States[v] != cfgP.States[v] {
+			t.Fatalf("node %d diverged under padding", v)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// Parallel is a data-parallel lockstep executor: each synchronous round
+// partitions the node set across a fixed worker pool, with every worker
+// evaluating its block of nodes against the shared immutable pre-round
+// state vector. The semantics are identical to Lockstep — the round
+// barrier is a WaitGroup instead of a loop boundary — but large networks
+// amortize rule evaluation across cores. Protocols must be safe for
+// concurrent Move calls on distinct nodes (all protocols in this module
+// are: the deterministic ones are pure, the randomized ones use per-node
+// generators).
+type Parallel[S comparable] struct {
+	p       core.Protocol[S]
+	cfg     core.Config[S]
+	workers int
+	next    []S
+	active  []bool
+	rounds  int
+	moves   int
+}
+
+// NewParallel wraps protocol p over cfg with the given worker count;
+// workers <= 0 selects GOMAXPROCS.
+func NewParallel[S comparable](p core.Protocol[S], cfg core.Config[S], workers int) *Parallel[S] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Parallel[S]{
+		p:       p,
+		cfg:     cfg,
+		workers: workers,
+		next:    make([]S, len(cfg.States)),
+		active:  make([]bool, len(cfg.States)),
+	}
+}
+
+// Name implements Instance.
+func (l *Parallel[S]) Name() string { return l.p.Name() }
+
+// Config exposes the current configuration.
+func (l *Parallel[S]) Config() core.Config[S] { return l.cfg }
+
+// Rounds implements Instance.
+func (l *Parallel[S]) Rounds() int { return l.rounds }
+
+// Moves implements Instance.
+func (l *Parallel[S]) Moves() int { return l.moves }
+
+// Step implements Instance: one parallel synchronous round.
+func (l *Parallel[S]) Step() int {
+	n := len(l.cfg.States)
+	states := l.cfg.States
+	var wg sync.WaitGroup
+	block := (n + l.workers - 1) / l.workers
+	for w := 0; w < l.workers; w++ {
+		lo := w * block
+		if lo >= n {
+			break
+		}
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			peer := func(j graph.NodeID) S { return states[j] }
+			for v := lo; v < hi; v++ {
+				id := graph.NodeID(v)
+				next, m := l.p.Move(core.View[S]{
+					ID:   id,
+					Self: states[v],
+					Nbrs: l.cfg.G.Neighbors(id),
+					Peer: peer,
+				})
+				l.next[v] = next
+				l.active[v] = m
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	moved := 0
+	for v := 0; v < n; v++ {
+		if l.active[v] {
+			moved++
+		}
+	}
+	copy(l.cfg.States, l.next)
+	if moved > 0 {
+		l.rounds++
+		l.moves += moved
+	}
+	return moved
+}
+
+// Run implements Instance.
+func (l *Parallel[S]) Run(maxRounds int) Result {
+	start := l.rounds
+	for l.rounds-start < maxRounds {
+		if l.Step() == 0 {
+			return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: true}
+		}
+	}
+	stable := true
+	for v := range l.cfg.States {
+		if _, m := l.p.Move(l.cfg.View(graph.NodeID(v))); m {
+			stable = false
+			break
+		}
+	}
+	return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: stable}
+}
+
+var _ Instance = (*Parallel[bool])(nil)

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// StaleLockstep executes a protocol under bounded-staleness views: in
+// round t node i observes neighbor j's state from round t - lag, where
+// lag is drawn uniformly from [0, MaxLag] per (i, j, t). MaxLag = 0 is
+// exactly the synchronous model.
+//
+// The paper's beacon model never acts on stale data — a node moves only
+// after hearing a fresh beacon from every neighbor — so this executor
+// probes territory the paper does NOT claim: what if beacons carried
+// cached state, or nodes acted on timeout with old tables? Experiment
+// E12 measures which of the protocols survive it.
+type StaleLockstep[S comparable] struct {
+	p       core.Protocol[S]
+	cfg     core.Config[S]
+	maxLag  int
+	rng     *rand.Rand
+	history [][]S // history[k] = states k rounds ago, k in [0, maxLag]
+	next    []S
+	rounds  int
+	moves   int
+}
+
+// NewStaleLockstep wraps protocol p over cfg with the given staleness
+// bound. The history is seeded with the initial configuration (as if the
+// system had been holding it forever).
+func NewStaleLockstep[S comparable](p core.Protocol[S], cfg core.Config[S], maxLag int, rng *rand.Rand) *StaleLockstep[S] {
+	if maxLag < 0 {
+		panic(fmt.Sprintf("sim: NewStaleLockstep: negative lag %d", maxLag))
+	}
+	s := &StaleLockstep[S]{
+		p:       p,
+		cfg:     cfg,
+		maxLag:  maxLag,
+		rng:     rng,
+		history: make([][]S, maxLag+1),
+		next:    make([]S, len(cfg.States)),
+	}
+	for k := range s.history {
+		s.history[k] = append([]S(nil), cfg.States...)
+	}
+	return s
+}
+
+// Config exposes the current configuration.
+func (s *StaleLockstep[S]) Config() core.Config[S] { return s.cfg }
+
+// Rounds returns the number of active rounds executed.
+func (s *StaleLockstep[S]) Rounds() int { return s.rounds }
+
+// Moves returns the total active node evaluations.
+func (s *StaleLockstep[S]) Moves() int { return s.moves }
+
+// Step executes one round with randomly stale views and returns the
+// number of active nodes.
+func (s *StaleLockstep[S]) Step() int {
+	moved := 0
+	for v := range s.cfg.States {
+		id := graph.NodeID(v)
+		view := core.View[S]{
+			ID:   id,
+			Self: s.cfg.States[v], // own state is always current
+			Nbrs: s.cfg.G.Neighbors(id),
+			Peer: func(j graph.NodeID) S {
+				lag := 0
+				if s.maxLag > 0 {
+					lag = s.rng.Intn(s.maxLag + 1)
+				}
+				return s.history[lag][j]
+			},
+		}
+		n, m := s.p.Move(view)
+		s.next[v] = n
+		if m {
+			moved++
+		}
+	}
+	// Shift history: the current states become "1 round ago".
+	last := s.history[len(s.history)-1]
+	copy(s.history[1:], s.history[:len(s.history)-1])
+	copy(last, s.cfg.States)
+	s.history[0] = last
+	// history[0] aliases the slot we just filled with the pre-round
+	// states; install the new states into the live configuration and
+	// refresh history[0] to match (views at lag 0 must see round t).
+	copy(s.cfg.States, s.next)
+	copy(s.history[0], s.cfg.States)
+	if moved > 0 {
+		s.rounds++
+		s.moves += moved
+	}
+	return moved
+}
+
+// Run drives Step until maxLag+1 consecutive quiet rounds (with lagged
+// views, a single quiet round does not imply a fixed point: older state
+// may still be observed later) or until maxRounds active rounds.
+func (s *StaleLockstep[S]) Run(maxRounds int) Result {
+	start := s.rounds
+	quiet := 0
+	for s.rounds-start < maxRounds {
+		if s.Step() == 0 {
+			quiet++
+			if quiet > s.maxLag {
+				return Result{Rounds: s.rounds - start, Moves: s.moves, Stable: true}
+			}
+		} else {
+			quiet = 0
+		}
+	}
+	return Result{Rounds: s.rounds - start, Moves: s.moves, Stable: false}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/verify"
+)
+
+func TestStaleLockstepZeroLagMatchesLockstep(t *testing.T) {
+	// With MaxLag = 0 the staleness executor IS the synchronous model:
+	// identical trajectories on identical inputs.
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		g := graph.RandomConnected(15, 0.25, rng)
+		p := core.NewSMM()
+		cfg1 := core.NewConfig[core.Pointer](g)
+		cfg1.Randomize(p, rand.New(rand.NewSource(int64(trial))))
+		cfg2 := cfg1.Clone()
+
+		l := NewLockstep[core.Pointer](p, cfg1)
+		s := NewStaleLockstep[core.Pointer](p, cfg2, 0, rng)
+		for round := 0; round < g.N()+2; round++ {
+			m1 := l.Step()
+			m2 := s.Step()
+			if m1 != m2 {
+				t.Fatalf("trial %d round %d: moves %d vs %d", trial, round, m1, m2)
+			}
+			for v := range cfg1.States {
+				if cfg1.States[v] != cfg2.States[v] {
+					t.Fatalf("trial %d round %d: node %d diverged", trial, round, v)
+				}
+			}
+			if m1 == 0 {
+				break
+			}
+		}
+	}
+}
+
+func TestStaleSMMConverges(t *testing.T) {
+	for _, lag := range []int{1, 2, 4} {
+		for trial := 0; trial < 15; trial++ {
+			rng := rand.New(rand.NewSource(int64(100*lag + trial)))
+			g := graph.RandomConnected(18, 0.2, rng)
+			p := core.NewSMM()
+			cfg := core.NewConfig[core.Pointer](g)
+			cfg.Randomize(p, rng)
+			s := NewStaleLockstep[core.Pointer](p, cfg, lag, rng)
+			res := s.Run(300 * (lag + 1))
+			if !res.Stable {
+				t.Fatalf("lag %d trial %d: %v", lag, trial, res)
+			}
+			if err := verify.IsMaximalMatching(g, core.MatchingOf(cfg)); err != nil {
+				t.Fatalf("lag %d trial %d: %v", lag, trial, err)
+			}
+		}
+	}
+}
+
+func TestStaleSMIConverges(t *testing.T) {
+	for _, lag := range []int{1, 2, 4} {
+		for trial := 0; trial < 15; trial++ {
+			rng := rand.New(rand.NewSource(int64(200*lag + trial)))
+			g := graph.RandomConnected(18, 0.2, rng)
+			p := core.NewSMI()
+			cfg := core.NewConfig[bool](g)
+			cfg.Randomize(p, rng)
+			s := NewStaleLockstep[bool](p, cfg, lag, rng)
+			res := s.Run(300 * (lag + 1))
+			if !res.Stable {
+				t.Fatalf("lag %d trial %d: %v", lag, trial, res)
+			}
+			if err := verify.IsMaximalIndependentSet(g, core.SetOf(cfg)); err != nil {
+				t.Fatalf("lag %d trial %d: %v", lag, trial, err)
+			}
+		}
+	}
+}
+
+// Staleness CAN transiently break a matched pair (Lemma 1 does not hold
+// under lagged views): node i backs off when it reads a stale j→k. Pin
+// this boundary with a deterministic scenario using a fixed lag history.
+func TestStaleCanBreakMatchTransiently(t *testing.T) {
+	// P3: 0-1-2. History: one round ago 1 pointed at 2; now 0↔1 matched.
+	// With lag 1, node 0 may observe the old 1→2 and back off.
+	g := graph.Path(3)
+	broke := false
+	for seed := int64(0); seed < 64 && !broke; seed++ {
+		p := core.NewSMM()
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.States[0] = core.PointAt(1)
+		cfg.States[1] = core.PointAt(0)
+		cfg.States[2] = core.Null
+		s := NewStaleLockstep[core.Pointer](p, cfg, 1, rand.New(rand.NewSource(seed)))
+		// Forge the history: one round ago node 1 pointed at 2. Node 0
+		// draws a stale view with probability 1/2 in the first round.
+		s.history[1][1] = core.PointAt(2)
+		s.Step()
+		if cfg.States[0] == core.Null {
+			broke = true
+			// It must still re-converge to a maximal matching.
+			res := s.Run(200)
+			if !res.Stable {
+				t.Fatalf("seed %d: %v", seed, res)
+			}
+			if err := verify.IsMaximalMatching(g, core.MatchingOf(cfg)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !broke {
+		t.Fatal("no seed in 64 produced the stale back-off — Lemma 1 seems to hold under staleness, contradicting the construction")
+	}
+}
+
+func TestStaleQuietWindow(t *testing.T) {
+	// A fixed point must be declared stable only after maxLag+1 quiet
+	// rounds; verify Run returns Rounds = 0 on an already-stable config.
+	g := graph.Path(2)
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.States[0] = core.PointAt(1)
+	cfg.States[1] = core.PointAt(0)
+	rng := rand.New(rand.NewSource(1))
+	s := NewStaleLockstep[core.Pointer](core.NewSMM(), cfg, 3, rng)
+	res := s.Run(100)
+	if !res.Stable || res.Rounds != 0 || s.Moves() != 0 {
+		t.Fatalf("res=%v moves=%d", res, s.Moves())
+	}
+}
+
+func TestStaleNegativeLagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g := graph.Path(2)
+	NewStaleLockstep[bool](core.NewSMI(), core.NewConfig[bool](g), -1, nil)
+}

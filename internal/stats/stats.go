@@ -1,0 +1,211 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness aggregates results with: summary statistics, percentiles,
+// histograms, and least-squares linear fits (used to confirm the O(n)
+// round-complexity scaling the paper proves).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean, Std     float64
+	P50, P90, P95 float64
+	P99, P100     float64
+}
+
+// Summarize computes summary statistics using Welford's online algorithm
+// (numerically stable; no sum-of-squares overflow). Inputs must be finite.
+// It panics on an empty sample — an experiment that produced no data is a
+// harness bug, not a statistic.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mean, m2 := 0.0, 0.0
+	for i, x := range s {
+		delta := x - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (x - mean)
+	}
+	variance := m2 / float64(len(s))
+	if variance < 0 {
+		variance = 0 // guard against floating-point cancellation
+	}
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: mean,
+		Std:  math.Sqrt(variance),
+		P50:  Percentile(s, 50),
+		P90:  Percentile(s, 90),
+		P95:  Percentile(s, 95),
+		P99:  Percentile(s, 99),
+		P100: s[len(s)-1],
+	}
+}
+
+// String renders a one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%g mean=%.2f p50=%g p95=%g max=%g std=%.2f",
+		s.N, s.Min, s.Mean, s.P50, s.P95, s.Max, s.Std)
+}
+
+// Percentile returns the p-th percentile (0..100) of a *sorted* sample
+// using linear interpolation between closest ranks.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ints converts an int sample for the float64-based helpers.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Histogram buckets a sample into k equal-width bins across [min,max].
+type Histogram struct {
+	Min, Max, Width float64
+	Counts          []int
+}
+
+// NewHistogram builds a k-bin histogram. k must be positive; a sample of
+// identical values produces a single fully-loaded bin.
+func NewHistogram(xs []float64, k int) Histogram {
+	if k <= 0 {
+		panic("stats: NewHistogram needs k > 0")
+	}
+	if len(xs) == 0 {
+		panic("stats: NewHistogram of empty sample")
+	}
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	h := Histogram{Min: mn, Max: mx, Counts: make([]int, k)}
+	if mn == mx {
+		h.Counts[0] = len(xs)
+		h.Width = 0
+		return h
+	}
+	h.Width = (mx - mn) / float64(k)
+	for _, x := range xs {
+		// Compute by proportion and clamp; protects against rounding at
+		// the edges and against huge ranges where the width saturates.
+		frac := (x - mn) / (mx - mn)
+		bin := int(frac * float64(k))
+		if math.IsNaN(frac) || bin < 0 {
+			bin = 0
+		}
+		if bin >= k {
+			bin = k - 1 // max value lands in the last bin
+		}
+		h.Counts[bin]++
+	}
+	return h
+}
+
+// LinearFit is the least-squares line y = Slope*x + Intercept with its
+// coefficient of determination.
+type LinearFit struct {
+	Slope, Intercept, R2 float64
+}
+
+// FitLine computes the least-squares fit of y on x. It panics unless both
+// slices have the same length >= 2.
+func FitLine(x, y []float64) LinearFit {
+	if len(x) != len(y) || len(x) < 2 {
+		panic("stats: FitLine needs two equal-length samples of size >= 2")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		panic("stats: FitLine with constant x")
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+	// R² = 1 - SSres/SStot.
+	meanY := sy / n
+	ssTot, ssRes := 0.0, 0.0
+	for i := range x {
+		pred := slope*x[i] + intercept
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+		ssRes += (y[i] - pred) * (y[i] - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// String renders e.g. "y = 0.50x + 1.00 (R²=0.998)".
+func (f LinearFit) String() string {
+	return fmt.Sprintf("y = %.2fx + %.2f (R²=%.3f)", f.Slope, f.Intercept, f.R2)
+}
+
+// Mean returns the arithmetic mean; it panics on an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty sample")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MaxInt returns the maximum of an int sample; it panics on empty input.
+func MaxInt(xs []int) int {
+	if len(xs) == 0 {
+		panic("stats: MaxInt of empty sample")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

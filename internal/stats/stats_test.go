@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Mean, 2.5) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	wantStd := math.Sqrt(1.25)
+	if !almost(s.Std, wantStd) {
+		t.Fatalf("std = %v, want %v", s.Std, wantStd)
+	}
+	if !almost(s.P50, 2.5) {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {110, 50}, {10, 14},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntsConversion(t *testing.T) {
+	fs := Ints([]int{1, 2})
+	if len(fs) != 2 || fs[0] != 1.0 || fs[1] != 2.0 {
+		t.Fatalf("Ints = %v", fs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bin %d = %d, want 2 (%v)", i, c, h.Counts)
+		}
+	}
+	// Constant sample: one loaded bin.
+	hc := NewHistogram([]float64{3, 3, 3}, 4)
+	if hc.Counts[0] != 3 || hc.Width != 0 {
+		t.Fatalf("constant histogram = %+v", hc)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	f := FitLine(x, y)
+	if !almost(f.Slope, 2) || !almost(f.Intercept, 1) || !almost(f.R2, 1) {
+		t.Fatalf("fit = %+v", f)
+	}
+	if f.String() != "y = 2.00x + 1.00 (R²=1.000)" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	f := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !almost(f.Slope, 0) || !almost(f.Intercept, 5) || !almost(f.R2, 1) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestFitLineConstantXPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FitLine([]float64{2, 2}, []float64{1, 3})
+}
+
+func TestMeanAndMaxInt(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean")
+	}
+	if MaxInt([]int{3, 9, 1}) != 9 {
+		t.Fatal("MaxInt")
+	}
+}
+
+// Property: min <= p50 <= p95 <= max and mean within [min,max].
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram bin counts sum to the sample size.
+func TestQuickHistogramTotal(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := 1 + int(kRaw%16)
+		h := NewHistogram(xs, k)
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

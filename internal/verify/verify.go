@@ -1,0 +1,238 @@
+// Package verify provides the ground-truth graph-theoretic predicates the
+// tests and experiments check protocol output against: matchings, maximal
+// matchings, independent sets, maximal independent sets, and dominating
+// sets, plus brute-force optima on small graphs for quality comparisons.
+package verify
+
+import (
+	"fmt"
+
+	"selfstab/internal/graph"
+)
+
+// IsMatching reports whether edges form a matching in g: every edge is
+// present in g and no two edges share an endpoint. A non-nil error
+// explains the first violation.
+func IsMatching(g *graph.Graph, edges []graph.Edge) error {
+	used := make(map[graph.NodeID]graph.Edge, 2*len(edges))
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("verify: matching edge %v not in graph", e)
+		}
+		for _, v := range [2]graph.NodeID{e.U, e.V} {
+			if prev, dup := used[v]; dup {
+				return fmt.Errorf("verify: node %d in both %v and %v", v, prev, e)
+			}
+			used[v] = e
+		}
+	}
+	return nil
+}
+
+// IsMaximalMatching reports whether edges form a maximal matching in g:
+// a matching such that every edge of g has a matched endpoint.
+func IsMaximalMatching(g *graph.Graph, edges []graph.Edge) error {
+	if err := IsMatching(g, edges); err != nil {
+		return err
+	}
+	saturated := make([]bool, g.N())
+	for _, e := range edges {
+		saturated[e.U] = true
+		saturated[e.V] = true
+	}
+	for _, e := range g.Edges() {
+		if !saturated[e.U] && !saturated[e.V] {
+			return fmt.Errorf("verify: matching not maximal: edge %v has no matched endpoint", e)
+		}
+	}
+	return nil
+}
+
+// IsIndependentSet reports whether set is independent in g (no two
+// members adjacent). Duplicate and out-of-range IDs are violations.
+func IsIndependentSet(g *graph.Graph, set []graph.NodeID) error {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("verify: node %d out of range", v)
+		}
+		if in[v] {
+			return fmt.Errorf("verify: node %d listed twice", v)
+		}
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				return fmt.Errorf("verify: adjacent members %d and %d", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// IsMaximalIndependentSet reports whether set is a maximal independent
+// set in g: independent, and every node outside has a neighbor inside.
+// (A maximal independent set is exactly an independent dominating set.)
+func IsMaximalIndependentSet(g *graph.Graph, set []graph.NodeID) error {
+	if err := IsIndependentSet(g, set); err != nil {
+		return err
+	}
+	return IsDominatingSet(g, set)
+}
+
+// IsDominatingSet reports whether every node of g is in set or adjacent
+// to a member of set.
+func IsDominatingSet(g *graph.Graph, set []graph.NodeID) error {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("verify: node %d out of range", v)
+		}
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("verify: node %d not dominated", v)
+		}
+	}
+	return nil
+}
+
+// IsMinimalDominatingSet reports whether set is dominating and no proper
+// subset obtained by removing one member still dominates.
+func IsMinimalDominatingSet(g *graph.Graph, set []graph.NodeID) error {
+	if err := IsDominatingSet(g, set); err != nil {
+		return err
+	}
+	for i, v := range set {
+		reduced := make([]graph.NodeID, 0, len(set)-1)
+		reduced = append(reduced, set[:i]...)
+		reduced = append(reduced, set[i+1:]...)
+		if IsDominatingSet(g, reduced) == nil {
+			return fmt.Errorf("verify: dominating set not minimal: %d is redundant", v)
+		}
+	}
+	return nil
+}
+
+// IsProperColoring reports whether color (indexed by node) assigns
+// adjacent nodes distinct colors.
+func IsProperColoring(g *graph.Graph, color []int) error {
+	if len(color) != g.N() {
+		return fmt.Errorf("verify: %d colors for %d nodes", len(color), g.N())
+	}
+	for _, e := range g.Edges() {
+		if color[e.U] == color[e.V] {
+			return fmt.Errorf("verify: edge %v monochromatic (color %d)", e, color[e.U])
+		}
+	}
+	return nil
+}
+
+// MaxMatchingSize computes the maximum matching size of g by exhaustive
+// search with memoized branching on the lowest unsaturated node. Only for
+// small graphs (exponential worst case); used to measure the quality
+// ratio of the maximal matchings SMM produces.
+func MaxMatchingSize(g *graph.Graph) int {
+	return maxMatch(g, 0, make([]bool, g.N()))
+}
+
+func maxMatch(g *graph.Graph, from graph.NodeID, used []bool) int {
+	n := graph.NodeID(g.N())
+	v := from
+	for v < n && used[v] {
+		v++
+	}
+	if v >= n {
+		return 0
+	}
+	// Either v stays unmatched...
+	best := maxMatch(g, v+1, used)
+	// ...or v matches one of its free neighbors.
+	used[v] = true
+	for _, u := range g.Neighbors(v) {
+		if !used[u] {
+			used[u] = true
+			if r := 1 + maxMatch(g, v+1, used); r > best {
+				best = r
+			}
+			used[u] = false
+		}
+	}
+	used[v] = false
+	return best
+}
+
+// MaxIndependentSetSize computes the maximum independent set size of g by
+// branch and bound on the highest-degree remaining node. Only for small
+// graphs.
+func MaxIndependentSetSize(g *graph.Graph) int {
+	alive := make([]bool, g.N())
+	for i := range alive {
+		alive[i] = true
+	}
+	return maxIS(g, alive)
+}
+
+func maxIS(g *graph.Graph, alive []bool) int {
+	// Pick an alive node of maximum degree among alive nodes.
+	pick := graph.NodeID(-1)
+	pickDeg := -1
+	for v := 0; v < g.N(); v++ {
+		if !alive[v] {
+			continue
+		}
+		d := 0
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if alive[u] {
+				d++
+			}
+		}
+		if d > pickDeg {
+			pick, pickDeg = graph.NodeID(v), d
+		}
+	}
+	if pick == -1 {
+		return 0
+	}
+	if pickDeg == 0 {
+		// All remaining nodes are isolated: take them all.
+		count := 0
+		for v := 0; v < g.N(); v++ {
+			if alive[v] {
+				count++
+			}
+		}
+		return count
+	}
+	// Branch: exclude pick...
+	alive[pick] = false
+	best := maxIS(g, alive)
+	// ...or include pick (removes its alive neighbors too).
+	var removed []graph.NodeID
+	for _, u := range g.Neighbors(pick) {
+		if alive[u] {
+			alive[u] = false
+			removed = append(removed, u)
+		}
+	}
+	if r := 1 + maxIS(g, alive); r > best {
+		best = r
+	}
+	for _, u := range removed {
+		alive[u] = true
+	}
+	alive[pick] = true
+	return best
+}

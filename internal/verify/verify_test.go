@@ -1,0 +1,184 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"selfstab/internal/graph"
+)
+
+func TestIsMatching(t *testing.T) {
+	g := graph.Path(5)
+	if err := IsMatching(g, []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(2, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := IsMatching(g, nil); err != nil {
+		t.Fatal("empty matching rejected:", err)
+	}
+	if IsMatching(g, []graph.Edge{graph.NewEdge(0, 2)}) == nil {
+		t.Fatal("non-edge accepted")
+	}
+	if IsMatching(g, []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(1, 2)}) == nil {
+		t.Fatal("shared endpoint accepted")
+	}
+}
+
+func TestIsMaximalMatching(t *testing.T) {
+	g := graph.Path(5) // 0-1-2-3-4
+	if err := IsMaximalMatching(g, []graph.Edge{graph.NewEdge(1, 2), graph.NewEdge(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	// {0,1} alone leaves edge {2,3} unsaturated.
+	if IsMaximalMatching(g, []graph.Edge{graph.NewEdge(0, 1)}) == nil {
+		t.Fatal("non-maximal matching accepted")
+	}
+	// Empty matching on an edgeless graph is maximal.
+	if err := IsMaximalMatching(graph.New(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid matchings propagate their error.
+	if IsMaximalMatching(g, []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(1, 2)}) == nil {
+		t.Fatal("invalid matching accepted by maximality check")
+	}
+}
+
+func TestIsIndependentSet(t *testing.T) {
+	g := graph.Cycle(5)
+	if err := IsIndependentSet(g, []graph.NodeID{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if IsIndependentSet(g, []graph.NodeID{0, 1}) == nil {
+		t.Fatal("adjacent pair accepted")
+	}
+	if IsIndependentSet(g, []graph.NodeID{0, 0}) == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if IsIndependentSet(g, []graph.NodeID{9}) == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestIsMaximalIndependentSet(t *testing.T) {
+	g := graph.Cycle(5)
+	if err := IsMaximalIndependentSet(g, []graph.NodeID{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if IsMaximalIndependentSet(g, []graph.NodeID{0}) == nil {
+		t.Fatal("non-maximal set accepted")
+	}
+	if IsMaximalIndependentSet(g, []graph.NodeID{0, 1}) == nil {
+		t.Fatal("dependent set accepted")
+	}
+}
+
+func TestIsDominatingSet(t *testing.T) {
+	g := graph.Star(5)
+	if err := IsDominatingSet(g, []graph.NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if IsDominatingSet(g, []graph.NodeID{1}) == nil {
+		t.Fatal("leaf alone dominates star?")
+	}
+	if IsDominatingSet(g, []graph.NodeID{-1}) == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	// Isolated node must itself be in the set.
+	g2 := graph.New(2)
+	if IsDominatingSet(g2, []graph.NodeID{0}) == nil {
+		t.Fatal("isolated node 1 not dominated but accepted")
+	}
+}
+
+func TestIsMinimalDominatingSet(t *testing.T) {
+	g := graph.Path(4)
+	if err := IsMinimalDominatingSet(g, []graph.NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// {0,1,3}: 0 is redundant.
+	if IsMinimalDominatingSet(g, []graph.NodeID{0, 1, 3}) == nil {
+		t.Fatal("non-minimal set accepted")
+	}
+	if IsMinimalDominatingSet(g, []graph.NodeID{0}) == nil {
+		t.Fatal("non-dominating set accepted")
+	}
+}
+
+func TestIsProperColoring(t *testing.T) {
+	g := graph.Cycle(4)
+	if err := IsProperColoring(g, []int{0, 1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if IsProperColoring(g, []int{0, 0, 1, 1}) == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+	if IsProperColoring(g, []int{0, 1}) == nil {
+		t.Fatal("wrong length accepted")
+	}
+}
+
+func TestMaxMatchingSize(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.Path(2), 1},
+		{graph.Path(5), 2},
+		{graph.Cycle(6), 3},
+		{graph.Cycle(7), 3},
+		{graph.Star(6), 1},
+		{graph.Complete(6), 3},
+		{graph.CompleteBipartite(3, 5), 3},
+		{graph.New(4), 0},
+		{graph.Grid(2, 3), 3},
+	}
+	for i, c := range cases {
+		if got := MaxMatchingSize(c.g); got != c.want {
+			t.Errorf("case %d (%v): MaxMatchingSize = %d, want %d", i, c.g, got, c.want)
+		}
+	}
+}
+
+func TestMaxIndependentSetSize(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int
+	}{
+		{graph.Path(5), 3},
+		{graph.Cycle(6), 3},
+		{graph.Cycle(7), 3},
+		{graph.Star(6), 5},
+		{graph.Complete(6), 1},
+		{graph.CompleteBipartite(3, 5), 5},
+		{graph.New(4), 4},
+		{graph.Grid(3, 3), 5},
+	}
+	for i, c := range cases {
+		if got := MaxIndependentSetSize(c.g); got != c.want {
+			t.Errorf("case %d (%v): MaxIndependentSetSize = %d, want %d", i, c.g, got, c.want)
+		}
+	}
+}
+
+// Property: any maximal matching has size >= half the maximum matching
+// (classical 2-approximation), checked on small random graphs with a
+// greedy maximal matching.
+func TestQuickMaximalMatchingHalfOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		g := graph.RandomConnected(10, 0.3, rng)
+		var m []graph.Edge
+		used := make([]bool, g.N())
+		for _, e := range g.Edges() {
+			if !used[e.U] && !used[e.V] {
+				m = append(m, e)
+				used[e.U], used[e.V] = true, true
+			}
+		}
+		if err := IsMaximalMatching(g, m); err != nil {
+			t.Fatal(err)
+		}
+		if opt := MaxMatchingSize(g); 2*len(m) < opt {
+			t.Fatalf("greedy %d < half of optimum %d", len(m), opt)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package viz renders protocol configurations as compact ASCII lines for
+// terminal inspection of executions: matched pairs and pointers for SMM,
+// membership dots for SMI, parent arrows for the spanning tree, and a
+// Timeline that collects one line per round — the poor man's Figure 2.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// SMMLine renders an SMM configuration: "0↔1" for matched pairs, "2→3"
+// for one-sided pointers, and "4·" for aloof nodes, in node order with
+// each pair reported once.
+func SMMLine(cfg core.Config[core.Pointer]) string {
+	var parts []string
+	reported := make([]bool, len(cfg.States))
+	for v, p := range cfg.States {
+		if reported[v] {
+			continue
+		}
+		i := graph.NodeID(v)
+		switch {
+		case p.IsNull():
+			parts = append(parts, fmt.Sprintf("%d·", v))
+		case core.Matched(cfg, i):
+			j := p.Node()
+			reported[j] = true
+			parts = append(parts, fmt.Sprintf("%d↔%d", v, j))
+		default:
+			parts = append(parts, fmt.Sprintf("%d→%s", v, p))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// SMILine renders an SMI configuration as one rune per node: '●' for
+// members and '○' for non-members.
+func SMILine(cfg core.Config[bool]) string {
+	var sb strings.Builder
+	for _, x := range cfg.States {
+		if x {
+			sb.WriteRune('●')
+		} else {
+			sb.WriteRune('○')
+		}
+	}
+	return sb.String()
+}
+
+// TypeLine renders the per-node SMM types ("M M PM A° ...").
+func TypeLine(cfg core.Config[core.Pointer]) string {
+	types := core.ClassifySMM(cfg)
+	parts := make([]string, len(types))
+	for v, t := range types {
+		parts[v] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Timeline accumulates one rendered line per round.
+type Timeline struct {
+	header string
+	lines  []string
+}
+
+// NewTimeline starts a timeline with a header (e.g. the protocol name).
+func NewTimeline(header string) *Timeline {
+	return &Timeline{header: header}
+}
+
+// Add records the rendering of one round.
+func (t *Timeline) Add(line string) {
+	t.lines = append(t.lines, line)
+}
+
+// Len returns the number of recorded rounds.
+func (t *Timeline) Len() int { return len(t.lines) }
+
+// String renders the timeline with 0-based round numbers; round 0 is the
+// initial configuration.
+func (t *Timeline) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.header)
+	for i, l := range t.lines {
+		fmt.Fprintf(&sb, "  t=%-3d %s\n", i, l)
+	}
+	return sb.String()
+}

@@ -1,0 +1,75 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+	"selfstab/internal/sim"
+)
+
+func TestSMMLine(t *testing.T) {
+	g := graph.Path(5)
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.States[0] = core.PointAt(1)
+	cfg.States[1] = core.PointAt(0)
+	cfg.States[2] = core.PointAt(1)
+	cfg.States[3] = core.Null
+	cfg.States[4] = core.PointAt(3)
+	got := SMMLine(cfg)
+	want := "0↔1 2→1 3· 4→3"
+	if got != want {
+		t.Fatalf("SMMLine = %q, want %q", got, want)
+	}
+}
+
+func TestSMILine(t *testing.T) {
+	g := graph.Path(4)
+	cfg := core.NewConfig[bool](g)
+	cfg.States[0] = true
+	cfg.States[3] = true
+	if got := SMILine(cfg); got != "●○○●" {
+		t.Fatalf("SMILine = %q", got)
+	}
+}
+
+func TestTypeLine(t *testing.T) {
+	g := graph.Path(3)
+	cfg := core.NewConfig[core.Pointer](g)
+	cfg.States[0] = core.PointAt(1)
+	cfg.States[1] = core.PointAt(0)
+	cfg.States[2] = core.Null
+	if got := TypeLine(cfg); got != "M M A°" {
+		t.Fatalf("TypeLine = %q", got)
+	}
+}
+
+func TestTimelineOverRun(t *testing.T) {
+	g := graph.Path(6)
+	cfg := core.NewConfig[core.Pointer](g)
+	for i := range cfg.States {
+		cfg.States[i] = core.Null
+	}
+	tl := NewTimeline("SMM on P6")
+	tl.Add(SMMLine(cfg))
+	l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
+	res := l.RunHook(g.N()+2, func(_ int, c core.Config[core.Pointer]) {
+		tl.Add(SMMLine(c))
+	})
+	if !res.Stable {
+		t.Fatalf("%v", res)
+	}
+	out := tl.String()
+	if tl.Len() != res.Rounds+1 {
+		t.Fatalf("timeline rows %d, rounds %d", tl.Len(), res.Rounds)
+	}
+	if !strings.HasPrefix(out, "SMM on P6\n") || !strings.Contains(out, "t=0") {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	// Final line must show everyone matched on an even path.
+	last := tl.lines[len(tl.lines)-1]
+	if strings.ContainsAny(last, "·") || strings.Contains(last, "→") {
+		t.Fatalf("final line not fully matched: %q", last)
+	}
+}
