@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet test race cover bench experiments experiments-quick fuzz clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/ ./internal/sim/ ./internal/protocols/
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

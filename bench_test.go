@@ -425,3 +425,36 @@ func BenchmarkHarnessQuick(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkHarnessE1Workers1/4 measure one full E1 table with the cell
+// pool pinned to 1 vs. 4 workers. The tables are byte-identical by
+// construction (per-cell derived seeds); the ratio is the harness-level
+// parallel speedup. As with BenchmarkParallelRound, a single-core
+// machine shows only pool overhead — the speedup needs GOMAXPROCS > 1.
+func BenchmarkHarnessE1Workers1(b *testing.B) { benchHarnessE1(b, 1) }
+func BenchmarkHarnessE1Workers4(b *testing.B) { benchHarnessE1(b, 4) }
+
+func benchHarnessE1(b *testing.B, workers int) {
+	opt := harness.QuickOptions()
+	opt.Workers = workers
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := harness.E1SMMConvergence(opt); !tbl.Passed {
+			b.Fatal("E1 failed")
+		}
+	}
+}
+
+// BenchmarkExploreSharded measures the sharded model checker on SMM/C9
+// (19683 configurations) with 4 workers against the serial
+// BenchmarkE11_ExhaustiveSMM baseline shape.
+func BenchmarkExploreSharded(b *testing.B) {
+	g := graph.Cycle(9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := modelcheck.ExploreWorkers[core.Pointer](core.NewSMM(), g, modelcheck.SMMDomain, 1<<20, nil, 4)
+		if err != nil || rep.Divergent != 0 {
+			b.Fatalf("rep=%v err=%v", rep, err)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-// Command experiments regenerates the paper-reproduction tables (E1–E10)
+// Command experiments regenerates the paper-reproduction tables (E1–E14)
 // recorded in EXPERIMENTS.md. Each experiment checks one claim of the
 // paper — a theorem, a lemma, the transition diagram, the counterexample,
 // or the baseline comparison — and reports PASS or FAIL.
@@ -9,35 +9,50 @@
 //	experiments -quick             # reduced sweep (CI-sized)
 //	experiments -markdown          # markdown tables for EXPERIMENTS.md
 //	experiments -id E7 -trials 50  # a single experiment
+//	experiments -workers 8         # cap the per-experiment worker pool
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"selfstab/internal/chart"
 	"selfstab/internal/harness"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags are parsed from args, tables go
+// to stdout, diagnostics to stderr, and the process exit code is
+// returned (0 ok, 1 experiment failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	logger := log.New(stderr, "experiments: ", 0)
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		quick    = flag.Bool("quick", false, "reduced sweep")
-		markdown = flag.Bool("markdown", false, "render markdown instead of text")
-		id       = flag.String("id", "", "run a single experiment (E1..E10)")
-		seed     = flag.Int64("seed", 0, "override seed (0 = default)")
-		trials   = flag.Int("trials", 0, "override trials per cell (0 = default)")
-		sizes    = flag.String("sizes", "", "override size sweep, e.g. 8,16,32")
-		csvDir   = flag.String("csv", "", "also write each table as <dir>/<ID>.csv (figure series data)")
-		charts   = flag.Bool("charts", false, "render ASCII charts of the headline series after each table")
+		quick    = fs.Bool("quick", false, "reduced sweep")
+		markdown = fs.Bool("markdown", false, "render markdown instead of text")
+		id       = fs.String("id", "", "run a single experiment (E1..E14)")
+		seed     = fs.Int64("seed", 0, "override seed (0 = default)")
+		trials   = fs.Int("trials", 0, "override trials per cell (0 = default)")
+		sizes    = fs.String("sizes", "", "override size sweep, e.g. 8,16,32")
+		workers  = fs.Int("workers", runtime.NumCPU(), "worker goroutines per experiment (results are identical for any value)")
+		csvDir   = fs.String("csv", "", "also write each table as <dir>/<ID>.csv (figure series data)")
+		charts   = fs.Bool("charts", false, "render ASCII charts of the headline series after each table")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	opt := harness.DefaultOptions()
 	if *quick {
@@ -49,50 +64,66 @@ func main() {
 	if *trials != 0 {
 		opt.Trials = *trials
 	}
+	opt.Workers = *workers
 	if *sizes != "" {
 		opt.Sizes = nil
 		for _, part := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n < 2 {
-				log.Fatalf("bad -sizes entry %q", part)
+				logger.Printf("bad -sizes entry %q", part)
+				return 2
 			}
 			opt.Sizes = append(opt.Sizes, n)
 		}
 	}
 
+	emit := func(e harness.Experiment) (*harness.Table, bool) {
+		start := time.Now()
+		tbl := e.Run(opt)
+		tbl.Elapsed = time.Since(start)
+		if ok := render(tbl, *markdown, stdout, logger); !ok {
+			return tbl, false
+		}
+		if ok := writeCSV(tbl, *csvDir, logger); !ok {
+			return tbl, false
+		}
+		if *charts {
+			renderChart(tbl, stdout, logger)
+		}
+		return tbl, true
+	}
+
 	if *id != "" {
 		e, ok := harness.ByID(*id)
 		if !ok {
-			log.Fatalf("unknown experiment %q", *id)
+			logger.Printf("unknown experiment %q", *id)
+			return 2
 		}
-		tbl := e.Run(opt)
-		render(tbl, *markdown)
-		writeCSV(tbl, *csvDir)
-		if *charts {
-			renderChart(tbl)
+		tbl, ok := emit(e)
+		if !ok {
+			return 2
 		}
 		if !tbl.Passed {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	failed := 0
 	for _, e := range harness.All() {
-		tbl := e.Run(opt)
-		render(tbl, *markdown)
-		writeCSV(tbl, *csvDir)
-		if *charts {
-			renderChart(tbl)
+		tbl, ok := emit(e)
+		if !ok {
+			return 2
 		}
 		if !tbl.Passed {
 			failed++
 		}
 	}
-	fmt.Printf("experiments failed: %d\n", failed)
+	fmt.Fprintf(stdout, "experiments failed: %d\n", failed)
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // chartSpecs maps experiments to their headline series, when one makes
@@ -106,52 +137,58 @@ var chartSpecs = map[string][3]string{
 
 // renderChart draws the experiment's headline series as ASCII, when the
 // experiment has one.
-func renderChart(tbl *harness.Table) {
+func renderChart(tbl *harness.Table, stdout io.Writer, logger *log.Logger) {
 	spec, ok := chartSpecs[tbl.ID]
 	if !ok {
 		return
 	}
 	series, err := chart.SeriesFromTable(tbl, spec[0], spec[1], spec[2])
 	if err != nil {
-		log.Printf("chart %s: %v", tbl.ID, err)
+		logger.Printf("chart %s: %v", tbl.ID, err)
 		return
 	}
 	title := fmt.Sprintf("%s: %s vs %s", tbl.ID, spec[2], spec[1])
-	if err := chart.Render(os.Stdout, title, 64, 16, series...); err != nil {
-		log.Printf("chart %s: %v", tbl.ID, err)
+	if err := chart.Render(stdout, title, 64, 16, series...); err != nil {
+		logger.Printf("chart %s: %v", tbl.ID, err)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 }
 
 // writeCSV dumps the table as <dir>/<ID>.csv when dir is set.
-func writeCSV(tbl *harness.Table, dir string) {
+func writeCSV(tbl *harness.Table, dir string, logger *log.Logger) bool {
 	if dir == "" {
-		return
+		return true
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return false
 	}
 	f, err := os.Create(filepath.Join(dir, tbl.ID+".csv"))
 	if err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return false
 	}
 	defer f.Close()
 	if err := tbl.WriteCSV(f); err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return false
 	}
+	return true
 }
 
-func render(tbl *harness.Table, markdown bool) {
+func render(tbl *harness.Table, markdown bool, stdout io.Writer, logger *log.Logger) bool {
 	var err error
 	if markdown {
-		err = tbl.RenderMarkdown(os.Stdout)
+		err = tbl.RenderMarkdown(stdout)
 	} else {
-		err = tbl.Render(os.Stdout)
+		err = tbl.Render(stdout)
 	}
 	if err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return false
 	}
 	if !tbl.Passed {
-		fmt.Println("FAILED")
+		fmt.Fprintln(stdout, "FAILED")
 	}
+	return true
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownID(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-id", "E99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("stderr = %q, want unknown-experiment diagnostic", errOut.String())
+	}
+}
+
+func TestRunSingleID(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-id", "E4"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "E4:") {
+		t.Fatalf("stdout missing E4 table:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "E1:") {
+		t.Fatalf("-id E4 also ran E1:\n%s", out.String())
+	}
+}
+
+func TestRunBadSizes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-id", "E4", "-sizes", "8,zap"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "bad -sizes") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunStampsElapsedFooter(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-id", "E4", "-workers", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "cells/sec") {
+		t.Fatalf("stdout missing timing footer:\n%s", out.String())
+	}
+}

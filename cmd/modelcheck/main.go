@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 
 	"selfstab/internal/cli"
 	"selfstab/internal/core"
@@ -35,6 +36,7 @@ func main() {
 		p        = flag.Float64("p", 0.2, "edge probability / radius hint")
 		seed     = flag.Int64("seed", 1, "random seed (random topologies)")
 		limit    = flag.Uint64("limit", 1<<26, "maximum state-space size")
+		workers  = flag.Int("workers", runtime.NumCPU(), "shard the exploration across this many goroutines (report is identical for any value)")
 	)
 	flag.Parse()
 
@@ -53,22 +55,22 @@ func main() {
 		} else {
 			proto = core.NewSMMArbitrary()
 		}
-		rep, err := modelcheck.Explore[core.Pointer](proto, g, modelcheck.SMMDomain, *limit,
+		rep, err := modelcheck.ExploreWorkers[core.Pointer](proto, g, modelcheck.SMMDomain, *limit,
 			func(states []core.Pointer) error {
 				cfg := core.Config[core.Pointer]{G: g, States: states}
 				return verify.IsMaximalMatching(g, core.MatchingOf(cfg))
-			})
+			}, *workers)
 		report(rep, err, g.N()+1)
 	case "smi":
-		rep, err := modelcheck.Explore[bool](core.NewSMI(), g, modelcheck.SMIDomain, *limit,
+		rep, err := modelcheck.ExploreWorkers[bool](core.NewSMI(), g, modelcheck.SMIDomain, *limit,
 			func(states []bool) error {
 				cfg := core.Config[bool]{G: g, States: states}
 				return verify.IsMaximalIndependentSet(g, core.SetOf(cfg))
-			})
+			}, *workers)
 		report(rep, err, g.N()+1)
 	case "coloring":
-		rep, err := modelcheck.Explore[int](protocols.NewColoring(), g, modelcheck.ColoringDomain, *limit,
-			func(states []int) error { return verify.IsProperColoring(g, states) })
+		rep, err := modelcheck.ExploreWorkers[int](protocols.NewColoring(), g, modelcheck.ColoringDomain, *limit,
+			func(states []int) error { return verify.IsProperColoring(g, states) }, *workers)
 		report(rep, err, g.N()+1)
 	default:
 		log.Fatalf("unknown protocol %q (deterministic protocols only)", *protocol)

@@ -54,7 +54,12 @@ func TestPartitionAndHeal(t *testing.T) {
 
 // Property: SMM under randomized link-layer parameters (jitter, delay,
 // delay jitter, loss, timeout) always stabilizes to a maximal matching
-// within a generous deadline.
+// within a generous deadline. Result.Stable only reports quiescence, and
+// under loss a quiet window can elapse during a discovery lull (every
+// beacon on a link lost for several periods), so a single Run is not
+// conclusive: keep processing events until the configuration is actually
+// maximal or the deadline passes. quick.Check draws from a fixed seed so
+// the sampled parameter set is identical on every CI run.
 func TestQuickBeaconParamsRobust(t *testing.T) {
 	f := func(seed int64, jit, dly, dlyJit, loss uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -73,11 +78,61 @@ func TestQuickBeaconParamsRobust(t *testing.T) {
 			states[v] = core.NewSMM().Random(graph.NodeID(v), g.Neighbors(graph.NodeID(v)), srng)
 		}
 		net := NewNetwork[core.Pointer](core.NewSMM(), g, states, prm, rng)
-		res := net.Run(3000, 10)
-		return res.Stable &&
-			verify.IsMaximalMatching(g, core.MatchingOf(net.Config())) == nil
+		const deadline = 3000
+		for {
+			res := net.Run(deadline, 10)
+			if verify.IsMaximalMatching(g, core.MatchingOf(net.Config())) == nil {
+				return true
+			}
+			if !res.Stable || net.Now() >= deadline {
+				return false
+			}
+			// Quiescence during a transient lull — resume the event loop.
+		}
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(20260806))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBeaconLossyDiscoveryLull pins the counterexample quick.Check once
+// found in CI: with 17% loss, every beacon from node 2 to node 5 is lost
+// for the first ~19 periods, so 5 never discovers 2; 2 proposes to 5 and
+// goes quiet waiting, the 10-period quiet window elapses, and Run reports
+// quiescence while edge {2,5} has no matched endpoint. Resuming the run
+// must deliver the discovery beacon and converge to a maximal matching.
+func TestBeaconLossyDiscoveryLull(t *testing.T) {
+	seed := int64(-3925038436534476815)
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomConnected(10, 0.3, rng)
+	prm := Params{
+		TB:            1,
+		Jitter:        0,
+		Delay:         0.05,
+		DelayJitter:   0.6,
+		Loss:          0.17,
+		TimeoutFactor: 4,
+	}
+	states := make([]core.Pointer, g.N())
+	srng := rand.New(rand.NewSource(seed))
+	for v := range states {
+		states[v] = core.NewSMM().Random(graph.NodeID(v), g.Neighbors(graph.NodeID(v)), srng)
+	}
+	net := NewNetwork[core.Pointer](core.NewSMM(), g, states, prm, rng)
+
+	res := net.Run(3000, 10)
+	if !res.Stable {
+		t.Fatalf("first run hit the deadline: %v", res)
+	}
+	if verify.IsMaximalMatching(g, core.MatchingOf(net.Config())) != nil {
+		// The lull reproduced (the interesting path): resuming must fix it.
+		res = net.Run(3000, 10)
+		if !res.Stable {
+			t.Fatalf("resumed run hit the deadline: %v", res)
+		}
+	}
+	if err := verify.IsMaximalMatching(g, core.MatchingOf(net.Config())); err != nil {
+		t.Fatalf("not maximal after resume: %v", err)
 	}
 }

@@ -175,6 +175,17 @@ func (m *TransitionMatrix) Record(before, after []SMMType) {
 	}
 }
 
+// Add accumulates another matrix into m — the deterministic merge for
+// per-trial matrices recorded concurrently (addition commutes, so any
+// gather order yields the same totals).
+func (m *TransitionMatrix) Add(o *TransitionMatrix) {
+	for i := range o {
+		for j := range o[i] {
+			m[i][j] += o[i][j]
+		}
+	}
+}
+
 // Violations returns the observed transitions the diagram forbids, as
 // (from, to, count) triples in declaration order.
 func (m *TransitionMatrix) Violations() []TransitionCount {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"selfstab/internal/core"
+	"selfstab/internal/graph"
 	"selfstab/internal/stats"
 	"selfstab/internal/verify"
 )
@@ -12,7 +13,8 @@ import (
 // E1SMMConvergence reproduces Theorem 1: Algorithm SMM stabilizes within
 // n+1 rounds from every initial state and its fixed point is a maximal
 // matching. One row per (topology, n): mean and max rounds across trials,
-// against the bound.
+// against the bound. Trials fan out across the worker pool, one derived
+// seed per cell.
 func E1SMMConvergence(opt Options) *Table {
 	t := &Table{
 		ID:    "E1",
@@ -21,22 +23,33 @@ func E1SMMConvergence(opt Options) *Table {
 		Cols:  []string{"topology", "n", "trials", "rounds mean", "rounds max", "bound n+1", "maximal"},
 	}
 	t.Passed = true
-	rng := rand.New(rand.NewSource(opt.Seed))
-	for _, topo := range opt.topologies() {
-		for _, n := range opt.Sizes {
-			g := topo.Gen(n, rng)
+	type cell struct {
+		rounds  int
+		inBound bool
+		maximal bool
+	}
+	res, _ := trialGrid(opt, "E1", func(_ Topology, g *graph.Graph, n, _ int, seed int64) cell {
+		l, r := runSMM(g, seed, core.NewSMM())
+		return cell{
+			rounds:  r.Rounds,
+			inBound: r.Stable && r.Rounds <= n+1,
+			maximal: verify.IsMaximalMatching(g, core.MatchingOf(l.Config())) == nil,
+		}
+	})
+	for ti, topo := range opt.topologies() {
+		for si, n := range opt.Sizes {
 			rounds := make([]int, 0, opt.Trials)
 			allMaximal := true
-			for trial := 0; trial < opt.Trials; trial++ {
-				l, res := runSMM(g, opt.Seed+int64(trial), core.NewSMM())
-				if !res.Stable || res.Rounds > n+1 {
+			for _, c := range res[ti][si] {
+				if !c.inBound {
 					t.Passed = false
 				}
-				if err := verify.IsMaximalMatching(g, core.MatchingOf(l.Config())); err != nil {
+				if !c.maximal {
 					allMaximal = false
 					t.Passed = false
 				}
-				rounds = append(rounds, res.Rounds)
+				rounds = append(rounds, c.rounds)
+				t.Cells++
 			}
 			s := stats.Summarize(stats.Ints(rounds))
 			t.AddRow(topo.Name, itoa(n), itoa(opt.Trials),
@@ -49,7 +62,8 @@ func E1SMMConvergence(opt Options) *Table {
 // E2TypeCensus reproduces Lemma 7 and the Figure 3 transition diagram:
 // after round 1 the sets A' and PA are empty, and every observed type
 // transition is an arrow of the diagram. One row per topology with
-// aggregate counts.
+// aggregate counts; per-trial matrices are merged deterministically in
+// (size, trial) order.
 func E2TypeCensus(opt Options) *Table {
 	t := &Table{
 		ID:    "E2",
@@ -58,24 +72,33 @@ func E2TypeCensus(opt Options) *Table {
 		Cols:  []string{"topology", "transitions", "violations", "A'+PA after t=0", "distinct arrows"},
 	}
 	t.Passed = true
-	rng := rand.New(rand.NewSource(opt.Seed))
-	for _, topo := range opt.topologies() {
+	type cell struct {
+		m        core.TransitionMatrix
+		lateA1PA int
+	}
+	res, _ := trialGrid(opt, "E2", func(_ Topology, g *graph.Graph, n, _ int, seed int64) cell {
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(core.NewSMM(), rand.New(rand.NewSource(seed)))
+		before := core.ClassifySMM(cfg)
+		var c cell
+		l := newLockstepSMM(cfg)
+		l.RunHook(n+2, func(_ int, cf core.Config[core.Pointer]) {
+			after := core.ClassifySMM(cf)
+			c.m.Record(before, after)
+			cen := core.CensusOf(after)
+			c.lateA1PA += cen[core.TypeA1] + cen[core.TypePA]
+			before = after
+		})
+		return c
+	})
+	for ti, topo := range opt.topologies() {
 		var m core.TransitionMatrix
 		lateA1PA := 0
-		for _, n := range opt.Sizes {
-			g := topo.Gen(n, rng)
-			for trial := 0; trial < opt.Trials; trial++ {
-				cfg := core.NewConfig[core.Pointer](g)
-				cfg.Randomize(core.NewSMM(), rand.New(rand.NewSource(opt.Seed+int64(trial))))
-				before := core.ClassifySMM(cfg)
-				l := newLockstepSMM(cfg)
-				l.RunHook(n+2, func(_ int, c core.Config[core.Pointer]) {
-					after := core.ClassifySMM(c)
-					m.Record(before, after)
-					cen := core.CensusOf(after)
-					lateA1PA += cen[core.TypeA1] + cen[core.TypePA]
-					before = after
-				})
+		for si := range opt.Sizes {
+			for _, c := range res[ti][si] {
+				m.Add(&c.m)
+				lateA1PA += c.lateA1PA
+				t.Cells++
 			}
 		}
 		viol := m.Violations()
@@ -104,33 +127,48 @@ func E3MatchingGrowth(opt Options) *Table {
 		Cols:  []string{"topology", "windows checked", "min growth", "violations"},
 	}
 	t.Passed = true
-	rng := rand.New(rand.NewSource(opt.Seed))
-	for _, topo := range opt.topologies() {
-		windows, minGrowth, violations := 0, 1<<30, 0
-		for _, n := range opt.Sizes {
-			g := topo.Gen(n, rng)
-			for trial := 0; trial < opt.Trials; trial++ {
-				cfg := core.NewConfig[core.Pointer](g)
-				cfg.Randomize(core.NewSMM(), rand.New(rand.NewSource(opt.Seed+int64(trial))))
-				l := newLockstepSMM(cfg)
-				var sizes []int
-				l.RunHook(n+2, func(_ int, c core.Config[core.Pointer]) {
-					sizes = append(sizes, 2*len(core.MatchingOf(c)))
-				})
-				// sizes[k] is |M| after active round k+1; Lemma 10 windows
-				// start at t >= 1.
-				for k := 0; k+2 < len(sizes); k++ {
-					windows++
-					growth := sizes[k+2] - sizes[k]
-					if growth < minGrowth {
-						minGrowth = growth
-					}
-					if growth < 2 {
-						violations++
-						t.Passed = false
-					}
-				}
+	type cell struct {
+		windows    int
+		minGrowth  int
+		violations int
+	}
+	res, _ := trialGrid(opt, "E3", func(_ Topology, g *graph.Graph, n, _ int, seed int64) cell {
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(core.NewSMM(), rand.New(rand.NewSource(seed)))
+		l := newLockstepSMM(cfg)
+		var sizes []int
+		l.RunHook(n+2, func(_ int, cf core.Config[core.Pointer]) {
+			sizes = append(sizes, 2*len(core.MatchingOf(cf)))
+		})
+		// sizes[k] is |M| after active round k+1; Lemma 10 windows start
+		// at t >= 1.
+		c := cell{minGrowth: 1 << 30}
+		for k := 0; k+2 < len(sizes); k++ {
+			c.windows++
+			growth := sizes[k+2] - sizes[k]
+			if growth < c.minGrowth {
+				c.minGrowth = growth
 			}
+			if growth < 2 {
+				c.violations++
+			}
+		}
+		return c
+	})
+	for ti, topo := range opt.topologies() {
+		windows, minGrowth, violations := 0, 1<<30, 0
+		for si := range opt.Sizes {
+			for _, c := range res[ti][si] {
+				windows += c.windows
+				if c.minGrowth < minGrowth {
+					minGrowth = c.minGrowth
+				}
+				violations += c.violations
+				t.Cells++
+			}
+		}
+		if violations > 0 {
+			t.Passed = false
 		}
 		if windows == 0 {
 			minGrowth = 0
@@ -143,7 +181,8 @@ func E3MatchingGrowth(opt Options) *Table {
 // E4Counterexample reproduces the Section 3 counterexample: SMM with
 // arbitrary (cyclic-successor) proposals oscillates forever on the
 // four-cycle, while published SMM stabilizes; and the arbitrary variant
-// also fails on larger even cycles.
+// also fails on larger even cycles. The six cases are deterministic and
+// tiny, so they stay serial.
 func E4Counterexample(opt Options) *Table {
 	t := &Table{
 		ID:    "E4",
@@ -195,6 +234,7 @@ func E4Counterexample(opt Options) *Table {
 			outcomeB = "stable"
 		}
 		t.AddRow(fmt.Sprintf("C%d", n), "min-id", itoa(resB.Rounds), outcomeB, "-")
+		t.Cells += 2
 	}
 	t.Notes = append(t.Notes,
 		"successor variant run from the all-null state with the clockwise tie-break of the paper's example")
@@ -213,29 +253,42 @@ func E5SMIConvergence(opt Options) *Table {
 		Cols:  []string{"topology", "n", "trials", "rounds mean", "rounds max", "bound n+1", "MIS", "|S|/opt"},
 	}
 	t.Passed = true
-	rng := rand.New(rand.NewSource(opt.Seed))
-	for _, topo := range opt.topologies() {
-		for _, n := range opt.Sizes {
-			g := topo.Gen(n, rng)
+	type cell struct {
+		rounds  int
+		inBound bool
+		isMIS   bool
+		size    float64
+	}
+	res, graphs := trialGrid(opt, "E5", func(_ Topology, g *graph.Graph, n, _ int, seed int64) cell {
+		l, r := runSMI(g, seed)
+		set := core.SetOf(l.Config())
+		return cell{
+			rounds:  r.Rounds,
+			inBound: r.Stable && r.Rounds <= n+1,
+			isMIS:   verify.IsMaximalIndependentSet(g, set) == nil,
+			size:    float64(len(set)),
+		}
+	})
+	for ti, topo := range opt.topologies() {
+		for si, n := range opt.Sizes {
 			rounds := make([]int, 0, opt.Trials)
 			allMIS := true
 			ratio := "-"
 			var sizes []float64
-			for trial := 0; trial < opt.Trials; trial++ {
-				l, res := runSMI(g, opt.Seed+int64(trial))
-				if !res.Stable || res.Rounds > n+1 {
+			for _, c := range res[ti][si] {
+				if !c.inBound {
 					t.Passed = false
 				}
-				set := core.SetOf(l.Config())
-				if err := verify.IsMaximalIndependentSet(g, set); err != nil {
+				if !c.isMIS {
 					allMIS = false
 					t.Passed = false
 				}
-				rounds = append(rounds, res.Rounds)
-				sizes = append(sizes, float64(len(set)))
+				rounds = append(rounds, c.rounds)
+				sizes = append(sizes, c.size)
+				t.Cells++
 			}
 			if n <= 16 { // brute-force optimum only on small graphs
-				if best := verify.MaxIndependentSetSize(g); best > 0 {
+				if best := verify.MaxIndependentSetSize(graphs[ti][si]); best > 0 {
 					ratio = fmt.Sprintf("%.2f", stats.Mean(sizes)/float64(best))
 				}
 			}

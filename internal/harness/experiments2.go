@@ -35,27 +35,49 @@ func E6SMIWave(opt Options) *Table {
 		{"descending", func(n int, _ *rand.Rand) []graph.NodeID { return reversePerm(n) }},
 		{"random", func(n int, rng *rand.Rand) []graph.NodeID { return graph.RandomPermutation(n, rng) }},
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	for _, ord := range orders {
+	graphs := make([][]*graph.Graph, len(orders))
+	for oi, ord := range orders {
+		graphs[oi] = make([]*graph.Graph, len(opt.Sizes))
+		for si, n := range opt.Sizes {
+			rng := cellRand(opt.Seed, "E6", ord.name+"/perm", n, -1)
+			graphs[oi][si] = graph.Path(n).Relabel(ord.perm(n, rng))
+		}
+	}
+	type cell struct {
+		rounds  int
+		inBound bool
+	}
+	total := len(orders) * len(opt.Sizes) * opt.Trials
+	res := mapCells(opt.workers(), total, func(i int) cell {
+		trial := i % opt.Trials
+		si := (i / opt.Trials) % len(opt.Sizes)
+		oi := i / (opt.Trials * len(opt.Sizes))
+		n := opt.Sizes[si]
+		g := graphs[oi][si]
+		// From the all-zero state the wave is fully exposed.
+		cfg := core.NewConfig[bool](g)
+		if trial > 0 { // remaining trials randomize
+			seed := DeriveSeed(opt.Seed, "E6", orders[oi].name, n, trial)
+			cfg.Randomize(core.NewSMI(), rand.New(rand.NewSource(seed)))
+		}
+		l := sim.NewLockstep[bool](core.NewSMI(), cfg)
+		r := l.Run(n + 2)
+		return cell{rounds: r.Rounds, inBound: r.Stable && r.Rounds <= n+1}
+	})
+	for oi, ord := range orders {
 		var xs, ys []float64
 		maxRounds, maxBound := 0, 0
-		for _, n := range opt.Sizes {
-			g := graph.Path(n).Relabel(ord.perm(n, rng))
+		for si, n := range opt.Sizes {
 			worst := 0
 			for trial := 0; trial < opt.Trials; trial++ {
-				// From the all-zero state the wave is fully exposed.
-				cfg := core.NewConfig[bool](g)
-				if trial > 0 { // remaining trials randomize
-					cfg.Randomize(core.NewSMI(), rand.New(rand.NewSource(opt.Seed+int64(trial))))
-				}
-				l := sim.NewLockstep[bool](core.NewSMI(), cfg)
-				res := l.Run(n + 2)
-				if !res.Stable || res.Rounds > n+1 {
+				c := res[(oi*len(opt.Sizes)+si)*opt.Trials+trial]
+				if !c.inBound {
 					t.Passed = false
 				}
-				if res.Rounds > worst {
-					worst = res.Rounds
+				if c.rounds > worst {
+					worst = c.rounds
 				}
+				t.Cells++
 			}
 			xs = append(xs, float64(n))
 			ys = append(ys, float64(worst))
@@ -84,41 +106,63 @@ func E7Baseline(opt Options) *Table {
 		Cols:  []string{"topology", "n", "SMM rounds", "refined HH rounds", "slowdown", "both maximal"},
 	}
 	t.Passed = true
-	rng := rand.New(rand.NewSource(opt.Seed))
-	for _, topo := range opt.topologies() {
-		for _, n := range opt.Sizes {
-			if n > 128 && opt.Quick {
-				continue
-			}
-			g := topo.Gen(n, rng)
+	gridOpt := opt
+	gridOpt.Sizes = nil
+	for _, n := range opt.Sizes {
+		if n > 128 && opt.Quick {
+			continue
+		}
+		gridOpt.Sizes = append(gridOpt.Sizes, n)
+	}
+	type cell struct {
+		smmRounds float64
+		refRounds float64
+		stable    bool
+		bothMax   bool
+	}
+	res, _ := trialGrid(gridOpt, "E7", func(_ Topology, g *graph.Graph, n, trial int, seed int64) cell {
+		c := cell{stable: true, bothMax: true}
+		l, r := runSMM(g, seed, core.NewSMM())
+		if !r.Stable {
+			c.stable = false
+		}
+		if verify.IsMaximalMatching(g, core.MatchingOf(l.Config())) != nil {
+			c.bothMax = false
+		}
+		c.smmRounds = float64(r.Rounds)
+
+		ref := protocols.Refine[core.Pointer](protocols.NewHsuHuang(), n, seed)
+		cfg := core.NewConfig[protocols.RefState[core.Pointer]](g)
+		cfg.Randomize(ref, rand.New(rand.NewSource(seed)))
+		lr := sim.NewLockstep[protocols.RefState[core.Pointer]](ref, cfg)
+		rres := lr.Run(500 * n)
+		if !rres.Stable {
+			c.stable = false
+		}
+		inner := core.NewConfig[core.Pointer](g)
+		for v, s := range lr.Config().States {
+			inner.States[v] = s.Inner
+		}
+		if verify.IsMaximalMatching(g, core.MatchingOf(inner)) != nil {
+			c.bothMax = false
+		}
+		c.refRounds = float64(rres.Rounds)
+		return c
+	})
+	for ti, topo := range gridOpt.topologies() {
+		for si, n := range gridOpt.Sizes {
 			var smmRounds, refRounds []float64
 			bothMaximal := true
-			for trial := 0; trial < opt.Trials; trial++ {
-				l, res := runSMM(g, opt.Seed+int64(trial), core.NewSMM())
-				if !res.Stable {
+			for _, c := range res[ti][si] {
+				if !c.stable {
 					t.Passed = false
 				}
-				if verify.IsMaximalMatching(g, core.MatchingOf(l.Config())) != nil {
+				if !c.bothMax {
 					bothMaximal = false
 				}
-				smmRounds = append(smmRounds, float64(res.Rounds))
-
-				ref := protocols.Refine[core.Pointer](protocols.NewHsuHuang(), n, opt.Seed+int64(trial))
-				cfg := core.NewConfig[protocols.RefState[core.Pointer]](g)
-				cfg.Randomize(ref, rand.New(rand.NewSource(opt.Seed+int64(trial))))
-				lr := sim.NewLockstep[protocols.RefState[core.Pointer]](ref, cfg)
-				rres := lr.Run(500 * n)
-				if !rres.Stable {
-					t.Passed = false
-				}
-				inner := core.NewConfig[core.Pointer](g)
-				for v, s := range lr.Config().States {
-					inner.States[v] = s.Inner
-				}
-				if verify.IsMaximalMatching(g, core.MatchingOf(inner)) != nil {
-					bothMaximal = false
-				}
-				refRounds = append(refRounds, float64(rres.Rounds))
+				smmRounds = append(smmRounds, c.smmRounds)
+				refRounds = append(refRounds, c.refRounds)
+				t.Cells++
 			}
 			if !bothMaximal {
 				t.Passed = false
@@ -150,28 +194,42 @@ func E8Restabilization(opt Options) *Table {
 	if n > 128 {
 		n = 128
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	for _, proto := range []string{"SMM", "SMI"} {
-		for _, k := range []int{1, 2, 4, 8} {
+	protos := []string{"SMM", "SMI"}
+	ks := []int{1, 2, 4, 8}
+	type cell struct {
+		rounds    int
+		disrupted int
+		ok        bool
+	}
+	total := len(protos) * len(ks) * opt.Trials
+	res := mapCells(opt.workers(), total, func(i int) cell {
+		trial := i % opt.Trials
+		ki := (i / opt.Trials) % len(ks)
+		proto := protos[i/(opt.Trials*len(ks))]
+		k := ks[ki]
+		seed := DeriveSeed(opt.Seed, "E8", proto, k, trial)
+		rng := cellRand(opt.Seed, "E8", proto+"/churn", k, trial)
+		g := graph.RandomConnected(n, 0.1, rng)
+		var c cell
+		switch proto {
+		case "SMM":
+			c.rounds, c.disrupted, c.ok = restabilizeSMM(g, k, seed, rng)
+		case "SMI":
+			c.rounds, c.disrupted, c.ok = restabilizeSMI(g, k, seed, rng)
+		}
+		return c
+	})
+	for pi, proto := range protos {
+		for ki, k := range ks {
 			var rounds, disrupted []float64
 			for trial := 0; trial < opt.Trials; trial++ {
-				g := graph.RandomConnected(n, 0.1, rng)
-				switch proto {
-				case "SMM":
-					r, d, ok := restabilizeSMM(g, k, opt.Seed+int64(trial), rng)
-					if !ok {
-						t.Passed = false
-					}
-					rounds = append(rounds, float64(r))
-					disrupted = append(disrupted, float64(d))
-				case "SMI":
-					r, d, ok := restabilizeSMI(g, k, opt.Seed+int64(trial), rng)
-					if !ok {
-						t.Passed = false
-					}
-					rounds = append(rounds, float64(r))
-					disrupted = append(disrupted, float64(d))
+				c := res[(pi*len(ks)+ki)*opt.Trials+trial]
+				if !c.ok {
+					t.Passed = false
 				}
+				rounds = append(rounds, float64(c.rounds))
+				disrupted = append(disrupted, float64(c.disrupted))
+				t.Cells++
 			}
 			rs := stats.Summarize(rounds)
 			ds := stats.Summarize(disrupted)
@@ -255,41 +313,73 @@ func E9BeaconModel(opt Options) *Table {
 	if len(sizes) > 3 {
 		sizes = sizes[:3]
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	for _, setting := range settings {
-		for _, n := range sizes {
-			g, _ := graph.RandomUnitDisk(n, 1.2/float64(n), rng)
-			trials := opt.Trials
-			if trials > 10 {
-				trials = 10
-			}
+	trials := opt.Trials
+	if trials > 10 {
+		trials = 10
+	}
+	graphs := make([][]*graph.Graph, len(settings))
+	for si, setting := range settings {
+		graphs[si] = make([]*graph.Graph, len(sizes))
+		for ni, n := range sizes {
+			rng := cellRand(opt.Seed, "E9", setting.name+"/graph", n, -1)
+			graphs[si][ni], _ = graph.RandomUnitDisk(n, 1.2/float64(n), rng)
+		}
+	}
+	type cell struct {
+		lockRounds float64
+		beacRounds float64
+		sent       float64
+		stable     bool
+		maximal    bool
+	}
+	total := len(settings) * len(sizes) * trials
+	res := mapCells(opt.workers(), total, func(i int) cell {
+		trial := i % trials
+		ni := (i / trials) % len(sizes)
+		si := i / (trials * len(sizes))
+		n := sizes[ni]
+		g := graphs[si][ni]
+		setting := settings[si]
+		states := make([]core.Pointer, g.N())
+		srng := cellRand(opt.Seed, "E9", setting.name, n, trial)
+		for v := range states {
+			states[v] = core.NewSMM().Random(graph.NodeID(v), g.Neighbors(graph.NodeID(v)), srng)
+		}
+		cfg := core.NewConfig[core.Pointer](g)
+		copy(cfg.States, states)
+		l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
+		lres := l.Run(n + 2)
+
+		nrng := cellRand(opt.Seed, "E9", setting.name+"/net", n, trial)
+		net := beacon.NewNetwork[core.Pointer](core.NewSMM(), g.Clone(),
+			append([]core.Pointer(nil), states...), setting.prm, nrng)
+		bres := net.Run(float64(50*n), 6)
+		return cell{
+			lockRounds: float64(lres.Rounds),
+			beacRounds: bres.Rounds,
+			sent:       float64(net.LinkStats().Sent),
+			stable:     lres.Stable && bres.Stable,
+			maximal:    verify.IsMaximalMatching(g, core.MatchingOf(net.Config())) == nil,
+		}
+	})
+	for si, setting := range settings {
+		for ni, n := range sizes {
 			var lockRounds, beacRounds, sent []float64
 			stable, maximal := true, true
 			for trial := 0; trial < trials; trial++ {
-				states := make([]core.Pointer, g.N())
-				srng := rand.New(rand.NewSource(opt.Seed + int64(trial)))
-				for v := range states {
-					states[v] = core.NewSMM().Random(graph.NodeID(v), g.Neighbors(graph.NodeID(v)), srng)
-				}
-				cfg := core.NewConfig[core.Pointer](g)
-				copy(cfg.States, states)
-				l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
-				lres := l.Run(n + 2)
-
-				net := beacon.NewNetwork[core.Pointer](core.NewSMM(), g.Clone(),
-					append([]core.Pointer(nil), states...), setting.prm, rng)
-				bres := net.Run(float64(50*n), 6)
-				if !lres.Stable || !bres.Stable {
+				c := res[(si*len(sizes)+ni)*trials+trial]
+				if !c.stable {
 					stable = false
 					t.Passed = false
 				}
-				if verify.IsMaximalMatching(g, core.MatchingOf(net.Config())) != nil {
+				if !c.maximal {
 					maximal = false
 					t.Passed = false
 				}
-				lockRounds = append(lockRounds, float64(lres.Rounds))
-				beacRounds = append(beacRounds, bres.Rounds)
-				sent = append(sent, float64(net.LinkStats().Sent))
+				lockRounds = append(lockRounds, c.lockRounds)
+				beacRounds = append(beacRounds, c.beacRounds)
+				sent = append(sent, c.sent)
+				t.Cells++
 			}
 			t.AddRow(setting.name, itoa(n),
 				fmt.Sprintf("%.1f", stats.Mean(lockRounds)),
@@ -315,7 +405,6 @@ func E10Extensions(opt Options) *Table {
 		Cols:  []string{"protocol", "model", "n", "rounds/steps mean", "max", "valid"},
 	}
 	t.Passed = true
-	rng := rand.New(rand.NewSource(opt.Seed))
 	n := opt.Sizes[len(opt.Sizes)-1]
 	if n > 64 {
 		n = 64
@@ -324,107 +413,114 @@ func E10Extensions(opt Options) *Table {
 	if trials > 20 {
 		trials = 20
 	}
+	type cell struct {
+		cost  float64
+		valid bool
+	}
+	// runBlock fans one protocol block's trials across the pool; stream
+	// names the block so its cells draw independent seeds.
+	runBlock := func(stream string, count int, body func(trial int, seed int64, grng *rand.Rand) cell) []cell {
+		return mapCells(opt.workers(), count, func(trial int) cell {
+			return body(trial,
+				DeriveSeed(opt.Seed, "E10", stream, n, trial),
+				cellRand(opt.Seed, "E10", stream+"/graph", n, trial))
+		})
+	}
+	emit := func(name, model string, res []cell) {
+		var costs []float64
+		valid := true
+		for _, c := range res {
+			if !c.valid {
+				valid = false
+				t.Passed = false
+			}
+			costs = append(costs, c.cost)
+			t.Cells++
+		}
+		s := stats.Summarize(costs)
+		t.AddRow(name, model, itoa(n), fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+	}
 
 	// Grundy coloring, synchronous.
-	var rounds []float64
-	valid := true
-	for trial := 0; trial < trials; trial++ {
-		g := graph.RandomConnected(n, 0.15, rng)
+	emit("Coloring", "synchronous", runBlock("coloring", trials, func(_ int, seed int64, grng *rand.Rand) cell {
+		g := graph.RandomConnected(n, 0.15, grng)
 		p := protocols.NewColoring()
 		cfg := core.NewConfig[int](g)
-		cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+		cfg.Randomize(p, rand.New(rand.NewSource(seed)))
 		l := sim.NewLockstep[int](p, cfg)
 		res := l.Run(n + 2)
-		if !res.Stable || verify.IsProperColoring(g, l.Config().States) != nil {
-			valid = false
-			t.Passed = false
+		return cell{
+			cost:  float64(res.Rounds),
+			valid: res.Stable && verify.IsProperColoring(g, l.Config().States) == nil,
 		}
-		rounds = append(rounds, float64(res.Rounds))
-	}
-	s := stats.Summarize(rounds)
-	t.AddRow("Coloring", "synchronous", itoa(n), fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+	}))
 
 	// Randomized anonymous MIS, synchronous.
-	rounds, valid = nil, true
-	for trial := 0; trial < trials; trial++ {
-		g := graph.RandomConnected(n, 0.15, rng)
-		p := protocols.NewRandMIS(n, opt.Seed+int64(trial))
+	emit("RandMIS", "synchronous", runBlock("randmis", trials, func(_ int, seed int64, grng *rand.Rand) cell {
+		g := graph.RandomConnected(n, 0.15, grng)
+		p := protocols.NewRandMIS(n, seed)
 		cfg := core.NewConfig[bool](g)
-		cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+		cfg.Randomize(p, rand.New(rand.NewSource(seed)))
 		l := sim.NewLockstep[bool](p, cfg)
 		res := l.Run(1000 * n)
-		if !res.Stable || verify.IsMaximalIndependentSet(g, core.SetOf(l.Config())) != nil {
-			valid = false
-			t.Passed = false
+		return cell{
+			cost:  float64(res.Rounds),
+			valid: res.Stable && verify.IsMaximalIndependentSet(g, core.SetOf(l.Config())) == nil,
 		}
-		rounds = append(rounds, float64(res.Rounds))
-	}
-	s = stats.Summarize(rounds)
-	t.AddRow("RandMIS", "synchronous", itoa(n), fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+	}))
 
 	// Hsu–Huang under the classical daemons.
 	for _, strat := range []daemon.Pick{daemon.PickRandom, daemon.PickAdversarial} {
-		var steps []float64
-		valid = true
 		dTrials := trials
 		if strat == daemon.PickAdversarial && dTrials > 5 {
 			dTrials = 5 // the greedy adversary is O(n²) per step
 		}
-		for trial := 0; trial < dTrials; trial++ {
-			g := graph.RandomConnected(n, 0.15, rng)
-			p := protocols.NewHsuHuang()
-			cfg := core.NewConfig[core.Pointer](g)
-			cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
-			r := daemon.NewRunner[core.Pointer](p, cfg, daemon.NewCentral[core.Pointer](strat, rng))
-			res := r.Run(50 * n * n)
-			if !res.Stable || verify.IsMaximalMatching(g, core.MatchingOf(r.Config())) != nil {
-				valid = false
-				t.Passed = false
-			}
-			steps = append(steps, float64(res.Steps))
-		}
-		s = stats.Summarize(steps)
-		t.AddRow("HsuHuang", "central-"+strat.String(), itoa(n),
-			fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+		stream := "hsuhuang/" + strat.String()
+		emit("HsuHuang", "central-"+strat.String(),
+			runBlock(stream, dTrials, func(_ int, seed int64, grng *rand.Rand) cell {
+				g := graph.RandomConnected(n, 0.15, grng)
+				p := protocols.NewHsuHuang()
+				cfg := core.NewConfig[core.Pointer](g)
+				cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+				drng := rand.New(rand.NewSource(seed + 1))
+				r := daemon.NewRunner[core.Pointer](p, cfg, daemon.NewCentral[core.Pointer](strat, drng))
+				res := r.Run(50 * n * n)
+				return cell{
+					cost:  float64(res.Steps),
+					valid: res.Stable && verify.IsMaximalMatching(g, core.MatchingOf(r.Config())) == nil,
+				}
+			}))
 	}
 
 	// BFS spanning tree (the multicast-tree maintenance the paper's
 	// introduction motivates), synchronous, from states with fake roots.
-	rounds, valid = nil, true
-	for trial := 0; trial < trials; trial++ {
-		g := graph.RandomConnected(n, 0.15, rng)
+	emit("SpanningTree", "synchronous", runBlock("tree", trials, func(_ int, seed int64, grng *rand.Rand) cell {
+		g := graph.RandomConnected(n, 0.15, grng)
 		p := protocols.NewSpanningTree(n)
 		cfg := core.NewConfig[protocols.TreeState](g)
-		cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+		cfg.Randomize(p, rand.New(rand.NewSource(seed)))
 		l := sim.NewLockstep[protocols.TreeState](p, cfg)
 		res := l.Run(5*n + 10)
-		if !res.Stable || protocols.VerifyTree(g, l.Config().States) != nil {
-			valid = false
-			t.Passed = false
+		return cell{
+			cost:  float64(res.Rounds),
+			valid: res.Stable && protocols.VerifyTree(g, l.Config().States) == nil,
 		}
-		rounds = append(rounds, float64(res.Rounds))
-	}
-	s = stats.Summarize(rounds)
-	t.AddRow("SpanningTree", "synchronous", itoa(n), fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+	}))
 
 	// SMI under a distributed daemon (robustness beyond the paper).
-	var steps []float64
-	valid = true
-	for trial := 0; trial < trials; trial++ {
-		g := graph.RandomConnected(n, 0.15, rng)
+	emit("SMI", "distributed-0.50", runBlock("smi-dist", trials, func(_ int, seed int64, grng *rand.Rand) cell {
+		g := graph.RandomConnected(n, 0.15, grng)
 		p := core.NewSMI()
 		cfg := core.NewConfig[bool](g)
-		cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
-		r := daemon.NewRunner[bool](p, cfg, daemon.NewDistributed[bool](0.5, rng))
+		cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+		drng := rand.New(rand.NewSource(seed + 1))
+		r := daemon.NewRunner[bool](p, cfg, daemon.NewDistributed[bool](0.5, drng))
 		res := r.Run(200 * n)
-		if !res.Stable || verify.IsMaximalIndependentSet(g, core.SetOf(r.Config())) != nil {
-			valid = false
-			t.Passed = false
+		return cell{
+			cost:  float64(res.Steps),
+			valid: res.Stable && verify.IsMaximalIndependentSet(g, core.SetOf(r.Config())) == nil,
 		}
-		steps = append(steps, float64(res.Steps))
-	}
-	s = stats.Summarize(steps)
-	t.AddRow("SMI", "distributed-0.50", itoa(n), fmt.Sprintf("%.1f", s.Mean), itoa(int(s.Max)), boolMark(valid))
+	}))
 
 	return t
 }

@@ -55,12 +55,13 @@ func E11Exhaustive(opt Options) *Table {
 			cfg := core.Config[core.Pointer]{G: c.g, States: states}
 			return verify.IsMaximalMatching(c.g, core.MatchingOf(cfg))
 		}
-		rep, err := modelcheck.Explore[core.Pointer](core.NewSMM(), c.g, modelcheck.SMMDomain, 1<<24, check)
+		rep, err := modelcheck.ExploreWorkers[core.Pointer](core.NewSMM(), c.g, modelcheck.SMMDomain, 1<<24, check, opt.workers())
 		if err != nil {
 			t.Passed = false
 			t.Notes = append(t.Notes, fmt.Sprintf("SMM %s: %v", c.name, err))
 			continue
 		}
+		t.Cells += int(rep.Configs)
 		bound := c.g.N() + 1
 		if rep.Divergent != 0 || rep.MaxRounds > bound {
 			t.Passed = false
@@ -72,12 +73,13 @@ func E11Exhaustive(opt Options) *Table {
 	// The counterexample variant on even cycles: divergence must exist.
 	for _, n := range []int{4, 6} {
 		g := graph.Cycle(n)
-		rep, err := modelcheck.Explore[core.Pointer](core.NewSMMArbitrary(), g, modelcheck.SMMDomain, 1<<24, nil)
+		rep, err := modelcheck.ExploreWorkers[core.Pointer](core.NewSMMArbitrary(), g, modelcheck.SMMDomain, 1<<24, nil, opt.workers())
 		if err != nil {
 			t.Passed = false
 			t.Notes = append(t.Notes, fmt.Sprintf("SMM-arbitrary C%d: %v", n, err))
 			continue
 		}
+		t.Cells += int(rep.Configs)
 		if rep.Divergent == 0 {
 			t.Passed = false // the paper's counterexample must be reproducible
 		}
@@ -112,12 +114,13 @@ func E11Exhaustive(opt Options) *Table {
 			cfg := core.Config[bool]{G: c.g, States: states}
 			return verify.IsMaximalIndependentSet(c.g, core.SetOf(cfg))
 		}
-		rep, err := modelcheck.Explore[bool](core.NewSMI(), c.g, modelcheck.SMIDomain, 1<<24, check)
+		rep, err := modelcheck.ExploreWorkers[bool](core.NewSMI(), c.g, modelcheck.SMIDomain, 1<<24, check, opt.workers())
 		if err != nil {
 			t.Passed = false
 			t.Notes = append(t.Notes, fmt.Sprintf("SMI %s: %v", c.name, err))
 			continue
 		}
+		t.Cells += int(rep.Configs)
 		bound := c.g.N() + 1
 		if rep.Divergent != 0 || rep.MaxRounds > bound {
 			t.Passed = false

@@ -34,44 +34,57 @@ func E12Staleness(opt Options) *Table {
 	if trials > 50 {
 		trials = 50
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	lags := []int{0, 1, 2, 4, 8}
 	if opt.Quick {
 		lags = []int{0, 2}
 	}
-	for _, proto := range []string{"SMM", "SMI"} {
-		for _, lag := range lags {
+	protos := []string{"SMM", "SMI"}
+	type cell struct {
+		rounds int
+		ok     bool
+	}
+	total := len(protos) * len(lags) * trials
+	res := mapCells(opt.workers(), total, func(i int) cell {
+		trial := i % trials
+		li := (i / trials) % len(lags)
+		proto := protos[i/(trials*len(lags))]
+		lag := lags[li]
+		seed := DeriveSeed(opt.Seed, "E12", proto, lag, trial)
+		rng := cellRand(opt.Seed, "E12", proto+"/lag", lag, trial)
+		g := graph.RandomConnected(n, 0.15, rng)
+		limit := 500 * (lag + 1)
+		switch proto {
+		case "SMM":
+			p := core.NewSMM()
+			cfg := core.NewConfig[core.Pointer](g)
+			cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+			s := sim.NewStaleLockstep[core.Pointer](p, cfg, lag, rng)
+			r := s.Run(limit)
+			return cell{rounds: r.Rounds,
+				ok: r.Stable && verify.IsMaximalMatching(g, core.MatchingOf(cfg)) == nil}
+		default:
+			p := core.NewSMI()
+			cfg := core.NewConfig[bool](g)
+			cfg.Randomize(p, rand.New(rand.NewSource(seed)))
+			s := sim.NewStaleLockstep[bool](p, cfg, lag, rng)
+			r := s.Run(limit)
+			return cell{rounds: r.Rounds,
+				ok: r.Stable && verify.IsMaximalIndependentSet(g, core.SetOf(cfg)) == nil}
+		}
+	})
+	for pi, proto := range protos {
+		for li, lag := range lags {
 			var rounds []float64
 			stabilized := 0
 			for trial := 0; trial < trials; trial++ {
-				g := graph.RandomConnected(n, 0.15, rng)
-				limit := 500 * (lag + 1)
-				switch proto {
-				case "SMM":
-					p := core.NewSMM()
-					cfg := core.NewConfig[core.Pointer](g)
-					cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
-					s := sim.NewStaleLockstep[core.Pointer](p, cfg, lag, rng)
-					res := s.Run(limit)
-					if res.Stable && verify.IsMaximalMatching(g, core.MatchingOf(cfg)) == nil {
-						stabilized++
-						rounds = append(rounds, float64(res.Rounds))
-					} else {
-						t.Passed = false
-					}
-				case "SMI":
-					p := core.NewSMI()
-					cfg := core.NewConfig[bool](g)
-					cfg.Randomize(p, rand.New(rand.NewSource(opt.Seed+int64(trial))))
-					s := sim.NewStaleLockstep[bool](p, cfg, lag, rng)
-					res := s.Run(limit)
-					if res.Stable && verify.IsMaximalIndependentSet(g, core.SetOf(cfg)) == nil {
-						stabilized++
-						rounds = append(rounds, float64(res.Rounds))
-					} else {
-						t.Passed = false
-					}
+				c := res[(pi*len(lags)+li)*trials+trial]
+				if c.ok {
+					stabilized++
+					rounds = append(rounds, float64(c.rounds))
+				} else {
+					t.Passed = false
 				}
+				t.Cells++
 			}
 			mean, maxR := 0.0, 0
 			if len(rounds) > 0 {

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"math/rand"
 
 	"selfstab/internal/core"
 	"selfstab/internal/graph"
@@ -18,6 +17,8 @@ import (
 // faithful), and (2) from the all-null start SMM's R1 never fires —
 // min-ID proposals are always mutual, so matches form by simultaneous
 // R2s and R1 only matters when recovering from arbitrary corruption.
+// Trials share one rule engine per row: its firing counters are atomic,
+// so the concurrent totals are order-independent sums.
 func E13RuleCensus(opt Options) *Table {
 	t := &Table{
 		ID:    "E13",
@@ -34,16 +35,14 @@ func E13RuleCensus(opt Options) *Table {
 	if trials > 30 {
 		trials = 30
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	for _, topo := range opt.topologies() {
-		g := topo.Gen(n, rng)
+		g := topo.Gen(n, cellRand(opt.Seed, "E13", topo.Name+"/graph", n, -1))
 		for _, start := range []string{"random", "null"} {
 			eng := rules.SMMRules()
-			moves := 0
-			for trial := 0; trial < trials; trial++ {
+			perTrial := mapCells(opt.workers(), trials, func(trial int) int {
 				cfg := core.NewConfig[core.Pointer](g)
 				if start == "random" {
-					cfg.Randomize(eng, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+					cfg.Randomize(eng, cellRand(opt.Seed, "E13", topo.Name+"/"+start, n, trial))
 				} else {
 					for i := range cfg.States {
 						cfg.States[i] = core.Null
@@ -52,9 +51,18 @@ func E13RuleCensus(opt Options) *Table {
 				l := sim.NewLockstep[core.Pointer](eng, cfg)
 				res := l.Run(n + 2)
 				if !res.Stable {
-					t.Passed = false
+					return -1
 				}
-				moves += l.Moves()
+				return l.Moves()
+			})
+			moves := 0
+			for _, m := range perTrial {
+				if m < 0 {
+					t.Passed = false
+					continue
+				}
+				moves += m
+				t.Cells++
 			}
 			f := eng.Firings()
 			if f["R1"]+f["R2"]+f["R3"] != int64(moves) {
@@ -68,21 +76,29 @@ func E13RuleCensus(opt Options) *Table {
 		}
 	}
 	// SMI census on a sparse random topology.
-	g := graph.RandomConnected(n, 2.0/float64(n), rng)
+	g := graph.RandomConnected(n, 2.0/float64(n), cellRand(opt.Seed, "E13", "smi/graph", n, -1))
 	for _, start := range []string{"random", "zero"} {
 		eng := rules.SMIRules()
-		moves := 0
-		for trial := 0; trial < trials; trial++ {
+		perTrial := mapCells(opt.workers(), trials, func(trial int) int {
 			cfg := core.NewConfig[bool](g)
 			if start == "random" {
-				cfg.Randomize(eng, rand.New(rand.NewSource(opt.Seed+int64(trial))))
+				cfg.Randomize(eng, cellRand(opt.Seed, "E13", "smi/"+start, n, trial))
 			}
 			l := sim.NewLockstep[bool](eng, cfg)
 			res := l.Run(n + 2)
 			if !res.Stable {
-				t.Passed = false
+				return -1
 			}
-			moves += l.Moves()
+			return l.Moves()
+		})
+		moves := 0
+		for _, m := range perTrial {
+			if m < 0 {
+				t.Passed = false
+				continue
+			}
+			moves += m
+			t.Cells++
 		}
 		f := eng.Firings()
 		if f["R1"]+f["R2"] != int64(moves) {

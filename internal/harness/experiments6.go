@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"math/rand"
 
 	"selfstab/internal/adversary"
 	"selfstab/internal/core"
@@ -15,7 +14,8 @@ import (
 // initial-configuration space for slow starts. On small instances the
 // climber is validated against the exhaustive optimum; on larger
 // instances its result is an empirical lower bound on the true worst
-// case, to be read against the theorems' n+1 ceiling.
+// case, to be read against the theorems' n+1 ceiling. Each search case
+// is one cell of the worker pool with its own derived seed.
 func E14AdversarialSearch(opt Options) *Table {
 	t := &Table{
 		ID:    "E14",
@@ -24,33 +24,40 @@ func E14AdversarialSearch(opt Options) *Table {
 		Cols:  []string{"protocol", "graph", "n", "found rounds", "exact worst", "bound n+1"},
 	}
 	t.Passed = true
-	rng := rand.New(rand.NewSource(opt.Seed))
 	budget := adversary.DefaultOptions()
 	if opt.Quick {
 		budget = adversary.Options{Restarts: 3, Steps: 60}
 	}
 
+	type caseResult struct {
+		row []string
+		ok  bool
+	}
+	var cases []func() caseResult
+
 	// Small instances: climber vs. exhaustive optimum.
-	type smallCase struct {
+	smalls := []struct {
 		name string
 		g    *graph.Graph
-	}
-	smalls := []smallCase{
+	}{
 		{"P6", graph.Path(6)},
 		{"C6", graph.Cycle(6)},
 		{"K4", graph.Complete(4)},
 	}
 	for _, c := range smalls {
-		exact, err := modelcheck.Explore[core.Pointer](core.NewSMM(), c.g, modelcheck.SMMDomain, 1<<22, nil)
-		if err != nil {
-			t.Passed = false
-			continue
-		}
-		found := adversary.Search[core.Pointer](core.NewSMM(), c.g, budget, rng)
-		if found.Diverged || found.Rounds > exact.MaxRounds {
-			t.Passed = false
-		}
-		t.AddRow("SMM", c.name, itoa(c.g.N()), itoa(found.Rounds), itoa(exact.MaxRounds), itoa(c.g.N()+1))
+		c := c
+		cases = append(cases, func() caseResult {
+			exact, err := modelcheck.Explore[core.Pointer](core.NewSMM(), c.g, modelcheck.SMMDomain, 1<<22, nil)
+			if err != nil {
+				return caseResult{ok: false}
+			}
+			rng := cellRand(opt.Seed, "E14", "SMM/"+c.name, c.g.N(), -1)
+			found := adversary.Search[core.Pointer](core.NewSMM(), c.g, budget, rng)
+			return caseResult{
+				row: []string{"SMM", c.name, itoa(c.g.N()), itoa(found.Rounds), itoa(exact.MaxRounds), itoa(c.g.N() + 1)},
+				ok:  !found.Diverged && found.Rounds <= exact.MaxRounds,
+			}
+		})
 	}
 
 	// Larger instances: climber vs. the theorem bound only.
@@ -59,27 +66,44 @@ func E14AdversarialSearch(opt Options) *Table {
 		sizes = []int{16}
 	}
 	for _, n := range sizes {
+		n := n
 		for _, proto := range []string{"SMM", "SMI"} {
-			g := graph.RandomConnected(n, 0.1, rng)
-			var found adversary.Result
-			switch proto {
-			case "SMM":
-				found = adversary.Search[core.Pointer](core.NewSMM(), g, budget, rng)
-			case "SMI":
-				found = adversary.Search[bool](core.NewSMI(), g, budget, rng)
-			}
-			if found.Diverged || found.Rounds > n+1 {
-				t.Passed = false
-			}
-			t.AddRow(proto, fmt.Sprintf("gnp(%d)", n), itoa(n), itoa(found.Rounds), "-", itoa(n+1))
+			proto := proto
+			cases = append(cases, func() caseResult {
+				rng := cellRand(opt.Seed, "E14", proto+"/gnp", n, -1)
+				g := graph.RandomConnected(n, 0.1, rng)
+				var found adversary.Result
+				switch proto {
+				case "SMM":
+					found = adversary.Search[core.Pointer](core.NewSMM(), g, budget, rng)
+				case "SMI":
+					found = adversary.Search[bool](core.NewSMI(), g, budget, rng)
+				}
+				return caseResult{
+					row: []string{proto, fmt.Sprintf("gnp(%d)", n), itoa(n), itoa(found.Rounds), "-", itoa(n + 1)},
+					ok:  !found.Diverged && found.Rounds <= n+1,
+				}
+			})
 		}
 		// The descending path: the climber should approach n for SMI.
-		g := graph.Path(n)
-		found := adversary.Search[bool](core.NewSMI(), g, budget, rng)
-		if found.Diverged || found.Rounds > n+1 {
+		cases = append(cases, func() caseResult {
+			rng := cellRand(opt.Seed, "E14", "SMI/path", n, -1)
+			found := adversary.Search[bool](core.NewSMI(), graph.Path(n), budget, rng)
+			return caseResult{
+				row: []string{"SMI", fmt.Sprintf("P%d", n), itoa(n), itoa(found.Rounds), "-", itoa(n + 1)},
+				ok:  !found.Diverged && found.Rounds <= n+1,
+			}
+		})
+	}
+
+	for _, r := range mapCells(opt.workers(), len(cases), func(i int) caseResult { return cases[i]() }) {
+		if !r.ok {
 			t.Passed = false
 		}
-		t.AddRow("SMI", fmt.Sprintf("P%d", n), itoa(n), itoa(found.Rounds), "-", itoa(n+1))
+		if r.row != nil {
+			t.AddRow(r.row...)
+		}
+		t.Cells++
 	}
 	t.Notes = append(t.Notes,
 		"'found rounds' is the slowest start the hill climber located; '-' marks instances too large to enumerate exactly")

@@ -11,6 +11,7 @@ import (
 	"io"
 	"math/rand"
 	"strings"
+	"time"
 
 	"selfstab/internal/core"
 	"selfstab/internal/graph"
@@ -27,6 +28,11 @@ type Options struct {
 	Sizes []int
 	// Quick shrinks sweeps for use in unit tests.
 	Quick bool
+	// Workers is the goroutine pool size each experiment fans its
+	// (topology, n, trial) cells out to; 0 selects runtime.NumCPU().
+	// Every cell draws from its own DeriveSeed stream, so the rendered
+	// tables are byte-identical for any worker count.
+	Workers int
 }
 
 // DefaultOptions is the full sweep the committed EXPERIMENTS.md uses.
@@ -48,6 +54,16 @@ type Table struct {
 	Rows   [][]string
 	Notes  []string
 	Passed bool
+
+	// Cells counts the independent work items (trial cells, or explored
+	// configurations for the exhaustive experiments) behind the table —
+	// the numerator of the cells/sec footer.
+	Cells int
+	// Elapsed, when set by the caller (cmd/experiments stamps it around
+	// Run), makes Render emit a wall-clock footer. It is NOT part of the
+	// experiment's deterministic output: tests leave it zero so rendered
+	// tables stay byte-identical across worker counts.
+	Elapsed time.Duration
 }
 
 // AddRow appends a row; it panics if the arity disagrees with Cols.
@@ -98,8 +114,26 @@ func (t *Table) Render(w io.Writer) error {
 			return err
 		}
 	}
+	if f := t.footer(); f != "" {
+		if _, err := fmt.Fprintf(w, "   %s\n", f); err != nil {
+			return err
+		}
+	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// footer formats the wall-clock line; empty unless Elapsed was stamped.
+func (t *Table) footer() string {
+	if t.Elapsed <= 0 {
+		return ""
+	}
+	f := fmt.Sprintf("time: %s", t.Elapsed.Round(time.Millisecond))
+	if t.Cells > 0 {
+		f += fmt.Sprintf("  cells: %d  (%.0f cells/sec)", t.Cells,
+			float64(t.Cells)/t.Elapsed.Seconds())
+	}
+	return f
 }
 
 // RenderMarkdown writes the table as GitHub-flavored markdown.
@@ -128,6 +162,11 @@ func (t *Table) RenderMarkdown(w io.Writer) error {
 	}
 	for _, n := range t.Notes {
 		if _, err := fmt.Fprintf(w, "\n*Note:* %s\n", n); err != nil {
+			return err
+		}
+	}
+	if f := t.footer(); f != "" {
+		if _, err := fmt.Fprintf(w, "\n*%s*\n", f); err != nil {
 			return err
 		}
 	}

@@ -1,8 +1,12 @@
 package harness
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
 )
 
 func TestTableAddRowArity(t *testing.T) {
@@ -179,6 +183,68 @@ func TestE13Quick(t *testing.T) {
 func TestE14Quick(t *testing.T) {
 	if !E14AdversarialSearch(QuickOptions()).Passed {
 		t.Fatal("E14 failed")
+	}
+}
+
+// TestWorkersDeterminism is the golden equivalence check of the worker
+// pool: every experiment table must render byte-identically whether the
+// cells run on 1, 2, or 8 workers, because each (topology, n, trial)
+// cell draws from its own derived seed stream.
+func TestWorkersDeterminism(t *testing.T) {
+	for _, e := range All() {
+		var golden string
+		for _, w := range []int{1, 2, 8} {
+			opt := QuickOptions()
+			opt.Workers = w
+			var sb strings.Builder
+			tbl := e.Run(opt)
+			if err := tbl.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if w == 1 {
+				golden = sb.String()
+				continue
+			}
+			if sb.String() != golden {
+				t.Errorf("%s: table with Workers=%d differs from Workers=1:\n--- workers=1\n%s\n--- workers=%d\n%s",
+					e.ID, w, golden, w, sb.String())
+			}
+		}
+	}
+}
+
+// TestDerivedSeedsDistinct is the regression test for the correlated
+// trial seeds the serial harness used (opt.Seed+trial reused the
+// identical seed sequence in every (topology, n) cell): derived seeds
+// must be unique across cells, and cells sharing a trial index must draw
+// distinct initial states.
+func TestDerivedSeedsDistinct(t *testing.T) {
+	opt := DefaultOptions()
+	seen := make(map[int64]string)
+	for _, topo := range Topologies() {
+		for _, n := range opt.Sizes {
+			for trial := -1; trial < 4; trial++ {
+				s := DeriveSeed(opt.Seed, "E1", topo.Name, n, trial)
+				key := topo.Name + "/" + itoa(n) + "/" + itoa(trial)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both derive %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+	// Same trial index, different cells => different initial states.
+	g := graph.Path(32)
+	randomize := func(expID, topo string, n, trial int) []core.Pointer {
+		cfg := core.NewConfig[core.Pointer](g)
+		cfg.Randomize(core.NewSMM(), rand.New(rand.NewSource(DeriveSeed(opt.Seed, expID, topo, n, trial))))
+		return cfg.States
+	}
+	a := randomize("E1", "path", 8, 0)
+	b := randomize("E1", "path", 16, 0)
+	c := randomize("E1", "cycle", 8, 0)
+	if equalStates(a, b) || equalStates(a, c) {
+		t.Fatal("cells with the same trial index drew identical initial states")
 	}
 }
 

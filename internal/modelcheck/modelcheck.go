@@ -9,6 +9,14 @@
 // maximal matching", or "exactly 2 of the 81 states of the
 // arbitrary-proposal variant on C4 never stabilize".
 //
+// The exploration shards the initial-configuration space across a worker
+// pool (ExploreWorkers). All shards publish into one shared memo table
+// with atomic operations; because a configuration's distance-to-fixpoint
+// (or divergence) is a pure function of the configuration, concurrent
+// publishes always write the same value, and the final report is derived
+// from a deterministic scan of the completed table — so the sharded
+// result is byte-identical to the serial one.
+//
 // Only deterministic protocols may be checked (SMM, SMI, the
 // counterexample variant, coloring, the spanning tree): randomized
 // protocols have no single successor function.
@@ -16,6 +24,9 @@ package modelcheck
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"selfstab/internal/core"
 	"selfstab/internal/graph"
@@ -37,7 +48,8 @@ type Report[S comparable] struct {
 	// MaxRounds is the exact worst-case number of rounds to reach a
 	// fixed point, over all non-divergent starting configurations.
 	MaxRounds int
-	// WorstStart is a starting configuration attaining MaxRounds.
+	// WorstStart is the lowest-indexed starting configuration attaining
+	// MaxRounds.
 	WorstStart []S
 	// Divergent is the number of configurations from which the protocol
 	// NEVER stabilizes (they enter or lead into a cycle).
@@ -58,173 +70,288 @@ func (r *Report[S]) String() string {
 		r.Configs, r.Divergent, r.CycleLen, r.FixedPoints, r.MaxRounds)
 }
 
-// Explore enumerates every configuration of p on g. maxConfigs bounds
-// the state-space size Explore is willing to touch (the product of
-// domain sizes); exceeding it returns an error rather than thrashing.
-// checkFixed, if non-nil, is invoked once per distinct fixed point and
-// its error aborts the exploration — use it to assert the paper's
-// predicate (maximal matching, MIS, ...) on every stable state.
+// space is the indexed configuration space: per-node domains plus the
+// encode/decode bijection between configurations and [0, Total).
+type space[S comparable] struct {
+	g       *graph.Graph
+	p       core.Protocol[S]
+	domains [][]S
+	index   []map[S]uint64
+	total   uint64
+}
+
+func newSpace[S comparable](p core.Protocol[S], g *graph.Graph, domain DomainFunc[S], maxConfigs uint64) (*space[S], error) {
+	n := g.N()
+	sp := &space[S]{g: g, p: p, domains: make([][]S, n), index: make([]map[S]uint64, n), total: 1}
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		sp.domains[v] = domain(id, g.Neighbors(id))
+		if len(sp.domains[v]) == 0 {
+			return nil, fmt.Errorf("modelcheck: empty domain for node %d", v)
+		}
+		sp.index[v] = make(map[S]uint64, len(sp.domains[v]))
+		for i, s := range sp.domains[v] {
+			if _, dup := sp.index[v][s]; dup {
+				return nil, fmt.Errorf("modelcheck: duplicate domain value %v at node %d", s, v)
+			}
+			sp.index[v][s] = uint64(i)
+		}
+		if sp.total > maxConfigs/uint64(len(sp.domains[v])) {
+			return nil, fmt.Errorf("modelcheck: state space exceeds limit %d", maxConfigs)
+		}
+		sp.total *= uint64(len(sp.domains[v]))
+	}
+	return sp, nil
+}
+
+func (sp *space[S]) decode(idx uint64, into []S) {
+	for v := range sp.domains {
+		d := uint64(len(sp.domains[v]))
+		into[v] = sp.domains[v][idx%d]
+		idx /= d
+	}
+}
+
+func (sp *space[S]) encode(from []S) (uint64, error) {
+	idx := uint64(0)
+	mul := uint64(1)
+	for v := range sp.domains {
+		i, ok := sp.index[v][from[v]]
+		if !ok {
+			return 0, fmt.Errorf("modelcheck: protocol produced state %v outside node %d's domain", from[v], v)
+		}
+		idx += i * mul
+		mul *= uint64(len(sp.domains[v]))
+	}
+	return idx, nil
+}
+
+func (sp *space[S]) successor(cur []S, into []S) {
+	for v := range sp.domains {
+		id := graph.NodeID(v)
+		into[v], _ = sp.p.Move(core.View[S]{
+			ID:   id,
+			Self: cur[v],
+			Nbrs: sp.g.Neighbors(id),
+			Peer: func(j graph.NodeID) S { return cur[j] },
+		})
+	}
+}
+
+const (
+	memoUnknown   = int32(-2)
+	memoDivergent = int32(-1)
+)
+
+// Explore enumerates every configuration of p on g with a single worker.
+// maxConfigs bounds the state-space size Explore is willing to touch
+// (the product of domain sizes); exceeding it returns an error rather
+// than thrashing. checkFixed, if non-nil, is invoked once per distinct
+// fixed point and its error aborts the exploration — use it to assert
+// the paper's predicate (maximal matching, MIS, ...) on every stable
+// state.
 func Explore[S comparable](p core.Protocol[S], g *graph.Graph, domain DomainFunc[S],
 	maxConfigs uint64, checkFixed func([]S) error) (*Report[S], error) {
+	return ExploreWorkers(p, g, domain, maxConfigs, checkFixed, 1)
+}
+
+// ExploreWorkers is Explore sharded over the initial-configuration
+// space: workers goroutines claim chunks of start indices and publish
+// resolved distances into a shared atomic memo table. workers <= 0
+// selects GOMAXPROCS. The returned report is identical for every worker
+// count. checkFixed may be invoked concurrently from several shards (for
+// distinct fixed points), so it must be safe for concurrent use.
+func ExploreWorkers[S comparable](p core.Protocol[S], g *graph.Graph, domain DomainFunc[S],
+	maxConfigs uint64, checkFixed func([]S) error, workers int) (*Report[S], error) {
 
 	n := g.N()
 	if n == 0 {
 		return &Report[S]{Configs: 1, FixedPoints: 1}, nil
 	}
-	domains := make([][]S, n)
-	index := make([]map[S]uint64, n)
-	total := uint64(1)
-	for v := 0; v < n; v++ {
-		id := graph.NodeID(v)
-		domains[v] = domain(id, g.Neighbors(id))
-		if len(domains[v]) == 0 {
-			return nil, fmt.Errorf("modelcheck: empty domain for node %d", v)
-		}
-		index[v] = make(map[S]uint64, len(domains[v]))
-		for i, s := range domains[v] {
-			if _, dup := index[v][s]; dup {
-				return nil, fmt.Errorf("modelcheck: duplicate domain value %v at node %d", s, v)
-			}
-			index[v][s] = uint64(i)
-		}
-		if total > maxConfigs/uint64(len(domains[v])) {
-			return nil, fmt.Errorf("modelcheck: state space exceeds limit %d", maxConfigs)
-		}
-		total *= uint64(len(domains[v]))
+	sp, err := newSpace(p, g, domain, maxConfigs)
+	if err != nil {
+		return nil, err
+	}
+	total := sp.total
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if uint64(workers) > total {
+		workers = int(total)
 	}
 
-	const (
-		unknown   = int32(-2)
-		divergent = int32(-1)
-	)
 	memo := make([]int32, total)
 	for i := range memo {
-		memo[i] = unknown
+		memo[i] = memoUnknown
 	}
 
-	rep := &Report[S]{Configs: total, MaxRounds: -1}
-	states := make([]S, n)
-	next := make([]S, n)
-
-	decode := func(idx uint64, into []S) {
-		for v := 0; v < n; v++ {
-			d := uint64(len(domains[v]))
-			into[v] = domains[v][idx%d]
-			idx /= d
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		errAt     uint64
+		stop      atomic.Bool
+		nextChunk atomic.Uint64
+	)
+	// fail records err for the lowest erroring start and halts all
+	// shards; the abort path keeps errors deterministic enough (any
+	// error aborts the whole exploration).
+	fail := func(at uint64, err error) {
+		mu.Lock()
+		if firstErr == nil || at < errAt {
+			firstErr, errAt = err, at
 		}
+		mu.Unlock()
+		stop.Store(true)
 	}
-	encode := func(from []S) (uint64, error) {
-		idx := uint64(0)
-		mul := uint64(1)
-		for v := 0; v < n; v++ {
-			i, ok := index[v][from[v]]
-			if !ok {
-				return 0, fmt.Errorf("modelcheck: protocol produced state %v outside node %d's domain", from[v], v)
+	chunk := total / uint64(workers*8)
+	if chunk < 64 {
+		chunk = 64
+	}
+
+	worker := func() {
+		states := make([]S, n)
+		next := make([]S, n)
+		var path []uint64
+		pos := make(map[uint64]int)
+		for !stop.Load() {
+			lo := nextChunk.Add(chunk) - chunk
+			if lo >= total {
+				return
 			}
-			idx += i * mul
-			mul *= uint64(len(domains[v]))
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			for start := lo; start < hi; start++ {
+				if stop.Load() {
+					return
+				}
+				if atomic.LoadInt32(&memo[start]) != memoUnknown {
+					continue
+				}
+				path = path[:0]
+				clear(pos)
+				cur := start
+				tail := int32(0)
+				for {
+					path = append(path, cur)
+					pos[cur] = len(path) - 1
+					sp.decode(cur, states)
+					sp.successor(states, next)
+					succ, err := sp.encode(next)
+					if err != nil {
+						fail(start, err)
+						return
+					}
+					if succ == cur {
+						// cur is a fixed point; the CAS winner runs the
+						// caller's predicate exactly once per fixed point.
+						if atomic.CompareAndSwapInt32(&memo[cur], memoUnknown, 0) && checkFixed != nil {
+							if err := checkFixed(states); err != nil {
+								fail(start, fmt.Errorf("modelcheck: invalid fixed point %v: %w", states, err))
+								return
+							}
+						}
+						tail = 0
+						path = path[:len(path)-1] // distance 0 already published
+						break
+					}
+					if _, seen := pos[succ]; seen {
+						// A cycle within the current path: everything on
+						// the path diverges (the cycle plus the prefix
+						// leading into it).
+						for _, idx := range path {
+							atomic.StoreInt32(&memo[idx], memoDivergent)
+						}
+						path = path[:0]
+						break
+					}
+					if m := atomic.LoadInt32(&memo[succ]); m != memoUnknown {
+						if m == memoDivergent {
+							for _, idx := range path {
+								atomic.StoreInt32(&memo[idx], memoDivergent)
+							}
+							path = path[:0]
+						} else {
+							tail = m
+						}
+						break
+					}
+					cur = succ
+				}
+				// Backfill distances along the path. Another shard may
+				// have published some of these concurrently — with the
+				// same values, since a configuration's distance is unique
+				// — so unconditional stores are safe.
+				for i := len(path) - 1; i >= 0; i-- {
+					tail++
+					atomic.StoreInt32(&memo[path[i]], tail)
+				}
+			}
 		}
-		return idx, nil
 	}
-	successor := func(cur []S, into []S) {
-		for v := 0; v < n; v++ {
-			id := graph.NodeID(v)
-			into[v], _ = p.Move(core.View[S]{
-				ID:   id,
-				Self: cur[v],
-				Nbrs: g.Neighbors(id),
-				Peer: func(j graph.NodeID) S { return cur[j] },
-			})
-		}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
-	var path []uint64
-	pos := make(map[uint64]int)
-	for start := uint64(0); start < total; start++ {
-		if memo[start] != unknown {
+	// Deterministic merge: the report is a pure function of the finished
+	// memo table, independent of which shard resolved what.
+	rep := &Report[S]{Configs: total}
+	maxR := int32(-1)
+	worst := uint64(0)
+	for i := uint64(0); i < total; i++ {
+		v := memo[i]
+		if v == memoDivergent {
+			rep.Divergent++
 			continue
 		}
-		path = path[:0]
-		clear(pos)
-		cur := start
-		var tail int32 // rounds from the end of the path to a fixed point
-		for {
-			path = append(path, cur)
-			pos[cur] = len(path) - 1
-			decode(cur, states)
-			successor(states, next)
-			succ, err := encode(next)
-			if err != nil {
-				return nil, err
-			}
-			if succ == cur {
-				// cur is a fixed point.
-				memo[cur] = 0
-				rep.FixedPoints++
-				if checkFixed != nil {
-					if err := checkFixed(states); err != nil {
-						return nil, fmt.Errorf("modelcheck: invalid fixed point %v: %w", states, err)
-					}
-				}
-				tail = 0
-				break
-			}
-			if at, seen := pos[succ]; seen {
-				// A new cycle within the current path: everything from
-				// the cycle entry onward diverges, and so does the
-				// prefix leading into it.
-				if rep.CycleLen == 0 {
-					rep.CycleLen = len(path) - at
-					rep.CycleExample = make([]S, n)
-					decode(succ, rep.CycleExample)
-				}
-				for _, idx := range path {
-					memo[idx] = divergent
-				}
-				rep.Divergent += uint64(len(path))
-				path = path[:0]
-				break
-			}
-			if m := memo[succ]; m != unknown {
-				if m == divergent {
-					for _, idx := range path {
-						memo[idx] = divergent
-					}
-					rep.Divergent += uint64(len(path))
-					path = path[:0]
-				} else {
-					tail = m
-				}
-				break
-			}
-			cur = succ
+		if v == 0 {
+			rep.FixedPoints++
 		}
-		// Backfill distances along the path (skipped when the path was
-		// marked divergent above). The fixed point itself may be the
-		// last element (distance 0 already set).
-		for i := len(path) - 1; i >= 0; i-- {
-			idx := path[i]
-			if memo[idx] != unknown {
-				continue // the fixed point at the path's end
-			}
-			tail++
-			memo[idx] = tail
-			if int(tail) > rep.MaxRounds {
-				rep.MaxRounds = int(tail)
-				if rep.WorstStart == nil {
-					rep.WorstStart = make([]S, n)
-				}
-				decode(idx, rep.WorstStart)
-			}
-		}
-		if rep.MaxRounds < 0 && memo[start] == 0 {
-			rep.MaxRounds = 0
-			rep.WorstStart = make([]S, n)
-			decode(start, rep.WorstStart)
+		if v > maxR {
+			maxR, worst = v, i
 		}
 	}
-	if rep.MaxRounds < 0 {
-		rep.MaxRounds = 0
+	if maxR >= 0 {
+		rep.MaxRounds = int(maxR)
+		rep.WorstStart = make([]S, n)
+		sp.decode(worst, rep.WorstStart)
+	}
+	if rep.Divergent > 0 {
+		// Walk from the lowest divergent configuration into its cycle —
+		// a deterministic choice of example.
+		var d uint64
+		for i := uint64(0); i < total; i++ {
+			if memo[i] == memoDivergent {
+				d = i
+				break
+			}
+		}
+		states := make([]S, n)
+		next := make([]S, n)
+		pos := make(map[uint64]int)
+		cur := d
+		for {
+			if at, seen := pos[cur]; seen {
+				rep.CycleLen = len(pos) - at
+				rep.CycleExample = make([]S, n)
+				sp.decode(cur, rep.CycleExample)
+				break
+			}
+			pos[cur] = len(pos)
+			sp.decode(cur, states)
+			sp.successor(states, next)
+			cur, _ = sp.encode(next) // already encoded once during exploration
+		}
 	}
 	return rep, nil
 }

@@ -2,6 +2,7 @@ package modelcheck
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -160,6 +161,63 @@ func TestExploreRejectsBadDomain(t *testing.T) {
 	empty := func(_ graph.NodeID, _ []graph.NodeID) []bool { return nil }
 	if _, err := Explore[bool](core.NewSMI(), g, empty, 100, nil); err == nil {
 		t.Fatal("empty domain accepted")
+	}
+}
+
+// TestShardedExploreMatchesSerial is the shard-merge property test:
+// every field of the Report — exact worst-case rounds, worst start,
+// fixed-point count, divergence count, cycle shape — must be identical
+// whether the configuration space was walked by one worker or eight.
+func TestShardedExploreMatchesSerial(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"P5", graph.Path(5)},
+		{"C4", graph.Cycle(4)},
+		{"K4", graph.Complete(4)},
+	}
+	for _, c := range graphs {
+		serial, err := Explore[core.Pointer](core.NewSMM(), c.g, SMMDomain, 1<<22, checkMaximalMatching(c.g))
+		if err != nil {
+			t.Fatalf("SMM %s serial: %v", c.name, err)
+		}
+		sharded, err := ExploreWorkers[core.Pointer](core.NewSMM(), c.g, SMMDomain, 1<<22, checkMaximalMatching(c.g), 8)
+		if err != nil {
+			t.Fatalf("SMM %s sharded: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Errorf("SMM %s: sharded report differs from serial:\nserial:  %+v\nsharded: %+v", c.name, serial, sharded)
+		}
+
+		serialI, err := Explore[bool](core.NewSMI(), c.g, SMIDomain, 1<<22, checkMIS(c.g))
+		if err != nil {
+			t.Fatalf("SMI %s serial: %v", c.name, err)
+		}
+		shardedI, err := ExploreWorkers[bool](core.NewSMI(), c.g, SMIDomain, 1<<22, checkMIS(c.g), 8)
+		if err != nil {
+			t.Fatalf("SMI %s sharded: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(serialI, shardedI) {
+			t.Errorf("SMI %s: sharded report differs from serial:\nserial:  %+v\nsharded: %+v", c.name, serialI, shardedI)
+		}
+	}
+
+	// The divergent case: the successor variant on C4 must report the
+	// identical divergence census from any worker count.
+	g := graph.Cycle(4)
+	serial, err := Explore[core.Pointer](core.NewSMMArbitrary(), g, SMMDomain, 1<<22, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		sharded, err := ExploreWorkers[core.Pointer](core.NewSMMArbitrary(), g, SMMDomain, 1<<22, nil, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Errorf("SMM-successor C4 workers=%d: sharded report differs:\nserial:  %+v\nsharded: %+v", w, serial, sharded)
+		}
 	}
 }
 
