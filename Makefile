@@ -2,15 +2,47 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments experiments-quick fuzz clean
+# Pinned external lint tools, installed by `make tools` (network
+# required; local runs without them skip gracefully — see `lint`).
+STATICCHECK_VERSION ?= v0.5.1
+GOVULNCHECK_VERSION ?= v1.1.3
 
-all: build vet test race
+LINTBIN := bin/selfstablint
+
+.PHONY: all build vet lint tools test race cover bench experiments experiments-quick fuzz clean
+
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's custom determinism/concurrency analyzers
+# (detrand, mapiter, guarded — see docs/STATIC_ANALYSIS.md) through the
+# standard `go vet -vettool` protocol, then staticcheck and govulncheck
+# when installed. The custom suite is mandatory; the external tools are
+# skipped with a notice if absent so offline checkouts still lint.
+lint:
+	$(GO) build -o $(LINTBIN) ./cmd/selfstablint
+	$(GO) vet -vettool=$(CURDIR)/$(LINTBIN) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (run 'make tools')"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (run 'make tools')"; \
+	fi
+
+# tools installs the pinned external linters (see tools.go for why the
+# versions live here rather than in go.mod).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 test:
 	$(GO) test ./...
@@ -22,7 +54,7 @@ cover:
 	$(GO) test -cover ./...
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Regenerate every reproduction table (EXPERIMENTS.md is this output).
 experiments:
@@ -34,6 +66,9 @@ experiments-quick:
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/
 	$(GO) test -fuzz=FuzzGraphJSON -fuzztime=30s ./internal/graph/
+	$(GO) test -fuzz=FuzzSMMMove -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzSMIMove -fuzztime=30s ./internal/core/
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -15,8 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 	"runtime"
 
 	"selfstab/internal/cli"
@@ -27,25 +29,36 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("modelcheck: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags are parsed from args, the
+// report goes to stdout, diagnostics to stderr, and the process exit
+// code is returned (0 ok, 1 exploration failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	logger := log.New(stderr, "modelcheck: ", 0)
+	fs := flag.NewFlagSet("modelcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		protocol = flag.String("protocol", "smm", "smm | smm-arbitrary | smi | coloring")
-		topology = flag.String("topology", "cycle", "path | cycle | complete | star | grid | tree | gnp | disk | lollipop | barbell")
-		n        = flag.Int("n", 6, "number of nodes (state space grows exponentially!)")
-		p        = flag.Float64("p", 0.2, "edge probability / radius hint")
-		seed     = flag.Int64("seed", 1, "random seed (random topologies)")
-		limit    = flag.Uint64("limit", 1<<26, "maximum state-space size")
-		workers  = flag.Int("workers", runtime.NumCPU(), "shard the exploration across this many goroutines (report is identical for any value)")
+		protocol = fs.String("protocol", "smm", "smm | smm-arbitrary | smi | coloring")
+		topology = fs.String("topology", "cycle", "path | cycle | complete | star | grid | tree | gnp | disk | lollipop | barbell")
+		n        = fs.Int("n", 6, "number of nodes (state space grows exponentially!)")
+		p        = fs.Float64("p", 0.2, "edge probability / radius hint")
+		seed     = fs.Int64("seed", 1, "random seed (random topologies)")
+		limit    = fs.Uint64("limit", 1<<26, "maximum state-space size")
+		workers  = fs.Int("workers", runtime.NumCPU(), "shard the exploration across this many goroutines (report is identical for any value)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	g, err := cli.BuildTopology(*topology, *n, *p, rng)
 	if err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return 2
 	}
-	fmt.Printf("%s on %s %v\n", *protocol, *topology, g)
+	fmt.Fprintf(stdout, "%s on %s %v\n", *protocol, *topology, g)
 
 	switch *protocol {
 	case "smm", "smm-arbitrary":
@@ -60,32 +73,35 @@ func main() {
 				cfg := core.Config[core.Pointer]{G: g, States: states}
 				return verify.IsMaximalMatching(g, core.MatchingOf(cfg))
 			}, *workers)
-		report(rep, err, g.N()+1)
+		return report(rep, err, g.N()+1, stdout, logger)
 	case "smi":
 		rep, err := modelcheck.ExploreWorkers[bool](core.NewSMI(), g, modelcheck.SMIDomain, *limit,
 			func(states []bool) error {
 				cfg := core.Config[bool]{G: g, States: states}
 				return verify.IsMaximalIndependentSet(g, core.SetOf(cfg))
 			}, *workers)
-		report(rep, err, g.N()+1)
+		return report(rep, err, g.N()+1, stdout, logger)
 	case "coloring":
 		rep, err := modelcheck.ExploreWorkers[int](protocols.NewColoring(), g, modelcheck.ColoringDomain, *limit,
 			func(states []int) error { return verify.IsProperColoring(g, states) }, *workers)
-		report(rep, err, g.N()+1)
+		return report(rep, err, g.N()+1, stdout, logger)
 	default:
-		log.Fatalf("unknown protocol %q (deterministic protocols only)", *protocol)
+		logger.Printf("unknown protocol %q (deterministic protocols only)", *protocol)
+		return 2
 	}
 }
 
-func report[S comparable](rep *modelcheck.Report[S], err error, bound int) {
+func report[S comparable](rep *modelcheck.Report[S], err error, bound int, stdout io.Writer, logger *log.Logger) int {
 	if err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return 1
 	}
-	fmt.Println(rep)
-	fmt.Printf("bound n+1 = %d; worst start: %v\n", bound, rep.WorstStart)
+	fmt.Fprintln(stdout, rep)
+	fmt.Fprintf(stdout, "bound n+1 = %d; worst start: %v\n", bound, rep.WorstStart)
 	if rep.Divergent > 0 {
-		fmt.Printf("example cycle configuration: %v\n", rep.CycleExample)
+		fmt.Fprintf(stdout, "example cycle configuration: %v\n", rep.CycleExample)
 	} else if rep.MaxRounds <= bound {
-		fmt.Println("every configuration stabilizes within the bound; every fixed point verified")
+		fmt.Fprintln(stdout, "every configuration stabilizes within the bound; every fixed point verified")
 	}
+	return 0
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSMMCycle(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-protocol", "smm", "-topology", "cycle", "-n", "5"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "exhaustive:") || !strings.Contains(got, "fixed points") {
+		t.Fatalf("stdout missing report:\n%s", got)
+	}
+	if !strings.Contains(got, "every configuration stabilizes within the bound") {
+		t.Fatalf("SMM on C5 should verify the n+1 bound:\n%s", got)
+	}
+}
+
+// TestRunCounterexample checks the paper's four-cycle counterexample:
+// the arbitrary-proposal variant must report divergent configurations.
+func TestRunCounterexample(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-protocol", "smm-arbitrary", "-topology", "cycle", "-n", "4"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "divergent") || !strings.Contains(got, "example cycle configuration") {
+		t.Fatalf("counterexample run should report divergence:\n%s", got)
+	}
+}
+
+// TestRunWorkersDeterministic checks the byte-identical-report contract
+// the determinism lint suite exists to protect: any -workers value must
+// produce the same stdout.
+func TestRunWorkersDeterministic(t *testing.T) {
+	var ref strings.Builder
+	if code := run([]string{"-protocol", "smi", "-topology", "path", "-n", "10", "-workers", "1"}, &ref, new(strings.Builder)); code != 0 {
+		t.Fatalf("reference run failed: %d", code)
+	}
+	for _, w := range []string{"2", "7"} {
+		var out strings.Builder
+		if code := run([]string{"-protocol", "smi", "-topology", "path", "-n", "10", "-workers", w}, &out, new(strings.Builder)); code != 0 {
+			t.Fatalf("workers=%s run failed: %d", w, code)
+		}
+		if out.String() != ref.String() {
+			t.Fatalf("workers=%s output differs from workers=1:\n%q\nvs\n%q", w, out.String(), ref.String())
+		}
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-protocol", "randmis"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (randomized protocols cannot be model checked)", code)
+	}
+	if !strings.Contains(errOut.String(), "deterministic protocols only") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunLimitExceeded(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-protocol", "smi", "-topology", "path", "-n", "16", "-limit", "100"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1 for exceeded state-space limit", code)
+	}
+	if !strings.Contains(errOut.String(), "exceeds limit") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}

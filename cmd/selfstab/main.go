@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -27,32 +28,43 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("selfstab: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags are parsed from args, results
+// go to stdout, diagnostics to stderr, and the process exit code is
+// returned (0 ok, 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	logger := log.New(stderr, "selfstab: ", 0)
+	fs := flag.NewFlagSet("selfstab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		protocol  = flag.String("protocol", "smm", strings.Join(cli.ProtocolNames, " | "))
-		topology  = flag.String("topology", "gnp", strings.Join(cli.TopologyNames, " | "))
-		n         = flag.Int("n", 32, "number of nodes")
-		p         = flag.Float64("p", 0.1, "edge probability (gnp) / radius hint (disk)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		trials    = flag.Int("trials", 1, "independent trials (random initial states)")
-		maxRounds = flag.Int("max-rounds", 0, "round limit (0 = protocol-derived default)")
-		executor  = flag.String("executor", "lockstep", strings.Join(cli.ExecutorNames, " | "))
-		jitter    = flag.Float64("jitter", 0.1, "beacon jitter fraction (executor=beacon)")
-		loss      = flag.Float64("loss", 0, "beacon loss probability (executor=beacon)")
-		maxLag    = flag.Int("lag", 2, "staleness bound (executor=stale)")
-		traceOut  = flag.String("trace", "", "write a per-round CSV trace (lockstep smm/smi, first trial)")
-		dotOut    = flag.String("dot", "", "write the final configuration as DOT (smm, first trial)")
-		showViz   = flag.Bool("viz", false, "print a per-round ASCII timeline (lockstep smm/smi, first trial)")
+		protocol  = fs.String("protocol", "smm", strings.Join(cli.ProtocolNames, " | "))
+		topology  = fs.String("topology", "gnp", strings.Join(cli.TopologyNames, " | "))
+		n         = fs.Int("n", 32, "number of nodes")
+		p         = fs.Float64("p", 0.1, "edge probability (gnp) / radius hint (disk)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		trials    = fs.Int("trials", 1, "independent trials (random initial states)")
+		maxRounds = fs.Int("max-rounds", 0, "round limit (0 = protocol-derived default)")
+		executor  = fs.String("executor", "lockstep", strings.Join(cli.ExecutorNames, " | "))
+		jitter    = fs.Float64("jitter", 0.1, "beacon jitter fraction (executor=beacon)")
+		loss      = fs.Float64("loss", 0, "beacon loss probability (executor=beacon)")
+		maxLag    = fs.Int("lag", 2, "staleness bound (executor=stale)")
+		traceOut  = fs.String("trace", "", "write a per-round CSV trace (lockstep smm/smi, first trial)")
+		dotOut    = fs.String("dot", "", "write the final configuration as DOT (smm, first trial)")
+		showViz   = fs.Bool("viz", false, "print a per-round ASCII timeline (lockstep smm/smi, first trial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	g, err := cli.BuildTopology(*topology, *n, *p, rng)
 	if err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return 2
 	}
-	fmt.Printf("%s on %s %v, executor %s\n", *protocol, *topology, g, *executor)
+	fmt.Fprintf(stdout, "%s on %s %v, executor %s\n", *protocol, *topology, g, *executor)
 
 	for trial := 0; trial < *trials; trial++ {
 		opt := cli.TrialOptions{
@@ -68,31 +80,38 @@ func main() {
 		if trial == 0 && *traceOut != "" {
 			traceFile, err = os.Create(*traceOut)
 			if err != nil {
-				log.Fatal(err)
+				logger.Print(err)
+				return 1
 			}
 			opt.Trace = traceFile
 		}
 		if trial == 0 && *showViz {
-			opt.Viz = os.Stdout
+			opt.Viz = stdout
 		}
 		summary, err := cli.RunTrial(g, opt, rng)
 		if traceFile != nil {
 			traceFile.Close()
 		}
 		if err != nil {
-			log.Fatal(err)
+			logger.Print(err)
+			return 1
 		}
-		fmt.Println(" ", summary)
+		fmt.Fprintln(stdout, " ", summary)
 	}
 
 	if *dotOut != "" && (*protocol == "smm" || *protocol == "hsuhuang") {
-		writeMatchingDOT(g, *protocol, *seed, *dotOut)
+		if err := writeMatchingDOT(g, *protocol, *seed, *dotOut, stdout, logger); err != nil {
+			return 1
+		}
 	}
+	return 0
 }
 
 // writeMatchingDOT re-runs the first trial deterministically and renders
 // its matching.
-func writeMatchingDOT(g *graph.Graph, protocol string, seed int64, path string) {
+func writeMatchingDOT(g *graph.Graph, protocol string, seed int64, path string,
+	stdout io.Writer, logger *log.Logger) error {
+
 	var res selfstab.Result
 	var matching []graph.Edge
 	if protocol == "smm" {
@@ -105,11 +124,12 @@ func writeMatchingDOT(g *graph.Graph, protocol string, seed int64, path string) 
 		matching = core.MatchingOf(cfg)
 	}
 	if !res.Stable {
-		log.Printf("dot: run did not stabilize; rendering last state")
+		logger.Printf("dot: run did not stabilize; rendering last state")
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return err
 	}
 	defer f.Close()
 	highlight := map[graph.Edge]bool{}
@@ -117,7 +137,9 @@ func writeMatchingDOT(g *graph.Graph, protocol string, seed int64, path string) 
 		highlight[e] = true
 	}
 	if err := selfstab.WriteDOT(f, g, selfstab.DOTOptions{Name: "SMM", Highlight: highlight}); err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return err
 	}
-	fmt.Printf("  DOT written to %s\n", path)
+	fmt.Fprintf(stdout, "  DOT written to %s\n", path)
+	return nil
 }

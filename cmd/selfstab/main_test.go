@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLockstepSMM(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-protocol", "smm", "-topology", "path", "-n", "8", "-trials", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "smm on path") {
+		t.Fatalf("stdout missing header:\n%s", out.String())
+	}
+	if got := strings.Count(out.String(), "\n"); got < 3 {
+		t.Fatalf("expected header + 2 trial summaries, got:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-protocol", "nope", "-topology", "path", "-n", "4"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr = %q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "nope") {
+		t.Fatalf("stderr = %q, want mention of the bad protocol", errOut.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunTraceAndViz(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.csv")
+	var out, errOut strings.Builder
+	code := run([]string{"-protocol", "smi", "-topology", "cycle", "-n", "6",
+		"-trace", tracePath, "-viz"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, errOut.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if !strings.Contains(string(data), "round") {
+		t.Fatalf("trace CSV missing header:\n%s", data)
+	}
+}
+
+func TestRunDOTOutput(t *testing.T) {
+	dir := t.TempDir()
+	dotPath := filepath.Join(dir, "m.dot")
+	var out, errOut strings.Builder
+	code := run([]string{"-protocol", "smm", "-topology", "cycle", "-n", "8", "-dot", dotPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr = %q", code, errOut.String())
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatalf("dot file: %v", err)
+	}
+	if !strings.Contains(string(data), "graph") {
+		t.Fatalf("DOT output missing graph header:\n%s", data)
+	}
+}

@@ -1,0 +1,28 @@
+// Command selfstablint is the repository's determinism and concurrency
+// lint suite: a vet tool bundling the custom analyzers that make the
+// determinism contract structural rather than sampled.
+//
+//	detrand  — threaded randomness and clock-free code in deterministic packages
+//	mapiter  — no map-iteration order reaching an output without a canonical sort
+//	guarded  — `// guarded by <mu>` field annotations hold
+//
+// It is not run directly; the go command drives it one package at a
+// time:
+//
+//	go build -o bin/selfstablint ./cmd/selfstablint
+//	go vet -vettool=bin/selfstablint ./...
+//
+// which is what `make lint` does. See docs/STATIC_ANALYSIS.md for the
+// contract, the annotation syntax, and the suppression syntax.
+package main
+
+import (
+	"selfstab/internal/analysis/detrand"
+	"selfstab/internal/analysis/guarded"
+	"selfstab/internal/analysis/mapiter"
+	"selfstab/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(detrand.New(), mapiter.New(), guarded.New())
+}

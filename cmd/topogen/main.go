@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -25,24 +26,35 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("topogen: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flags are parsed from args, the
+// graph goes to stdout, diagnostics to stderr, and the process exit
+// code is returned (0 ok, 1 generation failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	logger := log.New(stderr, "topogen: ", 0)
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		topology = flag.String("topology", "gnp", strings.Join(cli.TopologyNames, " | "))
-		n        = flag.Int("n", 24, "number of nodes")
-		p        = flag.Float64("p", 0.1, "edge probability / radius hint")
-		seed     = flag.Int64("seed", 1, "random seed")
-		format   = flag.String("format", "dot", "dot | edges")
-		overlay  = flag.String("overlay", "", "run a protocol and highlight its output: smm | smi")
+		topology = fs.String("topology", "gnp", strings.Join(cli.TopologyNames, " | "))
+		n        = fs.Int("n", 24, "number of nodes")
+		p        = fs.Float64("p", 0.1, "edge probability / radius hint")
+		seed     = fs.Int64("seed", 1, "random seed")
+		format   = fs.String("format", "dot", "dot | edges")
+		overlay  = fs.String("overlay", "", "run a protocol and highlight its output: smm | smi")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	g, err := cli.BuildTopology(*topology, *n, *p, rng)
 	if err != nil {
-		log.Fatal(err)
+		logger.Print(err)
+		return 2
 	}
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 
 	opt := selfstab.DOTOptions{Name: "G"}
@@ -51,7 +63,8 @@ func main() {
 	case "smm":
 		res, matching := selfstab.RunSMM(g, *seed)
 		if !res.Stable {
-			log.Fatalf("SMM did not stabilize: %v", res)
+			logger.Printf("SMM did not stabilize: %v", res)
+			return 1
 		}
 		opt.Name = "SMM"
 		opt.Highlight = map[graph.Edge]bool{}
@@ -61,7 +74,8 @@ func main() {
 	case "smi":
 		res, mis := selfstab.RunSMI(g, *seed)
 		if !res.Stable {
-			log.Fatalf("SMI did not stabilize: %v", res)
+			logger.Printf("SMI did not stabilize: %v", res)
+			return 1
 		}
 		opt.Name = "SMI"
 		opt.FillNodes = map[graph.NodeID]bool{}
@@ -69,13 +83,15 @@ func main() {
 			opt.FillNodes[v] = true
 		}
 	default:
-		log.Fatalf("unknown overlay %q", *overlay)
+		logger.Printf("unknown overlay %q", *overlay)
+		return 2
 	}
 
 	switch *format {
 	case "dot":
 		if err := selfstab.WriteDOT(out, g, opt); err != nil {
-			log.Fatal(err)
+			logger.Print(err)
+			return 1
 		}
 	case "edges":
 		fmt.Fprintf(out, "# %s n=%d m=%d\n", *topology, g.N(), g.M())
@@ -83,6 +99,8 @@ func main() {
 			fmt.Fprintf(out, "%d %d\n", e.U, e.V)
 		}
 	default:
-		log.Fatalf("unknown format %q", *format)
+		logger.Printf("unknown format %q", *format)
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,189 @@
+// Package detrand defines an analyzer enforcing the repository's
+// determinism contract on randomness and wall-clock time: inside the
+// deterministic packages, every random draw must flow through an
+// explicitly threaded *rand.Rand and every seed must come from the
+// derived-seed helpers, so results are byte-identical for any worker
+// count, scheduling order, or time of day.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"selfstab/internal/analysis/lint"
+)
+
+// defaultPackages lists the deterministic packages: the protocol core
+// and rules, the executors, the model checker, and the experiment
+// harness — everything whose outputs the determinism tests require to be
+// reproducible bit-for-bit. CLI mains (which stamp wall-clock footers)
+// and presentation packages are intentionally absent.
+const defaultPackages = "selfstab/internal/core,selfstab/internal/protocols,selfstab/internal/rules," +
+	"selfstab/internal/sim,selfstab/internal/modelcheck,selfstab/internal/harness," +
+	"selfstab/internal/mobility,selfstab/internal/adversary"
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the shared global source. rand.New, rand.NewSource, and
+// rand.NewZipf are absent: constructing a threaded generator is exactly
+// what the contract wants.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true, "N": true,
+}
+
+// clockFuncs are the time functions that observe or wait on the wall
+// clock. Pure constructors and conversions (time.Duration, time.Unix)
+// are fine: they are functions of their arguments.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// New returns the detrand analyzer.
+func New() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "detrand",
+		Doc: "enforce threaded randomness and clock-free code in deterministic packages\n\n" +
+			"Flags global math/rand functions, wall-clock time functions, and\n" +
+			"rand.NewSource/rand.New arguments that call anything but derived-seed\n" +
+			"helpers, inside the packages named by -detrand.pkgs.",
+	}
+	pkgs := a.Flags.String("pkgs", defaultPackages,
+		"comma-separated package-path prefixes the contract applies to ('all' = every package)")
+	seedfuncs := a.Flags.String("seedfuncs", "",
+		"comma-separated extra function names allowed inside rand.NewSource arguments")
+	a.Run = func(pass *lint.Pass) (any, error) {
+		run(pass, *pkgs, *seedfuncs)
+		return nil, nil
+	}
+	return a
+}
+
+func run(pass *lint.Pass, pkgs, seedfuncs string) {
+	if !applies(pass.Pkg.Path(), pkgs) {
+		return
+	}
+	extraSeed := map[string]bool{}
+	for _, f := range strings.Split(seedfuncs, ",") {
+		if f != "" {
+			extraSeed[f] = true
+		}
+	}
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				checkIdent(pass, n)
+			case *ast.CallExpr:
+				checkSeedPurity(pass, n, extraSeed)
+			}
+			return true
+		})
+	}
+}
+
+func applies(path, pkgs string) bool {
+	if pkgs == "all" {
+		return true
+	}
+	for _, p := range strings.Split(pkgs, ",") {
+		if p != "" && (path == p || strings.HasPrefix(path, p+"/")) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkIdent flags any reference — call or not, so passing rand.Intn as
+// a callback is caught too — to a global-source math/rand function or a
+// wall-clock time function.
+func checkIdent(pass *lint.Pass, id *ast.Ident) {
+	fn := pkgLevelFunc(pass.TypesInfo.Uses[id])
+	if fn == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[fn.Name()] {
+			pass.Reportf(id.Pos(),
+				"global math/rand.%s draws from the shared process-wide source; thread a *rand.Rand instead",
+				fn.Name())
+		}
+	case "time":
+		if clockFuncs[fn.Name()] {
+			pass.Reportf(id.Pos(),
+				"time.%s reads the wall clock in a deterministic package; timing belongs in CLI footers",
+				fn.Name())
+		}
+	}
+}
+
+// pkgLevelFunc returns obj as a package-level *types.Func, or nil. The
+// receiver check matters: (*rand.Rand).Intn shares its name with the
+// forbidden global rand.Intn.
+func pkgLevelFunc(obj types.Object) *types.Func {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// checkSeedPurity inspects rand.NewSource and rand.New(rand.NewSource(...))
+// arguments: every call inside the seed expression must be a derived-seed
+// helper (harness.DeriveSeed or anything whose name mentions a seed), so
+// seeds are pure functions of the run seed and the cell coordinates.
+func checkSeedPurity(pass *lint.Pass, call *ast.CallExpr, extraSeed map[string]bool) {
+	callee := pkgLevelFunc(usedObject(pass, call.Fun))
+	if callee == nil || callee.Name() != "NewSource" {
+		return
+	}
+	if p := callee.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[inner.Fun]; ok && tv.IsType() {
+				return true // conversion such as int64(x)
+			}
+			obj := usedObject(pass, inner.Fun)
+			if obj == nil {
+				return true // builtins (len, etc.) and indirect calls
+			}
+			name := obj.Name()
+			if strings.Contains(strings.ToLower(name), "seed") || extraSeed[name] {
+				return true
+			}
+			pass.Reportf(inner.Pos(),
+				"rand.NewSource argument calls %s; seeds must come from derived-seed helpers (e.g. harness.DeriveSeed)",
+				name)
+			return false // one report per offending call chain
+		})
+	}
+}
+
+// usedObject resolves the object a call target refers to, looking
+// through selectors and parens.
+func usedObject(pass *lint.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package detrand
+
+import (
+	"testing"
+
+	"selfstab/internal/analysis/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	a := New()
+	if err := a.Flags.Set("pkgs", "all"); err != nil {
+		t.Fatal(err)
+	}
+	linttest.Run(t, "testdata/src/a", a)
+}
+
+// TestScope checks that packages outside the deterministic list are not
+// analyzed: the same fixture under the default package list yields no
+// diagnostics, so `// want` expectations must fail.
+func TestScope(t *testing.T) {
+	if applies("selfstab/internal/viz", defaultPackages) {
+		t.Errorf("viz should be outside the deterministic scope")
+	}
+	for _, p := range []string{
+		"selfstab/internal/core", "selfstab/internal/harness",
+		"selfstab/internal/modelcheck", "selfstab/internal/sim",
+	} {
+		if !applies(p, defaultPackages) {
+			t.Errorf("%s should be inside the deterministic scope", p)
+		}
+	}
+	if !applies("anything", "all") {
+		t.Errorf("'all' should match every package")
+	}
+}

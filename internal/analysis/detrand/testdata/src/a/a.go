@@ -1,0 +1,54 @@
+// Package a is the detrand fixture: global randomness and wall-clock
+// reads are violations; threaded generators and derived seeds are the
+// fixed forms.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// deriveSeed stands in for the repo's harness.DeriveSeed helper.
+func deriveSeed(seed int64, stream string) int64 {
+	return seed ^ int64(len(stream))
+}
+
+func globalDraws() int {
+	n := rand.Intn(10)                 // want `global math/rand.Intn draws from the shared process-wide source`
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand.Shuffle`
+	return n
+}
+
+func clockRead() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func clockWait() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+func asValue() func(int) int {
+	return rand.Intn // want `global math/rand.Intn`
+}
+
+func impureSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time.Now reads the wall clock` `rand.NewSource argument calls UnixNano`
+}
+
+// threaded is the fixed form: an explicit generator from an explicit
+// seed, with all draws through its methods.
+func threaded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// derived is the fixed form for per-cell streams: the seed is a pure
+// function of run seed and coordinates.
+func derived(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(seed, "cell/3")))
+}
+
+func suppressed() int {
+	//lint:ignore detrand demo helper, reproducibility not required here
+	return rand.Intn(3)
+}

@@ -1,0 +1,235 @@
+// Package guarded defines an analyzer enforcing `// guarded by <mu>`
+// struct-field annotations: every access to an annotated field must
+// occur in a function that visibly acquires the named sibling mutex, or
+// — for fields annotated `// guarded by atomic` — through sync/atomic
+// operations taking the field's address. It is a lightweight, syntactic
+// cousin of Clang's thread-safety analysis, sized for this repo's
+// concurrency surface (the sharded model-checker memo table and the
+// experiment pools), and it turns what the race detector samples at
+// runtime into a structural compile-time check.
+package guarded
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"selfstab/internal/analysis/lint"
+)
+
+// directiveRE matches the annotation inside a field's comment:
+// "guarded by mu", "guarded by atomic".
+var directiveRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// New returns the guarded analyzer.
+func New() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "guarded",
+		Doc: "enforce `// guarded by <mu>` struct-field annotations\n\n" +
+			"An access to an annotated field is reported unless the enclosing\n" +
+			"function calls Lock/RLock on the named sibling mutex (or holds it by\n" +
+			"construction: deferred unlocks count the same), or, for `guarded by\n" +
+			"atomic`, unless the access is the address argument of a sync/atomic\n" +
+			"call.",
+	}
+	a.Run = func(pass *lint.Pass) (any, error) {
+		run(pass)
+		return nil, nil
+	}
+	return a
+}
+
+// guard describes one annotated field.
+type guard struct {
+	field *types.Var // the annotated field object
+	mutex string     // sibling mutex field name, or "atomic"
+}
+
+func run(pass *lint.Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			g, ok := guards[selection.Obj().(*types.Var)]
+			if !ok {
+				return true
+			}
+			checkAccess(pass, file, sel, g)
+			return true
+		})
+	}
+}
+
+// collectGuards finds every `guarded by` annotation on a struct field
+// declared in this package, validating that the named guard is a
+// sibling field of a mutex-like type.
+func collectGuards(pass *lint.Pass) map[*types.Var]guard {
+	guards := map[*types.Var]guard{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				name := annotation(field)
+				if name == "" {
+					continue
+				}
+				if name != "atomic" && !hasMutexField(pass, st, name) {
+					pass.Reportf(field.Pos(),
+						"guarded by %s: no sibling sync.Mutex/sync.RWMutex field with that name", name)
+					continue
+				}
+				for _, id := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+						guards[v] = guard{field: v, mutex: name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// annotation extracts the guard name from a field's doc or trailing
+// comment.
+func annotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := directiveRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// hasMutexField reports whether the struct declares a field with the
+// given name whose type is mutex-like.
+func hasMutexField(pass *lint.Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name != name {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(field.Type)
+			for {
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+					continue
+				}
+				break
+			}
+			if named, ok := t.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+					(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkAccess validates one selector access against its guard.
+func checkAccess(pass *lint.Pass, file *ast.File, sel *ast.SelectorExpr, g guard) {
+	fn := lint.FuncFor(file, sel.Pos())
+	if fn == nil {
+		return // package-level var initializer: single-threaded init
+	}
+	if g.mutex == "atomic" {
+		if atomicUse(pass, file, sel) {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is guarded by atomic: access it through sync/atomic operations on its address", g.field.Name())
+		return
+	}
+	if acquiresMutex(pass, fn, g.mutex) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"access to %s outside a function acquiring %s (annotated `guarded by %s`)",
+		g.field.Name(), g.mutex, g.mutex)
+}
+
+// acquiresMutex reports whether fn contains a Lock or RLock call on a
+// selector ending in the guard's mutex name. Lexical containment stands
+// in for a true lockset: the repo's concurrency idiom is
+// lock-at-function-entry with deferred unlock, which this matches.
+func acquiresMutex(pass *lint.Pass, fn ast.Node, mutexName string) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if base, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			if base.Sel.Name == mutexName {
+				found = true
+			}
+		} else if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == mutexName {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// atomicUse reports whether the selector access is (part of) the
+// address argument of a sync/atomic call, e.g.
+// atomic.LoadInt32(&t.memo[i]).
+func atomicUse(pass *lint.Pass, file *ast.File, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if call.Pos() > sel.Pos() || call.End() < sel.End() {
+			return true
+		}
+		callee, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[callee.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if arg.Pos() <= sel.Pos() && sel.End() <= arg.End() {
+				if unary, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && unary.Op == token.AND {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,68 @@
+// Package a is the guarded fixture: annotated fields accessed without
+// their mutex (or outside atomic operations) are violations.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Inc is the fixed form: the guard is visibly acquired.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `access to n outside a function acquiring mu`
+}
+
+type rwBox struct {
+	mu  sync.RWMutex
+	val string // guarded by mu
+}
+
+// Get holds the read lock: RLock satisfies the guard.
+func (b *rwBox) Get() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.val
+}
+
+func (b *rwBox) racyGet() string {
+	return b.val // want `access to val outside a function acquiring mu`
+}
+
+type table struct {
+	slots []int32 // guarded by atomic
+}
+
+// load is the fixed form: the slot is read through sync/atomic on its
+// address.
+func (t *table) load(i int) int32 {
+	return atomic.LoadInt32(&t.slots[i])
+}
+
+func (t *table) store(i int, v int32) {
+	atomic.StoreInt32(&t.slots[i], v)
+}
+
+func (t *table) racyLoad(i int) int32 {
+	return t.slots[i] // want `field slots is guarded by atomic`
+}
+
+type bad struct {
+	// guarded by missing
+	x int // want `guarded by missing: no sibling sync.Mutex/sync.RWMutex field`
+}
+
+func scanAfterBarrier(t *table) int32 {
+	//lint:ignore guarded single-threaded scan after all writers joined
+	return t.slots[0]
+}

@@ -1,0 +1,190 @@
+// Package lint is a self-contained static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, rebuilt on the standard library so the
+// repository's determinism and concurrency analyzers need no external
+// module. The API mirrors go/analysis deliberately — Analyzer, Pass,
+// Diagnostic carry the same fields with the same meanings — so the
+// custom passes can migrate to the upstream framework verbatim if the
+// dependency ever becomes available.
+//
+// Two drivers consume this package: internal/analysis/unit speaks the
+// `go vet -vettool=` compilation-unit protocol for whole-repo runs, and
+// internal/analysis/linttest type-checks testdata fixtures and matches
+// diagnostics against `// want` expectations, in the style of
+// go/analysis/analysistest.
+//
+// Suppression: a diagnostic is dropped when the offending line — or the
+// line immediately above it — carries a directive comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+// The analyzer list may be the wildcard "*".
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -<name>.<flag>
+	// command-line flags, and //lint:ignore directives. It must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Flags holds analyzer-specific flags, registered by the driver as
+	// -<name>.<flag>.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers apply //lint:ignore
+	// suppression after the run, so analyzers report unconditionally.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that produced
+// it by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// Run executes every analyzer over one type-checked package, applies
+// //lint:ignore suppression, and returns the surviving diagnostics in
+// file/position order. Malformed directives (no reason) are appended as
+// diagnostics attributed to the pseudo-analyzer "lint".
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	analyzers []*Analyzer) ([]Diagnostic, error) {
+
+	sup, bad := collectSuppressions(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range diags {
+			d.Analyzer = a.Name
+			if !sup.suppressed(fset, d.Pos, a.Name) {
+				out = append(out, d)
+			}
+		}
+	}
+	out = append(out, bad...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// suppressions maps "file:line" to the set of analyzer names ignored on
+// that line ("*" matches all).
+type suppressions map[string]map[string]bool
+
+func (s suppressions) suppressed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	set := s[fmt.Sprintf("%s:%d", p.Filename, p.Line)]
+	return set != nil && (set[analyzer] || set["*"])
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions scans every comment for //lint:ignore directives.
+// A directive covers its own line and the following line, so it works
+// both as a trailing comment and as a standalone line above the code it
+// excuses.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "malformed //lint:ignore directive: need analyzer name(s) and a reason",
+						Analyzer: "lint",
+					})
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					for _, line := range []int{p.Line, p.Line + 1} {
+						key := fmt.Sprintf("%s:%d", p.Filename, line)
+						if sup[key] == nil {
+							sup[key] = make(map[string]bool)
+						}
+						sup[key][name] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The determinism analyzers skip test files: tests are where seeded
+// randomness and wall-clock timing are legitimately exercised, and the
+// contract they enforce is about library code.
+func IsTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// FuncFor returns the innermost function declaration or literal
+// enclosing pos in file, or nil.
+func FuncFor(file *ast.File, pos token.Pos) ast.Node {
+	var fn ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == nil
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fn = n
+		}
+		return true
+	})
+	return fn
+}

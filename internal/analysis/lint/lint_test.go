@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// runOnSource type-checks src (no imports) and runs one trivial
+// analyzer that reports at every return statement.
+func runOnSource(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: map[*ast.Ident]types.Object{}, Uses: map[*ast.Ident]types.Object{}}
+	pkg, err := (&types.Config{}).Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Analyzer{
+		Name: "retflag",
+		Doc:  "flags every return",
+		Run: func(p *Pass) (any, error) {
+			ast.Inspect(p.Files[0], func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					p.Reportf(r.Pos(), "return found")
+				}
+				return true
+			})
+			return nil, nil
+		},
+	}
+	diags, err := Run(fset, []*ast.File{f}, pkg, info, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestSuppressionOnLineAndLineAbove(t *testing.T) {
+	diags := runOnSource(t, `package x
+
+func a() int {
+	return 1 //lint:ignore retflag trailing-form suppression
+}
+
+func b() int {
+	//lint:ignore retflag standalone-form suppression
+	return 2
+}
+
+func c() int {
+	return 3
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %+v, want exactly the one in c()", diags)
+	}
+	if got := diags[0].Analyzer; got != "retflag" {
+		t.Fatalf("analyzer = %q", got)
+	}
+}
+
+func TestWildcardAndOtherAnalyzerSuppression(t *testing.T) {
+	diags := runOnSource(t, `package x
+
+func a() int {
+	//lint:ignore * wildcard silences everything
+	return 1
+}
+
+func b() int {
+	//lint:ignore otherpass directive for a different analyzer
+	return 2
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "return found") {
+		t.Fatalf("diagnostics = %+v, want only b()'s return", diags)
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	diags := runOnSource(t, `package x
+
+func a() int {
+	//lint:ignore retflag
+	return 1
+}
+`)
+	// The bare directive is ineffective AND reported: the return fires
+	// plus the malformed-directive diagnostic.
+	var gotMalformed, gotReturn bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed //lint:ignore") {
+			gotMalformed = true
+		}
+		if strings.Contains(d.Message, "return found") {
+			gotReturn = true
+		}
+	}
+	if !gotMalformed || !gotReturn {
+		t.Fatalf("diagnostics = %+v, want malformed-directive and return findings", diags)
+	}
+}

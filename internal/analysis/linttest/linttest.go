@@ -1,0 +1,159 @@
+// Package linttest runs lint analyzers over testdata fixture packages
+// and checks their diagnostics against expectations embedded in the
+// fixture source, in the style of go/analysis/analysistest.
+//
+// An expectation is a trailing comment of the form
+//
+//	// want "regexp"
+//	// want "regexp" "second regexp"
+//	// want `regexp with "quotes"`
+//
+// Each regexp must match the message of a distinct diagnostic reported
+// on that line, and every diagnostic must be claimed by some
+// expectation. Fixtures are type-checked from source with the standard
+// library importer, so they may import anything in GOROOT but nothing
+// else.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"selfstab/internal/analysis/lint"
+)
+
+// Run analyzes the fixture package in dir (a path relative to the test's
+// working directory, conventionally "testdata/src/<name>") with the
+// given analyzers and reports any mismatch between expected and actual
+// diagnostics as test errors.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{
+		// The source importer type-checks GOROOT packages from source:
+		// no export data, module cache, or network involved.
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkgPath := files[0].Name.Name
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-checking %s: %v", dir, err)
+	}
+
+	diags, err := lint.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	expects := collectExpectations(t, fset, files)
+	matchDiagnostics(t, fset, diags, expects)
+}
+
+// expectation is one `// want` regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// collectExpectations parses every `// want` comment into expectations.
+func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					raw := m[2]
+					if strings.HasPrefix(m[0], "`") {
+						raw = m[1]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+						continue
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matchDiagnostics pairs diagnostics with expectations one-to-one.
+func matchDiagnostics(t *testing.T, fset *token.FileSet, diags []lint.Diagnostic, expects []*expectation) {
+	t.Helper()
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		claimed := false
+		for _, e := range expects {
+			if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(d.Message) {
+				e.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.raw)
+		}
+	}
+}

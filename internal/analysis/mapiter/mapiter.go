@@ -1,0 +1,406 @@
+// Package mapiter defines an analyzer that flags map iteration whose
+// nondeterministic order can reach an output: an appended slice that is
+// never canonically sorted, an emitted report, a return value, a
+// selection (min/max/argbest) assignment, or a floating-point
+// accumulation. This is the exact bug class behind the paper's min-ID
+// requirement — SMM's rule R2 is only correct under a consistent total
+// order, and the four-cycle counterexample diverges without one — and
+// behind the repo's byte-identical-table contract from PR 1.
+//
+// Order-insensitive uses stay silent: integer accumulation, counting,
+// boolean flags, and writes into other maps are commutative, and a
+// collected slice that is sorted later in the same function is the
+// sanctioned canonicalize-then-consume pattern.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"selfstab/internal/analysis/lint"
+)
+
+// New returns the mapiter analyzer.
+func New() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "mapiter",
+		Doc: "flag map iteration whose order can reach an output without a canonical sort\n\n" +
+			"Reports ranges over maps (and sync.Map.Range) that append to an unsorted\n" +
+			"outer slice, print or write, return values derived from the iteration\n" +
+			"variables, select a best element, or accumulate floating point.",
+	}
+	a.Run = func(pass *lint.Pass) (any, error) {
+		run(pass)
+		return nil, nil
+	}
+	return a
+}
+
+func run(pass *lint.Pass) {
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isMapType(pass.TypesInfo.TypeOf(n.X)) {
+					checkLoop(pass, file, n)
+				}
+			case *ast.CallExpr:
+				checkSyncMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkSyncMapRange flags (*sync.Map).Range outright: its callback order
+// is as arbitrary as a map range, and the canonical fix — collect keys,
+// sort, then load — cannot be verified through the closure boundary.
+func checkSyncMapRange(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Range" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"sync.Map.Range visits entries in arbitrary order; collect and sort keys before consuming")
+}
+
+// loopCheck carries the state of one map-range inspection.
+type loopCheck struct {
+	pass *lint.Pass
+	file *ast.File
+	loop *ast.RangeStmt
+	// iterVars are the objects whose values depend on iteration order:
+	// the key/value variables plus locals derived from them inside the
+	// loop body.
+	iterVars map[types.Object]bool
+	// collected maps outer slice objects appended to inside the loop to
+	// the position of the first append, pending a later sort.
+	collected map[types.Object]token.Pos
+}
+
+func checkLoop(pass *lint.Pass, file *ast.File, loop *ast.RangeStmt) {
+	c := &loopCheck{
+		pass:      pass,
+		file:      file,
+		loop:      loop,
+		iterVars:  map[types.Object]bool{},
+		collected: map[types.Object]token.Pos{},
+	}
+	for _, e := range []ast.Expr{loop.Key, loop.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				c.iterVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				c.iterVars[obj] = true // `k, v = range` assignment form
+			}
+		}
+	}
+	// Two passes over the body: first propagate order taint into locals
+	// assigned from iteration variables, then look for sinks.
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			c.propagate(as)
+		}
+		return true
+	})
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		case *ast.IfStmt:
+			c.checkSelection(n)
+		case *ast.AssignStmt:
+			c.checkAccumulation(n)
+		}
+		return true
+	})
+	c.checkCollectedSorted()
+}
+
+// propagate marks locals assigned from order-tainted expressions.
+func (c *loopCheck) propagate(as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := objOf(c.pass, id); obj != nil && c.declaredInLoop(obj) && c.tainted(as.Rhs[i]) {
+			c.iterVars[obj] = true
+		}
+	}
+}
+
+// tainted reports whether expr mentions any order-dependent variable.
+func (c *loopCheck) tainted(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.iterVars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *loopCheck) declaredInLoop(obj types.Object) bool {
+	return obj.Pos() >= c.loop.Pos() && obj.Pos() < c.loop.End()
+}
+
+// checkCall flags appends to outer slices (pending the sorted-after
+// check) and writes to streams, both of which freeze iteration order
+// into an output.
+func (c *loopCheck) checkCall(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if obj := rootObj(c.pass, call.Args[0]); obj != nil && !c.declaredInLoop(obj) {
+				if _, seen := c.collected[obj]; !seen {
+					c.collected[obj] = call.Pos()
+				}
+			}
+			return
+		}
+	}
+	if name, ok := writerCall(c.pass, call); ok {
+		c.pass.Reportf(call.Pos(),
+			"%s inside map iteration emits output in nondeterministic order; iterate sorted keys instead", name)
+	}
+}
+
+// writerNames are functions/methods that emit bytes to a stream.
+var writerNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func writerCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && writerNames[fn.Name()] {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				return "fmt." + fn.Name(), true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// checkReturn flags returns whose values depend on which entry the
+// iteration happened to visit first.
+func (c *loopCheck) checkReturn(ret *ast.ReturnStmt) {
+	for _, res := range ret.Results {
+		if c.tainted(res) {
+			c.pass.Reportf(ret.Pos(),
+				"return inside map iteration depends on encounter order; iterate sorted keys to pick a deterministic witness")
+			return
+		}
+	}
+}
+
+// checkSelection flags the argbest pattern: a comparison involving the
+// iteration variables guarding an assignment of them to outer state.
+// Ties — the paper's min-ID lesson — make the winner order-dependent.
+func (c *loopCheck) checkSelection(ifs *ast.IfStmt) {
+	if !c.tainted(ifs.Cond) || !hasComparison(ifs.Cond) {
+		return
+	}
+	reported := false
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || reported {
+			return !reported
+		}
+		for i, lhs := range as.Lhs {
+			obj := rootObj(c.pass, lhs)
+			if obj == nil || c.declaredInLoop(obj) {
+				continue
+			}
+			if i < len(as.Rhs) && !c.tainted(as.Rhs[i]) && len(as.Lhs) == 1 {
+				continue // e.g. found = true: order-insensitive flag
+			}
+			if i < len(as.Rhs) && isAppendCall(c.pass, as.Rhs[i]) {
+				continue // collection: the sorted-after check owns this
+			}
+			c.pass.Reportf(as.Pos(),
+				"selection over map iteration: ties are broken by encounter order; select over sorted keys (cf. the protocol's min-ID rule)")
+			reported = true
+			return false
+		}
+		return true
+	})
+}
+
+func isAppendCall(pass *lint.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func hasComparison(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAccumulation flags floating-point += / -= / *= on outer state:
+// float arithmetic is not associative, so even a "sum" depends on order.
+func (c *loopCheck) checkAccumulation(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	for _, lhs := range as.Lhs {
+		obj := rootObj(c.pass, lhs)
+		if obj == nil || c.declaredInLoop(obj) {
+			continue
+		}
+		t := c.pass.TypesInfo.TypeOf(lhs)
+		if t == nil {
+			continue
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok {
+			continue
+		}
+		switch {
+		case b.Info()&types.IsFloat != 0:
+			c.pass.Reportf(as.Pos(),
+				"floating-point accumulation over map iteration is order-sensitive (non-associative rounding); sum over sorted keys")
+		case b.Info()&types.IsString != 0 && as.Tok == token.ADD_ASSIGN:
+			c.pass.Reportf(as.Pos(),
+				"string concatenation over map iteration freezes encounter order into the result; build from sorted keys")
+		}
+	}
+}
+
+// checkCollectedSorted reports collected slices with no canonical sort
+// between the loop and the end of the enclosing function.
+func (c *loopCheck) checkCollectedSorted() {
+	if len(c.collected) == 0 {
+		return
+	}
+	fn := lint.FuncFor(c.file, c.loop.Pos())
+	for obj, pos := range c.collected {
+		if fn == nil || !sortedAfter(c.pass, fn, obj, c.loop.End()) {
+			c.pass.Reportf(pos,
+				"append to %q inside map iteration without a later canonical sort; sort it (sort.* / slices.Sort*) before use", obj.Name())
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices sorting
+// function after pos within fn.
+func sortedAfter(pass *lint.Pass, fn ast.Node, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		callee, ok := pass.TypesInfo.Uses[selIdent(call.Fun)].(*types.Func)
+		if !ok || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObj(pass, arg) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func selIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// objOf resolves an identifier to its object via Defs then Uses.
+func objOf(pass *lint.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// rootObj returns the object at the root of an lvalue-ish expression:
+// x, x.f, x[i] all resolve to x's object.
+func rootObj(pass *lint.Pass, e ast.Expr) types.Object {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return objOf(pass, t)
+		case *ast.SelectorExpr:
+			// For s.field prefer the root variable; for pkg.Var the
+			// selection resolves through the package name.
+			if _, ok := pass.TypesInfo.Uses[selBase(t)].(*types.PkgName); ok {
+				return pass.TypesInfo.Uses[t.Sel]
+			}
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+func selBase(sel *ast.SelectorExpr) *ast.Ident {
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return id
+	}
+	return &ast.Ident{Name: ""}
+}

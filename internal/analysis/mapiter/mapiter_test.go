@@ -1,0 +1,11 @@
+package mapiter
+
+import (
+	"testing"
+
+	"selfstab/internal/analysis/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", New())
+}

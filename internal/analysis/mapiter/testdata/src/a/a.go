@@ -1,0 +1,142 @@
+// Package a is the mapiter fixture: map-iteration order leaking into
+// outputs is a violation; canonicalize-then-consume is the fixed form.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside map iteration without a later canonical sort`
+	}
+	return keys
+}
+
+// collectSorted is the fixed form: the collected slice is canonically
+// sorted before anything consumes it.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printLoop(m map[string]int, total *int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside map iteration emits output in nondeterministic order`
+	}
+}
+
+func argbest(m map[int]int) (int, int) {
+	best, bestK := -1, -1
+	for k, v := range m {
+		if v > best {
+			best, bestK = v, k // want `selection over map iteration: ties are broken by encounter order`
+		}
+	}
+	return best, bestK
+}
+
+// argbestSorted is the fixed form of the paper's min-ID lesson: iterate
+// keys in a total order so ties break deterministically.
+func argbestSorted(m map[int]int) (int, int) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	best, bestK := -1, -1
+	for _, k := range keys {
+		if m[k] > best {
+			best, bestK = m[k], k
+		}
+	}
+	return best, bestK
+}
+
+func earlyReturn(m map[int]int) int {
+	for k := range m {
+		if k > 10 {
+			return k // want `return inside map iteration depends on encounter order`
+		}
+	}
+	return -1
+}
+
+// allCheck is fine: the returned value carries no iteration data, so it
+// is the order-insensitive exists/forall pattern.
+func allCheck(m map[int]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func floatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over map iteration is order-sensitive`
+	}
+	return sum
+}
+
+func stringConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		kk := k + ";"
+		out += kk // want `string concatenation over map iteration freezes encounter order`
+	}
+	return out
+}
+
+// filterCollect is fine: conditional collection followed by a canonical
+// sort is the sanctioned fix for selection and emission alike.
+func filterCollect(m map[int]int, cutoff int) []int {
+	var big []int
+	for k, v := range m {
+		if v > cutoff {
+			big = append(big, k)
+		}
+	}
+	sort.Ints(big)
+	return big
+}
+
+// intSum is fine: integer addition commutes.
+func intSum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// reindex is fine: writes into another map land on distinct keys.
+func reindex(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func syncRange(sm *sync.Map) {
+	sm.Range(func(k, v any) bool { return true }) // want `sync.Map.Range visits entries in arbitrary order`
+}
+
+func suppressedScan(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore mapiter consumer deduplicates into a set, order irrelevant
+		keys = append(keys, k)
+	}
+	return keys
+}

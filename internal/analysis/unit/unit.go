@@ -1,0 +1,259 @@
+// Package unit implements the compilation-unit protocol that `go vet
+// -vettool=` speaks, driving the lint framework over one package per
+// invocation. It is a standard-library re-implementation of the part of
+// golang.org/x/tools/go/analysis/unitchecker this repository needs:
+//
+//	-V=full    describe the executable (for the build cache)
+//	-flags     describe supported flags as JSON
+//	foo.cfg    analyze the compilation unit described by a JSON config
+//
+// The go command hands the tool a config naming the unit's Go files and
+// the export-data files of every dependency; types are imported with
+// go/importer's gc reader, so no network, module downloads, or source
+// re-typechecking of dependencies is needed. Our analyzers neither
+// produce nor consume cross-package facts, so for dependency units
+// (VetxOnly) the driver records an empty fact file and exits without
+// analyzing.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"selfstab/internal/analysis/lint"
+)
+
+// Config mirrors the JSON compilation-unit description produced by the
+// go command for a vet tool. Field names form the protocol; unknown
+// fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary: it handles the -V/-flags
+// handshake, registers analyzer flags, runs the unit named on the
+// command line, prints diagnostics to stderr, and exits (0 clean, 1
+// diagnostics, 2 protocol or type-check failure).
+func Main(analyzers ...*lint.Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("selfstablint: ")
+
+	fs := flag.NewFlagSet("selfstablint", flag.ExitOnError)
+	version := fs.String("V", "", "if 'full', print the executable fingerprint and exit (go vet protocol)")
+	printFlags := fs.Bool("flags", false, "print the supported flags as JSON and exit (go vet protocol)")
+	// Legacy vet flag shims, so scripted `go vet` invocations keep working.
+	fs.Bool("source", false, "no effect (legacy)")
+	fs.Bool("v", false, "no effect (legacy)")
+	fs.Bool("all", false, "no effect (legacy)")
+	fs.String("tags", "", "no effect (legacy)")
+	fs.Bool("json", false, "no effect (accepted for compatibility)")
+	fs.Int("c", -1, "no effect (accepted for compatibility)")
+	for _, a := range analyzers {
+		prefix := a.Name + "."
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, prefix+f.Name, f.Usage)
+		})
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	if *version == "full" {
+		describeExecutable()
+		os.Exit(0)
+	}
+	if *printFlags {
+		describeFlags(fs)
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf("usage: invoked by the go command as `go vet -vettool=selfstablint`; got args %q", args)
+	}
+	diags, fset, err := Run(args[0], analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Run analyzes the compilation unit described by the config file and
+// returns the surviving diagnostics. Dependency units (VetxOnly) are
+// not analyzed: the driver only records the empty fact file the go
+// command expects.
+func Run(cfgPath string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, *token.FileSet, error) {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	if cfg.VetxOnly {
+		return nil, fset, writeVetx(cfg)
+	}
+
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, fset, writeVetx(cfg)
+			}
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  configImporter(cfg, fset),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, fset, writeVetx(cfg)
+		}
+		return nil, nil, err
+	}
+
+	diags, err := lint.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return diags, fset, writeVetx(cfg)
+}
+
+// configImporter resolves imports through the unit's ImportMap and reads
+// type information from the compiler export data the go command names in
+// PackageFile.
+func configImporter(cfg *Config, fset *token.FileSet) types.Importer {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	exportReader := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return exportReader.Import(path)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", path, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package %s has no files", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// writeVetx records the (empty) fact file for this unit. The go command
+// caches and threads these files between units; our analyzers are
+// fact-free, so the content is an empty byte string.
+func writeVetx(cfg *Config) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}
+
+// describeExecutable prints the -V=full fingerprint the go command uses
+// as a cache key: a content hash, so rebuilding the tool with different
+// analyzers invalidates cached vet results.
+func describeExecutable() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+}
+
+// describeFlags prints the JSON flag inventory `go vet` validates user
+// flags against.
+func describeFlags(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}

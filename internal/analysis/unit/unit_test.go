@@ -1,0 +1,106 @@
+package unit
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"selfstab/internal/analysis/detrand"
+	"selfstab/internal/analysis/lint"
+)
+
+// TestRunConfig exercises the compilation-unit path end to end: a
+// synthetic package with a detrand violation, export data produced by
+// the real toolchain, and a config shaped like the go command's.
+func TestRunConfig(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	const body = `package p
+
+import "math/rand"
+
+func Draw() int { return rand.Intn(6) }
+`
+	if err := os.WriteFile(src, []byte(body), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Produce export data for math/rand with the installed toolchain.
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "math/rand").Output()
+	if err != nil {
+		t.Skipf("cannot obtain export data: %v", err)
+	}
+	exportFile := strings.TrimSpace(string(out))
+	if exportFile == "" {
+		t.Skip("no export data for math/rand")
+	}
+
+	vetx := filepath.Join(dir, "p.vetx")
+	cfg := &Config{
+		ID:         "p",
+		Compiler:   "gc",
+		ImportPath: "p",
+		GoFiles:    []string{src},
+		ImportMap:  map[string]string{"math/rand": "math/rand"},
+		PackageFile: map[string]string{
+			"math/rand": exportFile,
+		},
+		VetxOutput: vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "p.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	a := detrand.New()
+	if err := a.Flags.Set("pkgs", "all"); err != nil {
+		t.Fatal(err)
+	}
+	diags, fset, err := Run(cfgPath, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "rand.Intn") {
+		t.Fatalf("diagnostics = %+v, want one global-rand finding", diags)
+	}
+	if fset.Position(diags[0].Pos).Filename != src {
+		t.Fatalf("diagnostic at %v, want %s", fset.Position(diags[0].Pos), src)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx fact file not written: %v", err)
+	}
+}
+
+// TestVetxOnlyShortCircuits checks dependency units are not analyzed.
+func TestVetxOnlyShortCircuits(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	// Would fail type-checking: the shortcut must win.
+	if err := os.WriteFile(src, []byte("package p\n\nvar X undefined\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "p.vetx")
+	cfg := &Config{ID: "p", ImportPath: "p", GoFiles: []string{src}, VetxOnly: true, VetxOutput: vetx}
+	data, _ := json.Marshal(cfg)
+	cfgPath := filepath.Join(dir, "p.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	diags, _, err := Run(cfgPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %+v, want none for a VetxOnly unit", diags)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx fact file not written: %v", err)
+	}
+}

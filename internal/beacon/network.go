@@ -308,18 +308,27 @@ func (n *Network[S]) onDeliver(to, from int, s S) {
 }
 
 // expireNeighbors drops table entries whose beacons have timed out and
-// repairs state references to them.
+// repairs state references to them. Expiries are applied in ascending
+// neighbor-ID order: repairs chain through the node's state, so applying
+// them in map-iteration order would make the surviving state depend on
+// the iteration — the very bug class the paper's min-ID requirement
+// guards against.
 func (n *Network[S]) expireNeighbors(nd *netNode[S]) {
 	timeout := n.prm.TimeoutFactor * n.prm.TB
+	var expired []graph.NodeID
 	for j, info := range nd.nbrs {
 		if n.now-info.lastHeard > timeout {
-			if !info.heard {
-				nd.unheard--
-			}
-			delete(nd.nbrs, j)
-			n.stats.Expired++
-			nd.state = core.RepairState(n.p, nd.id, nd.state, j)
+			expired = append(expired, j)
 		}
+	}
+	sort.Slice(expired, func(a, b int) bool { return expired[a] < expired[b] })
+	for _, j := range expired {
+		if !nd.nbrs[j].heard {
+			nd.unheard--
+		}
+		delete(nd.nbrs, j)
+		n.stats.Expired++
+		nd.state = core.RepairState(n.p, nd.id, nd.state, j)
 	}
 }
 

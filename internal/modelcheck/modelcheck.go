@@ -143,6 +143,70 @@ const (
 	memoDivergent = int32(-1)
 )
 
+// memoTable is the shared distance table the shards publish into. A
+// slot holds memoUnknown, memoDivergent, or the configuration's exact
+// distance to its fixed point; because that value is a pure function of
+// the configuration, concurrent publishes always agree, and the table
+// needs no locking — only atomic slot access, which the guarded
+// analyzer enforces on the annotated field.
+type memoTable struct {
+	slots []int32 // guarded by atomic
+}
+
+func newMemoTable(total uint64) *memoTable {
+	// The slice is filled before the table is published to any shard, so
+	// plain writes are safe here — and keeping them on the local slice
+	// rather than the annotated field keeps the atomic contract total.
+	slots := make([]int32, total)
+	for i := range slots {
+		slots[i] = memoUnknown
+	}
+	return &memoTable{slots: slots}
+}
+
+func (t *memoTable) load(i uint64) int32 {
+	return atomic.LoadInt32(&t.slots[i])
+}
+
+func (t *memoTable) store(i uint64, v int32) {
+	atomic.StoreInt32(&t.slots[i], v)
+}
+
+// claim marks slot i resolved with value v if still unknown, reporting
+// whether this caller won the publication race.
+func (t *memoTable) claim(i uint64, v int32) bool {
+	return atomic.CompareAndSwapInt32(&t.slots[i], memoUnknown, v)
+}
+
+// failure collects the abort state shared by all shards: the error of
+// the lowest-numbered erroring start wins, so the reported failure is
+// deterministic no matter which shard trips first.
+type failure struct {
+	mu       sync.Mutex
+	firstErr error  // guarded by mu
+	errAt    uint64 // guarded by mu
+	stop     atomic.Bool
+}
+
+// fail records err for start position at and halts all shards.
+func (f *failure) fail(at uint64, err error) {
+	f.mu.Lock()
+	if f.firstErr == nil || at < f.errAt {
+		f.firstErr, f.errAt = err, at
+	}
+	f.mu.Unlock()
+	f.stop.Store(true)
+}
+
+func (f *failure) stopped() bool { return f.stop.Load() }
+
+// err returns the winning error after the shards have joined.
+func (f *failure) err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.firstErr
+}
+
 // Explore enumerates every configuration of p on g with a single worker.
 // maxConfigs bounds the state-space size Explore is willing to touch
 // (the product of domain sizes); exceeding it returns an error rather
@@ -180,29 +244,9 @@ func ExploreWorkers[S comparable](p core.Protocol[S], g *graph.Graph, domain Dom
 		workers = int(total)
 	}
 
-	memo := make([]int32, total)
-	for i := range memo {
-		memo[i] = memoUnknown
-	}
-
-	var (
-		mu        sync.Mutex
-		firstErr  error
-		errAt     uint64
-		stop      atomic.Bool
-		nextChunk atomic.Uint64
-	)
-	// fail records err for the lowest erroring start and halts all
-	// shards; the abort path keeps errors deterministic enough (any
-	// error aborts the whole exploration).
-	fail := func(at uint64, err error) {
-		mu.Lock()
-		if firstErr == nil || at < errAt {
-			firstErr, errAt = err, at
-		}
-		mu.Unlock()
-		stop.Store(true)
-	}
+	memo := newMemoTable(total)
+	fails := new(failure)
+	var nextChunk atomic.Uint64
 	chunk := total / uint64(workers*8)
 	if chunk < 64 {
 		chunk = 64
@@ -213,7 +257,7 @@ func ExploreWorkers[S comparable](p core.Protocol[S], g *graph.Graph, domain Dom
 		next := make([]S, n)
 		var path []uint64
 		pos := make(map[uint64]int)
-		for !stop.Load() {
+		for !fails.stopped() {
 			lo := nextChunk.Add(chunk) - chunk
 			if lo >= total {
 				return
@@ -223,10 +267,10 @@ func ExploreWorkers[S comparable](p core.Protocol[S], g *graph.Graph, domain Dom
 				hi = total
 			}
 			for start := lo; start < hi; start++ {
-				if stop.Load() {
+				if fails.stopped() {
 					return
 				}
-				if atomic.LoadInt32(&memo[start]) != memoUnknown {
+				if memo.load(start) != memoUnknown {
 					continue
 				}
 				path = path[:0]
@@ -240,15 +284,15 @@ func ExploreWorkers[S comparable](p core.Protocol[S], g *graph.Graph, domain Dom
 					sp.successor(states, next)
 					succ, err := sp.encode(next)
 					if err != nil {
-						fail(start, err)
+						fails.fail(start, err)
 						return
 					}
 					if succ == cur {
 						// cur is a fixed point; the CAS winner runs the
 						// caller's predicate exactly once per fixed point.
-						if atomic.CompareAndSwapInt32(&memo[cur], memoUnknown, 0) && checkFixed != nil {
+						if memo.claim(cur, 0) && checkFixed != nil {
 							if err := checkFixed(states); err != nil {
-								fail(start, fmt.Errorf("modelcheck: invalid fixed point %v: %w", states, err))
+								fails.fail(start, fmt.Errorf("modelcheck: invalid fixed point %v: %w", states, err))
 								return
 							}
 						}
@@ -261,15 +305,15 @@ func ExploreWorkers[S comparable](p core.Protocol[S], g *graph.Graph, domain Dom
 						// the path diverges (the cycle plus the prefix
 						// leading into it).
 						for _, idx := range path {
-							atomic.StoreInt32(&memo[idx], memoDivergent)
+							memo.store(idx, memoDivergent)
 						}
 						path = path[:0]
 						break
 					}
-					if m := atomic.LoadInt32(&memo[succ]); m != memoUnknown {
+					if m := memo.load(succ); m != memoUnknown {
 						if m == memoDivergent {
 							for _, idx := range path {
-								atomic.StoreInt32(&memo[idx], memoDivergent)
+								memo.store(idx, memoDivergent)
 							}
 							path = path[:0]
 						} else {
@@ -285,7 +329,7 @@ func ExploreWorkers[S comparable](p core.Protocol[S], g *graph.Graph, domain Dom
 				// — so unconditional stores are safe.
 				for i := len(path) - 1; i >= 0; i-- {
 					tail++
-					atomic.StoreInt32(&memo[path[i]], tail)
+					memo.store(path[i], tail)
 				}
 			}
 		}
@@ -299,17 +343,19 @@ func ExploreWorkers[S comparable](p core.Protocol[S], g *graph.Graph, domain Dom
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := fails.err(); err != nil {
+		return nil, err
 	}
 
 	// Deterministic merge: the report is a pure function of the finished
-	// memo table, independent of which shard resolved what.
+	// memo table, independent of which shard resolved what. Reads stay
+	// atomic — free on every supported architecture — so the guarded
+	// contract holds by construction rather than by barrier reasoning.
 	rep := &Report[S]{Configs: total}
 	maxR := int32(-1)
 	worst := uint64(0)
 	for i := uint64(0); i < total; i++ {
-		v := memo[i]
+		v := memo.load(i)
 		if v == memoDivergent {
 			rep.Divergent++
 			continue
@@ -331,7 +377,7 @@ func ExploreWorkers[S comparable](p core.Protocol[S], g *graph.Graph, domain Dom
 		// a deterministic choice of example.
 		var d uint64
 		for i := uint64(0); i < total; i++ {
-			if memo[i] == memoDivergent {
+			if memo.load(i) == memoDivergent {
 				d = i
 				break
 			}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"selfstab/internal/core"
@@ -40,12 +41,18 @@ func New(protocol string, columns ...string) *Trace {
 }
 
 // Record appends a row. Metrics not in the schema are rejected so CSV and
-// JSON exports always agree.
+// JSON exports always agree; the error names the smallest offending
+// metric so the message is independent of map iteration order.
 func (t *Trace) Record(round, moves int, metrics map[string]float64) error {
+	var unknown []string
 	for k := range metrics {
 		if !t.hasColumn(k) {
-			return fmt.Errorf("trace: metric %q not in schema %v", k, t.Columns)
+			unknown = append(unknown, k)
 		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("trace: metric %q not in schema %v", unknown[0], t.Columns)
 	}
 	t.Rows = append(t.Rows, Row{Round: round, Moves: moves, Metrics: metrics})
 	return nil
