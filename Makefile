@@ -9,7 +9,7 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 LINTBIN := bin/selfstablint
 
-.PHONY: all build vet lint tools test race cover bench experiments experiments-quick fuzz clean
+.PHONY: all build vet lint tools test race cover bench experiments experiments-quick soak soak-quick fuzz clean
 
 all: build vet lint test race
 
@@ -62,6 +62,16 @@ experiments:
 
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
+
+# Fault-injection soak campaigns (see docs/DESIGN.md, "Fault model &
+# recovery verification"). Failing schedules are shrunk to minimal
+# repros and written to soak-out/. soak-quick is the CI-sized, race-
+# enabled budget.
+soak:
+	$(GO) run ./cmd/soak -seed 1 -out soak-out
+
+soak-quick:
+	$(GO) run -race ./cmd/soak -quick -seed 1 -out soak-out
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph/

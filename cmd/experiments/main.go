@@ -1,4 +1,4 @@
-// Command experiments regenerates the paper-reproduction tables (E1–E14)
+// Command experiments regenerates the paper-reproduction tables (E1–E15)
 // recorded in EXPERIMENTS.md. Each experiment checks one claim of the
 // paper — a theorem, a lemma, the transition diagram, the counterexample,
 // or the baseline comparison — and reports PASS or FAIL.
@@ -42,7 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		quick    = fs.Bool("quick", false, "reduced sweep")
 		markdown = fs.Bool("markdown", false, "render markdown instead of text")
-		id       = fs.String("id", "", "run a single experiment (E1..E14)")
+		id       = fs.String("id", "", "run a single experiment (E1..E15)")
 		seed     = fs.Int64("seed", 0, "override seed (0 = default)")
 		trials   = fs.Int("trials", 0, "override trials per cell (0 = default)")
 		sizes    = fs.String("sizes", "", "override size sweep, e.g. 8,16,32")

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestCLIDeterministicAcrossWorkers is the CLI half of the determinism
+// acceptance check: `soak -seed S` writes byte-identical reports for
+// any -workers value.
+func TestCLIDeterministicAcrossWorkers(t *testing.T) {
+	base := []string{"-seed", "7", "-out", "", "-sizes", "6", "-trials", "1", "-events", "3"}
+	var want bytes.Buffer
+	if code := run(append(base, "-workers", "1"), &want, io.Discard); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, want.String())
+	}
+	var got bytes.Buffer
+	if code := run(append(base, "-workers", "4"), &got, io.Discard); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, got.String())
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("-workers changed the report:\n--- workers=1\n%s--- workers=4\n%s",
+			want.String(), got.String())
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sizes", "eight"},
+		{"-models", "quantum"},
+		{"-protocols", "SMM,,SMI"},
+		{"-nosuchflag"},
+	} {
+		var stderr bytes.Buffer
+		if code := run(args, io.Discard, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr %q)", args, code, stderr.String())
+		}
+	}
+}

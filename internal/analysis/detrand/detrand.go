@@ -21,7 +21,8 @@ import (
 // and presentation packages are intentionally absent.
 const defaultPackages = "selfstab/internal/core,selfstab/internal/protocols,selfstab/internal/rules," +
 	"selfstab/internal/sim,selfstab/internal/modelcheck,selfstab/internal/harness," +
-	"selfstab/internal/mobility,selfstab/internal/adversary"
+	"selfstab/internal/mobility,selfstab/internal/adversary," +
+	"selfstab/internal/faults,selfstab/internal/soak"
 
 // globalRandFuncs are the math/rand package-level functions that draw
 // from the shared global source. rand.New, rand.NewSource, and

@@ -64,7 +64,7 @@ func (r Result) String() string {
 	if r.Stable {
 		return fmt.Sprintf("stable at t=%.2f (%.1f beacon rounds, %d moves)", r.Time, r.Rounds, r.Moves)
 	}
-	return fmt.Sprintf("NOT stable by t=%.2f (%d moves)", r.Time, r.Moves)
+	return fmt.Sprintf("NOT stable by t=%.2f (%.1f beacon rounds, %d moves)", r.Time, r.Rounds, r.Moves)
 }
 
 // nbrInfo is one row of a node's neighbor table.
@@ -105,6 +105,18 @@ type Network[S comparable] struct {
 	moves        int
 	actions      int
 	stats        Stats
+
+	// stepTo is the upper edge of the last StepRound window; the fault
+	// layer drives the simulation one beacon period at a time through it.
+	stepTo float64
+	// linkDrop maps a link to the time until which its beacons are
+	// dropped in both directions (a beacon-loss burst). Entries are
+	// removed lazily once expired.
+	linkDrop map[graph.Edge]float64
+	// staleUntil[v], when in the future, freezes node v's neighbor
+	// table: beacons still refresh liveness (no spurious expiry) but do
+	// not overwrite the recorded states, so v acts on stale reads.
+	staleUntil []float64
 }
 
 // Stats counts link-layer traffic, for measuring the beacon overhead the
@@ -136,6 +148,8 @@ func NewNetwork[S comparable](p core.Protocol[S], g *graph.Graph, states []S, pr
 		panic(fmt.Sprintf("beacon: %d states for %d nodes", len(states), g.N()))
 	}
 	n := &Network[S]{p: p, g: g, prm: prm, rng: rng}
+	n.linkDrop = make(map[graph.Edge]float64)
+	n.staleUntil = make([]float64, g.N())
 	n.nodes = make([]*netNode[S], g.N())
 	for v := range n.nodes {
 		n.nodes[v] = &netNode[S]{
@@ -235,6 +249,30 @@ func (n *Network[S]) Run(maxTime, quiet float64) Result {
 	}
 }
 
+// StepRound advances the simulation by exactly one beacon period TB,
+// processing every event in the window, and returns the number of
+// protocol moves in it. It is the fault layer's logical clock: each
+// StepRound is one round in the paper's sense. Mixing StepRound and Run
+// on the same network is not supported.
+func (n *Network[S]) StepRound() int {
+	movesBefore := n.moves
+	n.stepTo += n.prm.TB
+	for len(n.q) > 0 && n.q[0].at <= n.stepTo {
+		ev := heap.Pop(&n.q).(*event)
+		n.now = ev.at
+		switch ev.kind {
+		case evBeacon:
+			n.onBeaconTimer(ev.node)
+		case evDeliver:
+			n.onDeliver(ev.node, ev.from, ev.msg.(S))
+		}
+	}
+	if n.now < n.stepTo {
+		n.now = n.stepTo
+	}
+	return n.moves - movesBefore
+}
+
 func (n *Network[S]) schedule(ev *event) {
 	ev.seq = n.seq
 	n.seq++
@@ -256,6 +294,14 @@ func (n *Network[S]) onBeaconTimer(v int) {
 	// Broadcast to everyone currently in radio range (true topology).
 	for _, j := range n.g.Neighbors(nd.id) {
 		n.stats.Sent++
+		if until, dropped := n.linkDrop[graph.NewEdge(nd.id, j)]; dropped {
+			if n.now < until {
+				// Beacon-loss burst injected by the fault layer.
+				n.stats.Lost++
+				continue
+			}
+			delete(n.linkDrop, graph.NewEdge(nd.id, j))
+		}
 		if n.prm.Loss > 0 && n.rng.Float64() < n.prm.Loss {
 			n.stats.Lost++
 			continue
@@ -296,7 +342,11 @@ func (n *Network[S]) onDeliver(to, from int, s S) {
 		nd.nbrs[graph.NodeID(from)] = info
 		nd.unheard++
 	}
-	info.state = s
+	if !known || n.now >= n.staleUntil[to] {
+		// A frozen table keeps its recorded states (stale reads) but a
+		// brand-new neighbor has no previous belief to keep.
+		info.state = s
+	}
 	info.lastHeard = n.now
 	if !info.heard {
 		info.heard = true

@@ -232,13 +232,71 @@ func TestMobilityRestabilization(t *testing.T) {
 	}
 }
 
+// foldProto is an order-sensitive probe for neighbor-expiry repairs:
+// each lost neighbor folds into the state as s*31 + lost + 1, so the
+// final state encodes the exact order repairs were applied in. The
+// protocol itself never moves.
+type foldProto struct{}
+
+func (foldProto) Name() string { return "fold" }
+
+func (foldProto) Random(graph.NodeID, []graph.NodeID, *rand.Rand) int { return 0 }
+
+func (foldProto) Move(v core.View[int]) (int, bool) { return v.Self, false }
+
+func (foldProto) OnNeighborLost(_ graph.NodeID, s int, lost graph.NodeID) int {
+	return s*31 + int(lost) + 1
+}
+
+// TestNeighborExpiryRepairOrderDeterministic pins the repair order when
+// several neighbors expire in the same beacon round: repairs must chain
+// in ascending neighbor-ID order, not in the neighbor map's iteration
+// order. A silent regression here would make the post-expiry state
+// depend on map iteration — byte-level nondeterminism the whole suite
+// forbids.
+func TestNeighborExpiryRepairOrderDeterministic(t *testing.T) {
+	const n = 7 // star: center 0, leaves 1..6
+	want := 0
+	for j := 1; j < n; j++ {
+		want = want*31 + j + 1
+	}
+	prm := DefaultParams()
+	prm.Jitter = 0
+	prm.Synchronized = true // all leaves beacon in lockstep, so they all expire in one call
+	for seed := int64(0); seed < 10; seed++ {
+		g := graph.Star(n)
+		net := NewNetwork[int](foldProto{}, g, make([]int, n), prm, rand.New(rand.NewSource(seed)))
+		if res := net.Run(30, 5); !res.Stable {
+			t.Fatalf("seed %d: discovery did not settle: %v", seed, res)
+		}
+		if got := len(net.NeighborTable(0)); got != n-1 {
+			t.Fatalf("seed %d: center discovered %d of %d leaves", seed, got, n-1)
+		}
+		for j := 1; j < n; j++ {
+			net.RemoveLink(0, graph.NodeID(j))
+		}
+		net.Run(net.Now()+20*prm.TB, 5)
+		if got := net.Config().States[0]; got != want {
+			t.Fatalf("seed %d: center folded expiries to %d, want %d (ascending order)", seed, got, want)
+		}
+		// Each leaf lost only the center: one repair, 0*31+0+1.
+		for j := 1; j < n; j++ {
+			if got := net.Config().States[j]; got != 1 {
+				t.Fatalf("seed %d: leaf %d state %d after losing center, want 1", seed, j, got)
+			}
+		}
+	}
+}
+
 func TestResultString(t *testing.T) {
 	r := Result{Time: 8.13, Rounds: 8.1, Moves: 23, Stable: true}
 	if r.String() != "stable at t=8.13 (8.1 beacon rounds, 23 moves)" {
 		t.Fatalf("%q", r.String())
 	}
+	// The timeout branch must also report Rounds — the paper's unit of
+	// convergence — not just wall-clock time and moves.
 	r.Stable = false
-	if r.String() != "NOT stable by t=8.13 (23 moves)" {
+	if r.String() != "NOT stable by t=8.13 (8.1 beacon rounds, 23 moves)" {
 		t.Fatalf("%q", r.String())
 	}
 }

@@ -1,0 +1,37 @@
+package faults
+
+import (
+	"fmt"
+
+	"selfstab/internal/core"
+	"selfstab/internal/verify"
+)
+
+// Checker decides whether a converged configuration is legitimate,
+// returning nil for legitimate and a descriptive error otherwise. The
+// monitor invokes it only on quiescent configurations, which is exactly
+// when the paper's legitimacy predicates are meaningful.
+type Checker[S comparable] func(cfg core.Config[S]) error
+
+// SMMChecker verifies the SMM legitimacy predicate: pointers are
+// symmetric or null (no dangling and no unrequited pointers — checked
+// first, because the type classifier is only defined on valid
+// configurations) and the induced edge set is a maximal matching.
+func SMMChecker(cfg core.Config[core.Pointer]) error {
+	if err := core.ValidSMMConfig(cfg); err != nil {
+		return err
+	}
+	if err := verify.IsMaximalMatching(cfg.G, core.MatchingOf(cfg)); err != nil {
+		return fmt.Errorf("SMM: %w", err)
+	}
+	return nil
+}
+
+// SMIChecker verifies the SMI legitimacy predicate: the in-set nodes
+// form a maximal independent set.
+func SMIChecker(cfg core.Config[bool]) error {
+	if err := verify.IsMaximalIndependentSet(cfg.G, core.SetOf(cfg)); err != nil {
+		return fmt.Errorf("SMI: %w", err)
+	}
+	return nil
+}

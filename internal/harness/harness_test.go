@@ -81,8 +81,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("E99"); ok {
 		t.Fatal("E99 found")
 	}
-	if len(All()) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(All()))
+	if len(All()) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(All()))
 	}
 }
 
@@ -183,6 +183,15 @@ func TestE13Quick(t *testing.T) {
 func TestE14Quick(t *testing.T) {
 	if !E14AdversarialSearch(QuickOptions()).Passed {
 		t.Fatal("E14 failed")
+	}
+}
+
+func TestE15Quick(t *testing.T) {
+	tbl := E15FaultRecovery(QuickOptions())
+	if !tbl.Passed {
+		var sb strings.Builder
+		tbl.Render(&sb)
+		t.Fatalf("E15 failed:\n%s", sb.String())
 	}
 }
 

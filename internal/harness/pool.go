@@ -89,6 +89,13 @@ func forEachCell(workers, count int, body func(i int)) {
 	wg.Wait()
 }
 
+// ForEachCell is the exported face of forEachCell, reused by campaign
+// runners outside the harness (the soak driver); the same contract
+// applies.
+func ForEachCell(workers, count int, body func(i int)) {
+	forEachCell(workers, count, body)
+}
+
 // mapCells fans body over [0, count) and gathers its results in index
 // order — the deterministic scatter/gather behind every parallel
 // experiment.

@@ -28,6 +28,7 @@ func All() []Experiment {
 		{"E12", E12Staleness},
 		{"E13", E13RuleCensus},
 		{"E14", E14AdversarialSearch},
+		{"E15", E15FaultRecovery},
 	}
 }
 

@@ -1,0 +1,101 @@
+package runtime
+
+import (
+	"selfstab/internal/core"
+	"selfstab/internal/faults"
+	"selfstab/internal/graph"
+)
+
+// FaultNetwork adapts Network to faults.Target, making the concurrent
+// executor injectable. All fault mutations happen on the coordinator
+// between rounds — exactly where ApplyEvents already mutates the
+// topology — so no additional synchronization is needed: the round
+// handshake orders every injection before the node goroutines' reads.
+// Stale views (beacon loss, frozen tables) are served by an overlay
+// wired into the per-round peer filter.
+type FaultNetwork[S comparable] struct {
+	net *Network[S]
+	ov  *faults.Overlay[S]
+}
+
+// NewFaultNetwork starts a goroutine-per-node network with fault hooks
+// installed. Callers must Close it.
+func NewFaultNetwork[S comparable](p core.Protocol[S], g *graph.Graph, states []S) *FaultNetwork[S] {
+	net := New(p, g, states)
+	ov := faults.NewOverlay[S]()
+	net.peerFilter = ov.Peer
+	return &FaultNetwork[S]{net: net, ov: ov}
+}
+
+// Network returns the wrapped executor.
+func (f *FaultNetwork[S]) Network() *Network[S] { return f.net }
+
+// Model implements faults.Target.
+func (f *FaultNetwork[S]) Model() string { return "runtime" }
+
+// Topology implements faults.Target.
+func (f *FaultNetwork[S]) Topology() *graph.Graph { return f.net.g }
+
+// Config implements faults.Target (a snapshot; see Network.Config).
+func (f *FaultNetwork[S]) Config() core.Config[S] { return f.net.Config() }
+
+// ReadState implements faults.Target.
+func (f *FaultNetwork[S]) ReadState(v graph.NodeID) S { return f.net.states[v] }
+
+// WriteState implements faults.Target. Must only be called between
+// rounds (the engine is sequential, so it always is).
+func (f *FaultNetwork[S]) WriteState(v graph.NodeID, s S) { f.net.states[v] = s }
+
+// SetLink implements faults.Target, with the same repair semantics as
+// ApplyEvents plus clearing stale pins on a removed link.
+func (f *FaultNetwork[S]) SetLink(e graph.Edge, present bool) {
+	if present {
+		f.net.g.AddEdge(e.U, e.V)
+		return
+	}
+	if f.net.g.RemoveEdge(e.U, e.V) {
+		f.ov.Unpin(e.U, e.V)
+		for _, v := range [2]graph.NodeID{e.U, e.V} {
+			other := e.U ^ e.V ^ v
+			f.net.states[v] = core.RepairState(f.net.p, v, f.net.states[v], other)
+		}
+	}
+}
+
+// DropLink implements faults.Target.
+func (f *FaultNetwork[S]) DropLink(e graph.Edge, rounds int) {
+	st := f.net.states
+	f.ov.PinLink(e.U, e.V, st[e.U], st[e.V], rounds)
+}
+
+// Freeze implements faults.Target.
+func (f *FaultNetwork[S]) Freeze(v graph.NodeID, rounds int) {
+	st := f.net.states
+	f.ov.PinView(v, f.net.g.Neighbors(v), func(j graph.NodeID) S { return st[j] }, rounds)
+}
+
+// Step implements faults.Target: one bulk-synchronous round, then one
+// overlay tick. The overlay is only read by node goroutines during the
+// round and only mutated here between rounds.
+func (f *FaultNetwork[S]) Step() int {
+	moved := f.net.Step()
+	f.ov.Tick()
+	return moved
+}
+
+// Warmup implements faults.Target: the runtime model has built-in
+// topology knowledge.
+func (f *FaultNetwork[S]) Warmup() int { return 0 }
+
+// DetectionLag implements faults.Target: link changes are published at
+// the next round snapshot.
+func (f *FaultNetwork[S]) DetectionLag() int { return 0 }
+
+// QuietRounds implements faults.Target: rounds are bulk-synchronous, so
+// one zero-move round is a fixed point, as in lockstep.
+func (f *FaultNetwork[S]) QuietRounds() int { return 1 }
+
+// Close implements faults.Target.
+func (f *FaultNetwork[S]) Close() { f.net.Close() }
+
+var _ faults.Target[bool] = (*FaultNetwork[bool])(nil)

@@ -60,6 +60,14 @@ type Network[S comparable] struct {
 	roundNbrs   [][]graph.NodeID
 	roundStates []S
 
+	// peerFilter, when non-nil, intercepts every neighbor-state read with
+	// (viewer, neighbor, fresh state); the fault layer uses it to serve
+	// stale views. Like roundNbrs/roundStates it is written by the
+	// coordinator strictly before the cmdRound sends and read by node
+	// goroutines strictly after the receives, so the channel handshake
+	// orders every write before every read.
+	peerFilter func(viewer, nbr graph.NodeID, fresh S) S
+
 	rounds int
 	moves  int
 	closed bool
@@ -113,11 +121,15 @@ func (net *Network[S]) nodeLoop(id graph.NodeID) {
 			m := <-net.inboxes[id]
 			heard[m.from] = m.state
 		}
+		peer := func(j graph.NodeID) S { return heard[j] }
+		if filter := net.peerFilter; filter != nil {
+			peer = func(j graph.NodeID) S { return filter(id, j, heard[j]) }
+		}
 		next, active := net.p.Move(core.View[S]{
 			ID:   id,
 			Self: self,
 			Nbrs: nbrs,
-			Peer: func(j graph.NodeID) S { return heard[j] },
+			Peer: peer,
 		})
 		net.reports <- moveReport[S]{id: id, next: next, active: active}
 	}

@@ -2,7 +2,9 @@ package runtime
 
 import (
 	"math/rand"
+	goruntime "runtime"
 	"testing"
+	"time"
 
 	"selfstab/internal/core"
 	"selfstab/internal/graph"
@@ -122,6 +124,39 @@ func TestMobilityLoopRestabilizes(t *testing.T) {
 		}
 		churn := mobility.NewChurn(g, rng)
 		net.ApplyEvents(churn.Apply(2))
+	}
+}
+
+// TestCloseReleasesNodeGoroutines verifies Close reaps every node
+// goroutine after a mid-run stop: steps are taken, the network is
+// abandoned before reaching a fixed point, and Close must still return
+// the process to its baseline goroutine count — no goroutine parked on
+// a round channel forever.
+func TestCloseReleasesNodeGoroutines(t *testing.T) {
+	baseline := goruntime.NumGoroutine()
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		g := graph.RandomConnected(30, 0.2, rng)
+		p := core.NewSMM()
+		net := New[core.Pointer](p, g, randomStates[core.Pointer](p, g, int64(trial)))
+		// Stop mid-run: a handful of rounds, nowhere near convergence.
+		for i := 0; i < 3; i++ {
+			net.Step()
+		}
+		net.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		goruntime.GC() // nudge the scheduler so exiting goroutines finish
+		if n := goruntime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				goruntime.NumGoroutine(), baseline, buf[:goruntime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"selfstab/internal/core"
+	"selfstab/internal/faults"
+	"selfstab/internal/graph"
+)
+
+// FaultLockstep adapts Lockstep to faults.Target, making the reference
+// executor injectable: state writes and link flips act on the live
+// configuration immediately (the lockstep model has no discovery lag),
+// while beacon-loss bursts and neighbor-table staleness are served
+// through a stale-view overlay consulted by every Peer read.
+type FaultLockstep[S comparable] struct {
+	l  *Lockstep[S]
+	ov *faults.Overlay[S]
+}
+
+// NewFaultLockstep wraps protocol p over configuration cfg (used in
+// place, as in NewLockstep) with fault hooks installed.
+func NewFaultLockstep[S comparable](p core.Protocol[S], cfg core.Config[S]) *FaultLockstep[S] {
+	l := NewLockstep(p, cfg)
+	ov := faults.NewOverlay[S]()
+	l.peerFilter = ov.Peer
+	return &FaultLockstep[S]{l: l, ov: ov}
+}
+
+// Lockstep returns the wrapped executor.
+func (f *FaultLockstep[S]) Lockstep() *Lockstep[S] { return f.l }
+
+// Model implements faults.Target.
+func (f *FaultLockstep[S]) Model() string { return "lockstep" }
+
+// Topology implements faults.Target.
+func (f *FaultLockstep[S]) Topology() *graph.Graph { return f.l.cfg.G }
+
+// Config implements faults.Target: the live configuration.
+func (f *FaultLockstep[S]) Config() core.Config[S] { return f.l.cfg }
+
+// ReadState implements faults.Target.
+func (f *FaultLockstep[S]) ReadState(v graph.NodeID) S { return f.l.cfg.States[v] }
+
+// WriteState implements faults.Target.
+func (f *FaultLockstep[S]) WriteState(v graph.NodeID, s S) { f.l.cfg.States[v] = s }
+
+// SetLink implements faults.Target. Removing a link clears any stale
+// pins on it and runs the dangling-reference repair at both endpoints,
+// mirroring the link layer reporting the loss.
+func (f *FaultLockstep[S]) SetLink(e graph.Edge, present bool) {
+	if present {
+		f.l.cfg.G.AddEdge(e.U, e.V)
+		return
+	}
+	if f.l.cfg.G.RemoveEdge(e.U, e.V) {
+		f.ov.Unpin(e.U, e.V)
+		for _, v := range [2]graph.NodeID{e.U, e.V} {
+			other := e.U ^ e.V ^ v
+			f.l.cfg.States[v] = core.RepairState(f.l.p, v, f.l.cfg.States[v], other)
+		}
+	}
+}
+
+// DropLink implements faults.Target: both endpoints keep reading the
+// state the other has right now for the given number of rounds.
+func (f *FaultLockstep[S]) DropLink(e graph.Edge, rounds int) {
+	st := f.l.cfg.States
+	f.ov.PinLink(e.U, e.V, st[e.U], st[e.V], rounds)
+}
+
+// Freeze implements faults.Target: node v's entire neighbor view is
+// pinned to the current states for the given number of rounds.
+func (f *FaultLockstep[S]) Freeze(v graph.NodeID, rounds int) {
+	st := f.l.cfg.States
+	f.ov.PinView(v, f.l.cfg.G.Neighbors(v), func(j graph.NodeID) S { return st[j] }, rounds)
+}
+
+// Step implements faults.Target: one lockstep round, then one overlay
+// tick so pins age in round units.
+func (f *FaultLockstep[S]) Step() int {
+	moved := f.l.Step()
+	f.ov.Tick()
+	return moved
+}
+
+// Warmup implements faults.Target: lockstep needs none.
+func (f *FaultLockstep[S]) Warmup() int { return 0 }
+
+// DetectionLag implements faults.Target: topology changes are visible
+// in the very next round.
+func (f *FaultLockstep[S]) DetectionLag() int { return 0 }
+
+// QuietRounds implements faults.Target: one zero-move round is a fixed
+// point in the deterministic lockstep model.
+func (f *FaultLockstep[S]) QuietRounds() int { return 1 }
+
+// Close implements faults.Target; lockstep holds no resources.
+func (f *FaultLockstep[S]) Close() {}
+
+var _ faults.Target[bool] = (*FaultLockstep[bool])(nil)

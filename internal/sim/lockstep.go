@@ -58,6 +58,11 @@ type Lockstep[S comparable] struct {
 	next   []S
 	rounds int
 	moves  int
+	// peerFilter, when non-nil, intercepts every neighbor-state read of a
+	// round with (viewer, neighbor, fresh state). It is how the fault
+	// layer serves stale views (beacon-loss bursts, frozen neighbor
+	// tables) without touching the true states; nil in normal runs.
+	peerFilter func(viewer, nbr graph.NodeID, fresh S) S
 }
 
 // NewLockstep wraps protocol p over configuration cfg. The configuration
@@ -90,11 +95,17 @@ func (l *Lockstep[S]) Step() int {
 	peer := func(j graph.NodeID) S { return states[j] }
 	for v := range l.cfg.States {
 		id := graph.NodeID(v)
+		pv := peer
+		if l.peerFilter != nil {
+			// Fault runs need the viewer's identity per read; the shared
+			// closure (which avoids the allocation) cannot carry it.
+			pv = func(j graph.NodeID) S { return l.peerFilter(id, j, states[j]) }
+		}
 		next, m := l.p.Move(core.View[S]{
 			ID:   id,
 			Self: states[v],
 			Nbrs: l.cfg.G.Neighbors(id),
-			Peer: peer,
+			Peer: pv,
 		})
 		l.next[v] = next
 		if m {

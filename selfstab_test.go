@@ -106,7 +106,7 @@ func TestFacadeRefineAndDaemon(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(Experiments()) != 14 {
+	if len(Experiments()) != 15 {
 		t.Fatal("experiment count")
 	}
 	e, ok := ExperimentByID("E4")
