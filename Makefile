@@ -9,7 +9,12 @@ GOVULNCHECK_VERSION ?= v1.1.3
 
 LINTBIN := bin/selfstablint
 
-.PHONY: all build vet lint tools test race cover bench experiments experiments-quick soak soak-quick fuzz clean
+# SARIF output of `make lint-sarif`: per-unit fragments, then the merged
+# 2.1.0 report code-scanning consumes.
+SARIF_FRAGMENTS := lint-sarif-out
+SARIF_REPORT := selfstablint.sarif
+
+.PHONY: all build vet lint lint-sarif lint-diff tools test race cover bench experiments experiments-quick soak soak-quick fuzz clean
 
 all: build vet lint test race
 
@@ -20,10 +25,14 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's custom determinism/concurrency analyzers
-# (detrand, mapiter, guarded — see docs/STATIC_ANALYSIS.md) through the
+# (detrand, mapiter, guarded, plus the dataflow tier: purity,
+# exhaustive, lockorder — see docs/STATIC_ANALYSIS.md) through the
 # standard `go vet -vettool` protocol, then staticcheck and govulncheck
 # when installed. The custom suite is mandatory; the external tools are
 # skipped with a notice if absent so offline checkouts still lint.
+# Cross-package facts (purity summaries, lock-order edges) ride the go
+# command's vet fact files, so they are cached in GOCACHE with the rest
+# of the vet results.
 lint:
 	$(GO) build -o $(LINTBIN) ./cmd/selfstablint
 	$(GO) vet -vettool=$(CURDIR)/$(LINTBIN) ./...
@@ -37,6 +46,41 @@ lint:
 	else \
 		echo "lint: govulncheck not installed; skipping (run 'make tools')"; \
 	fi
+
+# lint-sarif runs the custom analyzers with per-unit SARIF fragments and
+# merges them into one SARIF 2.1.0 report for code scanning. The report
+# is produced even when there are findings; the vet exit status is
+# preserved so CI still fails on them.
+lint-sarif:
+	$(GO) build -o $(LINTBIN) ./cmd/selfstablint
+	@rm -rf $(SARIF_FRAGMENTS) && mkdir -p $(SARIF_FRAGMENTS)
+	@status=0; \
+	$(GO) vet -vettool=$(CURDIR)/$(LINTBIN) -sarifdir=$(CURDIR)/$(SARIF_FRAGMENTS) ./... || status=$$?; \
+	./$(LINTBIN) -sarif $(SARIF_FRAGMENTS) -sarifroot $(CURDIR) > $(SARIF_REPORT); \
+	echo "lint-sarif: wrote $(SARIF_REPORT)"; \
+	exit $$status
+
+# lint-diff prints only the custom-analyzer diagnostics that land in
+# files this branch touches relative to origin/main (main itself is kept
+# lint-clean by CI, so these are exactly the new findings). Falls back
+# to a notice when origin/main is unavailable (shallow or detached
+# checkouts) — run `make lint` for the full run.
+lint-diff:
+	$(GO) build -o $(LINTBIN) ./cmd/selfstablint
+	@base=$$(git merge-base HEAD origin/main 2>/dev/null); \
+	if [ -z "$$base" ]; then \
+		echo "lint-diff: cannot resolve origin/main; run 'make lint' for the full suite"; exit 0; \
+	fi; \
+	changed=$$(git diff --name-only $$base -- '*.go'); \
+	if [ -z "$$changed" ]; then echo "lint-diff: no Go files changed vs origin/main"; exit 0; fi; \
+	out=$$($(GO) vet -vettool=$(CURDIR)/$(LINTBIN) ./... 2>&1 | grep -v '^#' || true); \
+	new=''; \
+	for f in $$changed; do \
+		hits=$$(printf '%s\n' "$$out" | grep -F "$$f:"); \
+		if [ -n "$$hits" ]; then new="$$new$$hits\n"; fi; \
+	done; \
+	if [ -n "$$new" ]; then printf "$$new"; exit 1; \
+	else echo "lint-diff: no new diagnostics vs origin/main"; fi
 
 # tools installs the pinned external linters (see tools.go for why the
 # versions live here rather than in go.mod).
@@ -81,4 +125,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -rf bin
+	rm -rf bin $(SARIF_FRAGMENTS) $(SARIF_REPORT)

@@ -2,9 +2,17 @@
 // lint suite: a vet tool bundling the custom analyzers that make the
 // determinism contract structural rather than sampled.
 //
-//	detrand  — threaded randomness and clock-free code in deterministic packages
-//	mapiter  — no map-iteration order reaching an output without a canonical sort
-//	guarded  — `// guarded by <mu>` field annotations hold
+//	detrand    — threaded randomness and clock-free code in deterministic packages
+//	mapiter    — no map-iteration order reaching an output without a canonical sort
+//	guarded    — `// guarded by <mu>` field annotations hold
+//	purity     — protocol Move rules are pure functions of the local View
+//	exhaustive — switches over enum-like constant sets cover every member
+//	lockorder  — the cross-package mutex acquisition order is acyclic
+//
+// The last three are the dataflow tier: purity and lockorder run
+// flow-sensitive analyses over internal/analysis/cfg control-flow
+// graphs and exchange function summaries and acquisition edges between
+// packages through the driver's fact files.
 //
 // It is not run directly; the go command drives it one package at a
 // time:
@@ -12,17 +20,23 @@
 //	go build -o bin/selfstablint ./cmd/selfstablint
 //	go vet -vettool=bin/selfstablint ./...
 //
-// which is what `make lint` does. See docs/STATIC_ANALYSIS.md for the
-// contract, the annotation syntax, and the suppression syntax.
+// which is what `make lint` does. `make lint-sarif` additionally merges
+// per-package findings into a SARIF report for code scanning. See
+// docs/STATIC_ANALYSIS.md for the contract, the annotation syntax, and
+// the suppression syntax.
 package main
 
 import (
 	"selfstab/internal/analysis/detrand"
+	"selfstab/internal/analysis/exhaustive"
 	"selfstab/internal/analysis/guarded"
+	"selfstab/internal/analysis/lockorder"
 	"selfstab/internal/analysis/mapiter"
+	"selfstab/internal/analysis/purity"
 	"selfstab/internal/analysis/unit"
 )
 
 func main() {
-	unit.Main(detrand.New(), mapiter.New(), guarded.New())
+	unit.Main(detrand.New(), mapiter.New(), guarded.New(),
+		purity.New(), exhaustive.New(), lockorder.New())
 }

@@ -1,0 +1,458 @@
+// Package cfg builds intraprocedural control-flow graphs from go/ast
+// function bodies and solves forward dataflow problems over them. It is
+// the dataflow tier under the lint framework: analyzers that need
+// flow-sensitive facts — which values may alias the protocol View at a
+// program point, which locks are held at an acquisition site — build a
+// Graph per function and run a Solver over it, instead of reasoning
+// about raw syntax.
+//
+// The package is a standard-library re-implementation of the slice of
+// golang.org/x/tools/go/cfg this repository needs (the module builds
+// from a network-free checkout). Each basic block holds the statements
+// and control expressions that execute unconditionally together, in
+// source order; edges follow Go's control constructs, including labeled
+// break/continue, goto, fallthrough, and the no-successor endings
+// (return, panic, os.Exit).
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Block is a basic block: a maximal sequence of statements with a
+// single entry and a single exit point. Nodes holds statements plus the
+// control expressions evaluated in the block (an if or switch
+// condition), in execution order.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (entry is 0).
+	Index int
+	// Kind labels the block's origin for debugging ("entry", "if.then",
+	// "for.body", ...).
+	Kind string
+	// Nodes are the statements and control expressions of the block.
+	Nodes []ast.Node
+	// Succs are the possible successors in execution order.
+	Succs []*Block
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block, entry first. Unreachable blocks are
+	// retained (their statements still typecheck and analyzers may want
+	// to visit them) but have no predecessors.
+	Blocks []*Block
+}
+
+// Entry returns the function's entry block.
+func (g *Graph) Entry() *Block { return g.Blocks[0] }
+
+// String renders the graph compactly, one block per line.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%s ->", b)
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " b%d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// builder threads the construction state: the block under construction
+// and the jump targets of enclosing loops, switches, and labels.
+type builder struct {
+	g       *Graph
+	current *Block // nil when the path is terminated (return/panic/jump)
+
+	// breakTarget/continueTarget are the innermost unlabeled targets.
+	breakTarget, continueTarget *Block
+	// labeled maps label names to their break/continue targets and, for
+	// gotos, the label's own block.
+	labeledBreak    map[string]*Block
+	labeledContinue map[string]*Block
+	gotoTarget      map[string]*Block
+	// pendingGotos are forward gotos awaiting their label's block.
+	pendingGotos map[string][]*Block
+	// pendingLabel is the name of the label wrapping the statement being
+	// translated, consumed by the loop and switch builders so labeled
+	// break/continue resolve.
+	pendingLabel string
+}
+
+// New builds the control-flow graph of a function body. body may be nil
+// (a bodyless declaration), in which case the graph is a single empty
+// entry block.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:               &Graph{},
+		labeledBreak:    map[string]*Block{},
+		labeledContinue: map[string]*Block{},
+		gotoTarget:      map[string]*Block{},
+		pendingGotos:    map[string][]*Block{},
+	}
+	b.current = b.newBlock("entry")
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	return b.g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// add appends a node to the block under construction. Nodes on a
+// terminated path are placed in a fresh unreachable block so analyzers
+// still see them.
+func (b *builder) add(n ast.Node) {
+	if b.current == nil {
+		b.current = b.newBlock("unreachable")
+	}
+	b.current.Nodes = append(b.current.Nodes, n)
+}
+
+// jump adds an edge from the current block to target and terminates the
+// current path.
+func (b *builder) jump(target *Block) {
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, target)
+	}
+	b.current = nil
+}
+
+// branch adds an edge from the current block to target without
+// terminating the path (conditional control flow).
+func (b *builder) branch(target *Block) {
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, target)
+	}
+}
+
+// startBlock terminates the current path into blk and resumes
+// construction there.
+func (b *builder) startBlock(blk *Block) {
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, blk)
+	}
+	b.current = blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		b.branch(then)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.branch(els)
+			b.current = then
+			b.stmt(s.Body)
+			b.jump(done)
+			b.current = els
+			b.stmt(s.Else)
+			b.startBlock(done)
+		} else {
+			b.branch(done)
+			b.current = then
+			b.stmt(s.Body)
+			b.startBlock(done)
+		}
+
+	case *ast.ForStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		loop := b.newBlock("for.loop")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		post := loop
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.startBlock(loop)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.branch(done)
+		}
+		b.branch(body)
+		b.current = body
+		b.withTargets(done, post, lbl, func() { b.stmt(s.Body) })
+		b.jump(post)
+		if s.Post != nil {
+			b.current = post
+			b.stmt(s.Post)
+			b.jump(loop)
+		}
+		b.current = done
+
+	case *ast.RangeStmt:
+		lbl := b.takeLabel()
+		b.add(s.X)
+		loop := b.newBlock("range.loop")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.startBlock(loop)
+		// The per-iteration key/value assignment happens in the loop
+		// head; record the range statement itself so transfer functions
+		// see the iteration variables being written.
+		b.add(s)
+		b.branch(done)
+		b.branch(body)
+		b.current = body
+		b.withTargets(done, loop, lbl, func() { b.stmt(s.Body) })
+		b.jump(loop)
+		b.current = done
+
+	case *ast.SwitchStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, lbl, func(c *ast.CaseClause) {
+			for _, e := range c.List {
+				b.add(e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, lbl, func(*ast.CaseClause) {})
+
+	case *ast.SelectStmt:
+		done := b.newBlock("select.done")
+		head := b.current
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			if head != nil {
+				head.Succs = append(head.Succs, blk)
+			}
+			b.current = blk
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			old := b.breakTarget
+			b.breakTarget = done
+			b.stmtList(comm.Body)
+			b.breakTarget = old
+			b.jump(done)
+		}
+		b.current = done
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		blk := b.newBlock("label." + name)
+		b.startBlock(blk)
+		b.gotoTarget[name] = blk
+		for _, from := range b.pendingGotos[name] {
+			from.Succs = append(from.Succs, blk)
+		}
+		delete(b.pendingGotos, name)
+		b.pendingLabel = name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			t := b.breakTarget
+			if s.Label != nil {
+				t = b.labeledBreak[s.Label.Name]
+			}
+			if t != nil {
+				b.jump(t)
+			} else {
+				b.current = nil
+			}
+		case token.CONTINUE:
+			t := b.continueTarget
+			if s.Label != nil {
+				t = b.labeledContinue[s.Label.Name]
+			}
+			if t != nil {
+				b.jump(t)
+			} else {
+				b.current = nil
+			}
+		case token.GOTO:
+			name := s.Label.Name
+			if t, ok := b.gotoTarget[name]; ok {
+				b.jump(t)
+			} else if b.current != nil {
+				b.pendingGotos[name] = append(b.pendingGotos[name], b.current)
+				b.current = nil
+			}
+		case token.FALLTHROUGH:
+			// switchBody wires the fallthrough edge; nothing to do here.
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.current = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.current = nil
+		}
+
+	default:
+		// Assignments, declarations, sends, go/defer, inc/dec, empty:
+		// straight-line.
+		b.add(s)
+	}
+}
+
+// switchBody builds the clauses of an expression or type switch. heads
+// receives each clause to record its case expressions in the dispatch
+// block.
+func (b *builder) switchBody(body *ast.BlockStmt, lbl string, heads func(*ast.CaseClause)) {
+	done := b.newBlock("switch.done")
+	head := b.current
+	var blocks []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cc := range body.List {
+		c := cc.(*ast.CaseClause)
+		if c.List == nil {
+			hasDefault = true
+		}
+		heads(c)
+		blocks = append(blocks, b.newBlock("switch.case"))
+		clauses = append(clauses, c)
+	}
+	for i, blk := range blocks {
+		if head != nil {
+			head.Succs = append(head.Succs, blk)
+		}
+		b.current = blk
+		old, oldLB := b.breakTarget, b.labeledBreak[lbl]
+		b.breakTarget = done
+		if lbl != "" {
+			b.labeledBreak[lbl] = done
+		}
+		b.stmtList(clauses[i].Body)
+		b.breakTarget = old
+		if lbl != "" {
+			if oldLB == nil {
+				delete(b.labeledBreak, lbl)
+			} else {
+				b.labeledBreak[lbl] = oldLB
+			}
+		}
+		if endsInFallthrough(clauses[i].Body) && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(done)
+		}
+	}
+	if head != nil && !hasDefault {
+		head.Succs = append(head.Succs, done)
+	}
+	b.current = done
+}
+
+// withTargets runs f with break/continue targets (and their labeled
+// aliases) installed.
+func (b *builder) withTargets(brk, cont *Block, lbl string, f func()) {
+	oldB, oldC := b.breakTarget, b.continueTarget
+	b.breakTarget, b.continueTarget = brk, cont
+	var oldLB, oldLC *Block
+	if lbl != "" {
+		oldLB, oldLC = b.labeledBreak[lbl], b.labeledContinue[lbl]
+		b.labeledBreak[lbl], b.labeledContinue[lbl] = brk, cont
+	}
+	f()
+	b.breakTarget, b.continueTarget = oldB, oldC
+	if lbl != "" {
+		restore(b.labeledBreak, lbl, oldLB)
+		restore(b.labeledContinue, lbl, oldLC)
+	}
+}
+
+func restore(m map[string]*Block, k string, v *Block) {
+	if v == nil {
+		delete(m, k)
+	} else {
+		m[k] = v
+	}
+}
+
+// takeLabel consumes the label pending for the statement being
+// translated (set by the LabeledStmt case), so labeled break/continue
+// on loops and switches resolve to the right targets.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// isTerminalCall reports whether e is a call that never returns: panic,
+// os.Exit, log.Fatal*, runtime.Goexit, testing's t.Fatal* are the common
+// cases; only the syntactic ones recognizable without type information
+// for panic are handled, plus selector names for the rest.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// endsInFallthrough reports whether a case body's last statement is
+// fallthrough.
+func endsInFallthrough(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	s := list[len(list)-1]
+	for {
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			s = ls.Stmt
+			continue
+		}
+		break
+	}
+	br, ok := s.(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}

@@ -1,0 +1,376 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src (a complete function declaration) and builds its
+// CFG.
+func buildFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// reachable returns the set of block indices reachable from the entry.
+func reachable(g *Graph) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry())
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `func f() { x := 1; y := x; _ = y }`)
+	if len(g.Entry().Nodes) != 3 {
+		t.Fatalf("entry has %d nodes, want 3:\n%s", len(g.Entry().Nodes), g)
+	}
+	if len(g.Entry().Succs) != 0 {
+		t.Fatalf("straight-line entry should have no successors:\n%s", g)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) int {
+		if c {
+			return 1
+		} else {
+			return 2
+		}
+	}`)
+	// Entry (cond) branches to then and else; both return, so the done
+	// block is unreachable.
+	if got := len(g.Entry().Succs); got != 2 {
+		t.Fatalf("if entry has %d successors, want 2:\n%s", got, g)
+	}
+	r := reachable(g)
+	for _, b := range g.Blocks {
+		if b.Kind == "if.done" && r[b.Index] {
+			t.Fatalf("if.done should be unreachable when both arms return:\n%s", g)
+		}
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, `func f() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}`)
+	// The post block must feed back into the loop head.
+	var loop, post *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "for.loop":
+			loop = b
+		case "for.post":
+			post = b
+		}
+	}
+	if loop == nil || post == nil {
+		t.Fatalf("missing loop/post blocks:\n%s", g)
+	}
+	found := false
+	for _, s := range post.Succs {
+		if s == loop {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no back edge from post to loop:\n%s", g)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := buildFunc(t, `func f(xs []int) {
+		for _, x := range xs {
+			if x == 0 {
+				continue
+			}
+			if x < 0 {
+				break
+			}
+			_ = x
+		}
+	}`)
+	r := reachable(g)
+	var done int = -1
+	for _, b := range g.Blocks {
+		if b.Kind == "range.done" {
+			done = b.Index
+		}
+	}
+	if done < 0 || !r[done] {
+		t.Fatalf("range.done missing or unreachable:\n%s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, `func f(m [][]int) {
+	outer:
+		for _, row := range m {
+			for _, x := range row {
+				if x == 0 {
+					break outer
+				}
+			}
+		}
+		_ = m
+	}`)
+	// The statement after the loops must be reachable via the labeled
+	// break path.
+	r := reachable(g)
+	var after *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					after = b
+				}
+			}
+		}
+	}
+	if after == nil || !r[after.Index] {
+		t.Fatalf("statement after labeled break unreachable:\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `func f(x int) int {
+		r := 0
+		switch x {
+		case 1:
+			r = 1
+			fallthrough
+		case 2:
+			r = 2
+		default:
+			r = 3
+		}
+		return r
+	}`)
+	// Find the case blocks; the first must have the second as its only
+	// successor (fallthrough), not switch.done.
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 3 {
+		t.Fatalf("want 3 case blocks, got %d:\n%s", len(cases), g)
+	}
+	if len(cases[0].Succs) != 1 || cases[0].Succs[0] != cases[1] {
+		t.Fatalf("fallthrough edge missing:\n%s", g)
+	}
+}
+
+func TestSwitchNoDefaultSkipEdge(t *testing.T) {
+	g := buildFunc(t, `func f(x int) {
+		switch x {
+		case 1:
+		}
+		_ = x
+	}`)
+	// Without a default, the dispatch block must be able to skip
+	// straight to switch.done.
+	entry := g.Entry()
+	toDone := false
+	for _, s := range entry.Succs {
+		if s.Kind == "switch.done" {
+			toDone = true
+		}
+	}
+	if !toDone {
+		t.Fatalf("missing skip edge for defaultless switch:\n%s", g)
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+		if !c {
+			panic("no")
+		}
+		_ = c
+	}`)
+	// The block containing panic must have no successors.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok && isTerminalCall(es.X) {
+				if len(b.Succs) != 0 {
+					t.Fatalf("panic block has successors:\n%s", g)
+				}
+			}
+		}
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+	top:
+		if c {
+			goto done
+		}
+		goto top
+	done:
+		_ = c
+	}`)
+	r := reachable(g)
+	var doneBlk *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.done" {
+			doneBlk = b
+		}
+	}
+	if doneBlk == nil || !r[doneBlk.Index] {
+		t.Fatalf("goto target unreachable:\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, `func f(a, b chan int) int {
+		select {
+		case x := <-a:
+			return x
+		case b <- 1:
+			return 1
+		}
+	}`)
+	if got := len(g.Entry().Succs); got != 2 {
+		t.Fatalf("select entry has %d successors, want 2:\n%s", got, g)
+	}
+}
+
+// TestSolveReachingTaint exercises the forward solver with a tiny taint
+// problem: a variable is tainted after `x = src` and cleared by `x = 0`.
+type taintProblem struct{}
+
+func (taintProblem) Init() map[string]bool { return map[string]bool{} }
+func (taintProblem) Join(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+func (taintProblem) Equal(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+func (taintProblem) Transfer(b *Block, in map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range in {
+		out[k] = true
+	}
+	for _, n := range b.Nodes {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if rhs, ok := as.Rhs[0].(*ast.Ident); ok && rhs.Name == "src" {
+			out[lhs.Name] = true
+		} else {
+			delete(out, lhs.Name)
+		}
+	}
+	return out
+}
+
+func TestSolveReachingTaint(t *testing.T) {
+	g := buildFunc(t, `func f(c bool, src int) {
+		x := 0
+		if c {
+			x = src
+		}
+		sink(x)
+	}`)
+	ins := Solve[map[string]bool](g, taintProblem{})
+	// The block containing sink(x) must see x possibly tainted (joined
+	// over both branches).
+	var sinkBlk *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+						sinkBlk = b
+					}
+				}
+			}
+		}
+	}
+	if sinkBlk == nil {
+		t.Fatalf("sink call not found:\n%s", g)
+	}
+	if !ins[sinkBlk.Index]["x"] {
+		t.Fatalf("x not tainted at sink; in=%v\n%s", ins[sinkBlk.Index], g)
+	}
+	// And inside the loop-free graph the entry starts clean.
+	if len(ins[0]) != 0 {
+		t.Fatalf("entry IN not empty: %v", ins[0])
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	g := buildFunc(t, `func f(src int) {
+		x := 0
+		for i := 0; i < 3; i++ {
+			sink(x)
+			x = src
+		}
+	}`)
+	ins := Solve[map[string]bool](g, taintProblem{})
+	// sink(x) on the second iteration sees tainted x: the loop body's IN
+	// must include the back-edge contribution.
+	var body *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.body" {
+			body = b
+		}
+	}
+	if body == nil {
+		t.Fatalf("no for.body:\n%s", g)
+	}
+	if !ins[body.Index]["x"] {
+		t.Fatalf("back-edge taint lost; in=%v\n%s", ins[body.Index], g)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := buildFunc(t, `func f() {}`)
+	if !strings.Contains(g.String(), "b0(entry)") {
+		t.Fatalf("String: %q", g.String())
+	}
+}

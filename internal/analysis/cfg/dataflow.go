@@ -1,0 +1,73 @@
+package cfg
+
+// A Problem describes a forward dataflow analysis over a Graph: a join
+// semilattice of facts T plus a transfer function. Facts must be treated
+// as immutable values by Transfer and Join (return fresh values rather
+// than mutating inputs), so the solver can reuse them across blocks.
+type Problem[T any] interface {
+	// Init is the fact entering the function (the entry block's IN).
+	Init() T
+	// Join combines facts flowing in over multiple edges. It must be
+	// commutative, associative, and monotone for the solver to
+	// terminate.
+	Join(a, b T) T
+	// Equal reports whether two facts are the same, ending iteration.
+	Equal(a, b T) bool
+	// Transfer pushes a fact through one block, returning the OUT fact.
+	Transfer(b *Block, in T) T
+}
+
+// Solve runs a forward worklist iteration to a fixpoint and returns the
+// IN fact of every block, indexed like Graph.Blocks. Unreachable blocks
+// receive Init (analyzers typically still want to inspect their
+// statements under the weakest assumption).
+func Solve[T any](g *Graph, p Problem[T]) []T {
+	n := len(g.Blocks)
+	in := make([]T, n)
+	out := make([]T, n)
+	hasIn := make([]bool, n)  // a real fact has flowed into in[i]
+	hasOut := make([]bool, n) // out[i] has been computed at least once
+	for i := range in {
+		in[i] = p.Init()
+	}
+	hasIn[0] = true
+
+	// Worklist seeded in index order (blocks are created roughly in
+	// reverse-postorder by construction), iterated deterministically.
+	work := make([]int, n)
+	inWork := make([]bool, n)
+	for i := range work {
+		work[i] = i
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		blk := g.Blocks[i]
+		newOut := p.Transfer(blk, in[i])
+		if hasOut[i] && p.Equal(newOut, out[i]) {
+			continue
+		}
+		out[i] = newOut
+		hasOut[i] = true
+		for _, s := range blk.Succs {
+			j := s.Index
+			// The first real inflow replaces the placeholder Init fact;
+			// later inflows join with what is already there.
+			joined := newOut
+			if hasIn[j] {
+				joined = p.Join(in[j], newOut)
+			}
+			if !hasIn[j] || !p.Equal(joined, in[j]) {
+				in[j] = joined
+				hasIn[j] = true
+				if !inWork[j] {
+					work = append(work, j)
+					inWork[j] = true
+				}
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,221 @@
+// Package exhaustive defines an analyzer requiring switches over
+// enum-like types to cover every member or to opt out explicitly. The
+// repository leans on small closed enumerations — the six-way SMM node
+// classification (paper Proposition 2), faults.Kind, the trace metric
+// kinds — and a switch that silently ignores a member is exactly how a
+// new fault kind or node class slips past the protocol logic unnoticed:
+// Go compiles it without complaint and the default behavior (nothing)
+// looks like a decision.
+//
+// An enum-like type is a defined (named, non-alias) type with a basic
+// underlying type that has at least two package-level constants of
+// exactly that type declared in its package. Sentinel constants used
+// for array sizing or iteration bounds (numSMMTypes) are excluded by a
+// configurable name pattern. Membership is read from the defining
+// package's scope, which works across package boundaries through export
+// data — no facts needed.
+//
+// A switch over such a type must either list every member (matching is
+// by constant value, so renamed aliases count) or carry a default
+// clause that visibly means something: a default with statements, or an
+// empty default with a comment explaining the waiver. A bare empty
+// default is reported — it reads as "handled elsewhere" while handling
+// nothing.
+package exhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"selfstab/internal/analysis/lint"
+)
+
+// New returns the exhaustive analyzer.
+func New() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "exhaustive",
+		Doc: "switches over enum-like constant sets must cover every member\n\n" +
+			"A switch whose tag is a defined basic type with >=2 package-level\n" +
+			"constants must list every constant value, or carry a default that\n" +
+			"either does work or is commented with the reason the gap is safe.",
+	}
+	ignore := a.Flags.String("ignore", `^(num|Num)`,
+		"regexp of sentinel constant names excluded from enum membership")
+	maxMembers := a.Flags.Int("maxmembers", 24,
+		"largest constant set treated as an enum (beyond it, token.Token-style\n"+
+			"vocabularies, exhaustiveness is not a meaningful contract)")
+	a.Run = func(pass *lint.Pass) (any, error) {
+		re, err := regexp.Compile(*ignore)
+		if err != nil {
+			return nil, fmt.Errorf("bad -exhaustive.ignore pattern: %v", err)
+		}
+		run(pass, re, *maxMembers)
+		return nil, nil
+	}
+	return a
+}
+
+func run(pass *lint.Pass, ignore *regexp.Regexp, maxMembers int) {
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, file, sw, ignore, maxMembers)
+			return true
+		})
+	}
+}
+
+// member is one enum constant: its canonical name and value key.
+type member struct {
+	name string
+	key  string
+}
+
+func checkSwitch(pass *lint.Pass, file *ast.File, sw *ast.SwitchStmt, ignore *regexp.Regexp, maxMembers int) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Basic); !ok {
+		return
+	}
+	if b := named.Underlying().(*types.Basic); b.Kind() == types.Bool || b.Kind() == types.UntypedBool {
+		return // two-member bools are if/else in switch clothing
+	}
+	members := enumMembers(named, ignore)
+	if len(members) < 2 || len(members) > maxMembers {
+		return
+	}
+
+	covered := map[string]bool{}
+	hasDefault := false
+	sanctioned := false
+	for i, clause := range sw.Body.List {
+		c, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if c.List == nil {
+			hasDefault = true
+			// A default sanctions the gap when it visibly does or says
+			// something: statements, or a comment anywhere in the
+			// clause's extent (which runs to the next clause or the end
+			// of the switch — an empty clause's own End is just past the
+			// colon, before any comment under it).
+			end := sw.Body.End()
+			if i+1 < len(sw.Body.List) {
+				end = sw.Body.List[i+1].Pos()
+			}
+			sanctioned = len(c.Body) > 0 || hasCommentIn(file, c.Pos(), end)
+			continue
+		}
+		for _, e := range c.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: coverage is not decidable
+			}
+			covered[valueKey(tv.Value)] = true
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.key] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	typeName := named.Obj().Name()
+	if named.Obj().Pkg() != pass.Pkg {
+		typeName = named.Obj().Pkg().Name() + "." + typeName
+	}
+	list := strings.Join(missing, ", ")
+	switch {
+	case !hasDefault:
+		pass.Reportf(sw.Switch, "switch over %s misses %s; add the cases or a default with a reason",
+			typeName, list)
+	case !sanctioned:
+		pass.Reportf(sw.Switch, "switch over %s has a bare empty default but misses %s; handle them or comment the default with why the gap is safe",
+			typeName, list)
+	}
+}
+
+// enumMembers collects the package-level constants of exactly the named
+// type from its defining package, deduplicated by value (the first name
+// in scope order speaks for aliases), excluding sentinels.
+func enumMembers(named *types.Named, ignore *regexp.Regexp) []member {
+	scope := named.Obj().Pkg().Scope()
+	byKey := map[string]string{}
+	var order []string
+	for _, name := range scope.Names() { // Names() is sorted: deterministic
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if ignore.MatchString(name) {
+			continue
+		}
+		key := valueKey(c.Val())
+		if _, seen := byKey[key]; !seen {
+			byKey[key] = name
+			order = append(order, key)
+		}
+	}
+	members := make([]member, 0, len(byKey))
+	for _, key := range order {
+		members = append(members, member{name: byKey[key], key: key})
+	}
+	// Present members in value order where values are numeric, so
+	// "misses A, B" reads in declaration (iota) order rather than
+	// alphabetical.
+	sort.SliceStable(members, func(i, j int) bool { return numLess(members[i].key, members[j].key) })
+	return members
+}
+
+// valueKey canonicalizes a constant value for coverage matching.
+func valueKey(v constant.Value) string { return v.ExactString() }
+
+// numLess orders numeric value keys numerically, others lexically.
+func numLess(a, b string) bool {
+	if len(a) != len(b) && isNum(a) && isNum(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+func isNum(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if (s[i] < '0' || s[i] > '9') && !(i == 0 && s[i] == '-') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// hasCommentIn reports whether any comment lies within [from, to).
+func hasCommentIn(file *ast.File, from, to token.Pos) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= from && cg.End() <= to {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"selfstab/internal/analysis/exhaustive"
+	"selfstab/internal/analysis/linttest"
+)
+
+func TestExhaustive(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", exhaustive.New())
+}

@@ -1,0 +1,113 @@
+// Fixture for the exhaustive analyzer: switches over enum-like
+// constant sets.
+package a
+
+// Color is enum-like: a defined basic type with >=2 constants.
+type Color uint8
+
+const (
+	Red Color = iota
+	Green
+	Blue
+	numColors // sentinel: excluded from membership by -exhaustive.ignore
+)
+
+// Crimson aliases Red's value; covering either name covers the member.
+const Crimson Color = 0
+
+func complete(c Color) string {
+	switch c {
+	case Red:
+		return "r"
+	case Green:
+		return "g"
+	case Blue:
+		return "b"
+	}
+	return "?"
+}
+
+func aliasCovers(c Color) string {
+	switch c { // Crimson == Red by value, so the member is covered
+	case Crimson:
+		return "r"
+	case Green, Blue:
+		return "gb"
+	}
+	return "?"
+}
+
+func missing(c Color) string {
+	switch c { // want `switch over Color misses Blue`
+	case Red:
+		return "r"
+	case Green:
+		return "g"
+	}
+	return "?"
+}
+
+func bareDefault(c Color) string {
+	switch c { // want `bare empty default but misses Green, Blue`
+	case Red:
+		return "r"
+	default:
+	}
+	return "?"
+}
+
+func defaultWithBody(c Color) string {
+	switch c { // default does work: sanctioned
+	case Red:
+		return "r"
+	default:
+		return "other"
+	}
+}
+
+func defaultWithReason(c Color) string {
+	switch c {
+	case Red:
+		return "r"
+	default:
+		// Green and Blue render identically downstream.
+	}
+	return "?"
+}
+
+// Non-enum tags and undecidable switches stay silent.
+
+func plainInt(n int) string {
+	switch n {
+	case 0:
+		return "zero"
+	}
+	return "?"
+}
+
+func nonConstantCase(c Color, wild Color) string {
+	switch c { // a non-constant case may cover anything
+	case wild:
+		return "w"
+	}
+	return "?"
+}
+
+type Flag bool
+
+func boolSwitch(f Flag) string {
+	switch f { // bool-kinded: if/else in disguise, not an enum
+	case true:
+		return "t"
+	}
+	return "f"
+}
+
+func suppressed(c Color) string {
+	//lint:ignore exhaustive demonstration that suppression applies here too
+	switch c {
+	case Red:
+		return "r"
+	}
+	return "?"
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// A Fact is a serializable observation an analyzer attaches to a
+// package-level object or to a package, visible when dependent packages
+// are analyzed later. The AFact marker method mirrors go/analysis. Facts
+// are encoded as JSON (not gob) so the fact files the driver threads
+// between compilation units are inspectable and diffable.
+type Fact interface{ AFact() }
+
+// factVersion is bumped whenever the fact file format or any analyzer's
+// fact schema changes incompatibly; a mismatch is reported as a stale
+// fact file rather than decoded into garbage.
+const factVersion = 1
+
+// factTool guards against a foreign tool's fact files being handed to
+// this driver.
+const factTool = "selfstablint"
+
+// pkgFactKey is the reserved object key under which a package-level fact
+// is stored. It cannot collide with a real object: "package" is a Go
+// keyword, so no declared identifier spells it.
+const pkgFactKey = "package"
+
+// A FactStore holds serialized facts for any number of packages, keyed
+// package path → analyzer name → object key. It is both the import side
+// (facts of dependencies, decoded from their fact files) and the export
+// side (facts this unit computed, merged with the imported ones so
+// downstream units see the transitive closure).
+type FactStore struct {
+	m map[string]map[string]map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[string]map[string]map[string]json.RawMessage{}}
+}
+
+func (s *FactStore) set(pkgPath, analyzer, key string, raw json.RawMessage) {
+	byAnalyzer, ok := s.m[pkgPath]
+	if !ok {
+		byAnalyzer = map[string]map[string]json.RawMessage{}
+		s.m[pkgPath] = byAnalyzer
+	}
+	byKey, ok := byAnalyzer[analyzer]
+	if !ok {
+		byKey = map[string]json.RawMessage{}
+		byAnalyzer[analyzer] = byKey
+	}
+	byKey[key] = raw
+}
+
+func (s *FactStore) get(pkgPath, analyzer, key string) (json.RawMessage, bool) {
+	raw, ok := s.m[pkgPath][analyzer][key]
+	return raw, ok
+}
+
+// Merge copies every fact of other into s (other wins on conflicts).
+func (s *FactStore) Merge(other *FactStore) {
+	if other == nil {
+		return
+	}
+	for pkgPath, byAnalyzer := range other.m {
+		for analyzer, byKey := range byAnalyzer {
+			for key, raw := range byKey {
+				s.set(pkgPath, analyzer, key, raw)
+			}
+		}
+	}
+}
+
+// Empty reports whether the store holds no facts at all.
+func (s *FactStore) Empty() bool { return len(s.m) == 0 }
+
+// factFile is the on-disk envelope of a fact store.
+type factFile struct {
+	Tool     string                                           `json:"tool"`
+	Version  int                                              `json:"version"`
+	Packages map[string]map[string]map[string]json.RawMessage `json:"packages"`
+}
+
+// Encode serializes the store with its version envelope. An empty store
+// encodes to nil, matching the empty fact files fact-free units write.
+func (s *FactStore) Encode() ([]byte, error) {
+	if s == nil || len(s.m) == 0 {
+		return nil, nil
+	}
+	return json.Marshal(factFile{Tool: factTool, Version: factVersion, Packages: s.m})
+}
+
+// DecodeFactStore parses a fact file. Zero-length input is a valid empty
+// store (units without facts write empty files). Anything else that
+// fails to parse, names a different tool, or carries a different version
+// is rejected with a descriptive error — silent empty facts would
+// quietly disable every cross-package check downstream.
+func DecodeFactStore(data []byte) (*FactStore, error) {
+	if len(data) == 0 {
+		return NewFactStore(), nil
+	}
+	var f factFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("corrupt fact file: %v", err)
+	}
+	if f.Tool != factTool {
+		return nil, fmt.Errorf("fact file written by %q, want %q", f.Tool, factTool)
+	}
+	if f.Version != factVersion {
+		return nil, fmt.Errorf("stale fact file (format version %d, want %d); clear the vet cache and re-run", f.Version, factVersion)
+	}
+	s := NewFactStore()
+	if f.Packages != nil {
+		s.m = f.Packages
+	}
+	return s, nil
+}
+
+// objectKey returns the stable key identifying obj inside its package:
+// the bare name for package-level objects, "Recv.Name" for methods.
+// Facts may only be attached to objects of these two shapes — local
+// variables and fields have no stable cross-package identity.
+func objectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			// Generic receivers instantiate to *types.Named too; their
+			// origin name is what downstream packages see.
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// ExportObjectFact attaches fact to obj, which must be a package-level
+// object or method of the package under analysis. Unsupported objects
+// are ignored (facts are an optimization for cross-package precision,
+// never load-bearing for soundness).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	key, ok := objectKey(obj)
+	if !ok || p.exported == nil {
+		return
+	}
+	raw, err := json.Marshal(fact)
+	if err != nil {
+		return
+	}
+	p.exported.set(obj.Pkg().Path(), p.Analyzer.Name, key, raw)
+}
+
+// ImportObjectFact decodes the fact previously exported for obj — by
+// this unit (same package) or by the unit that analyzed obj's package —
+// into fact, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	key, ok := objectKey(obj)
+	if !ok {
+		return false
+	}
+	return p.importFact(obj.Pkg().Path(), key, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.exported == nil {
+		return
+	}
+	raw, err := json.Marshal(fact)
+	if err != nil {
+		return
+	}
+	p.exported.set(p.Pkg.Path(), p.Analyzer.Name, pkgFactKey, raw)
+}
+
+// ImportPackageFact decodes the package-level fact of pkgPath into fact,
+// reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkgPath string, fact Fact) bool {
+	return p.importFact(pkgPath, pkgFactKey, fact)
+}
+
+func (p *Pass) importFact(pkgPath, key string, fact Fact) bool {
+	for _, store := range []*FactStore{p.exported, p.imported} {
+		if store == nil {
+			continue
+		}
+		if raw, ok := store.get(pkgPath, p.Analyzer.Name, key); ok {
+			return json.Unmarshal(raw, fact) == nil
+		}
+	}
+	return false
+}
+
+// A PackageFact pairs a package path with its decoded package-level
+// fact.
+type PackageFact struct {
+	Path string
+	Fact Fact
+}
+
+// AllPackageFacts decodes every package-level fact of this analyzer
+// visible to the unit — imported ones plus any the unit itself has
+// already exported — allocating each instance with mk. Results are
+// sorted by package path so iteration is deterministic.
+func (p *Pass) AllPackageFacts(mk func() Fact) []PackageFact {
+	seen := map[string]bool{}
+	var out []PackageFact
+	for _, store := range []*FactStore{p.exported, p.imported} {
+		if store == nil {
+			continue
+		}
+		for pkgPath, byAnalyzer := range store.m {
+			if seen[pkgPath] {
+				continue
+			}
+			raw, ok := byAnalyzer[p.Analyzer.Name][pkgFactKey]
+			if !ok {
+				continue
+			}
+			fact := mk()
+			if json.Unmarshal(raw, fact) != nil {
+				continue
+			}
+			seen[pkgPath] = true
+			out = append(out, PackageFact{Path: pkgPath, Fact: fact})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFactStoreEncodeDecodeRoundTrip: facts written by one unit decode
+// identically in the next, and the empty store encodes to the empty
+// fact file fact-free units write.
+func TestFactStoreEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewFactStore()
+	s.set("example.com/dep", "purity", "Bump", []byte(`{"MutatesParams":true}`))
+	s.set("example.com/dep", "lockorder", "package", []byte(`{"Edges":[]}`))
+
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFactStore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := got.get("example.com/dep", "purity", "Bump")
+	if !ok || string(raw) != `{"MutatesParams":true}` {
+		t.Fatalf("round-tripped fact = %s, %v", raw, ok)
+	}
+
+	empty, err := NewFactStore().Encode()
+	if err != nil || empty != nil {
+		t.Fatalf("empty store Encode = %q, %v, want nil, nil", empty, err)
+	}
+	if s, err := DecodeFactStore(nil); err != nil || !s.Empty() {
+		t.Fatalf("DecodeFactStore(nil) = %+v, %v, want empty store", s, err)
+	}
+}
+
+// TestDecodeFactStoreRejectsBadFiles: corrupt, foreign-tool, and
+// stale-version fact files all fail loudly with descriptive errors —
+// a silently-empty store would disable every cross-package check
+// downstream without a trace.
+func TestDecodeFactStoreRejectsBadFiles(t *testing.T) {
+	cases := []struct {
+		name, data, wantErr string
+	}{
+		{"corrupt", `{"tool": "selfstablint", "ver`, "corrupt fact file"},
+		{"truncated binary", "\x00\x01\x02", "corrupt fact file"},
+		{"foreign tool", `{"tool":"staticcheck","version":1}`, `written by "staticcheck"`},
+		{"stale version", `{"tool":"selfstablint","version":99}`, "stale fact file (format version 99"},
+		{"zero version", `{"tool":"selfstablint"}`, "stale fact file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := DecodeFactStore([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("decoded %q into %+v, want error", tc.data, s)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -64,6 +64,12 @@ type Pass struct {
 	// Report delivers one diagnostic. Drivers apply //lint:ignore
 	// suppression after the run, so analyzers report unconditionally.
 	Report func(Diagnostic)
+
+	// imported holds facts of dependency packages; exported collects the
+	// facts this unit produces (plus re-exported imports). Both are set
+	// by RunWithFacts; under plain Run they are empty stores, so the
+	// fact methods degrade to no-ops.
+	imported, exported *FactStore
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -82,9 +88,29 @@ type Diagnostic struct {
 // Run executes every analyzer over one type-checked package, applies
 // //lint:ignore suppression, and returns the surviving diagnostics in
 // file/position order. Malformed directives (no reason) are appended as
-// diagnostics attributed to the pseudo-analyzer "lint".
+// diagnostics attributed to the pseudo-analyzer "lint". Facts are
+// collected and discarded; drivers that thread facts between packages
+// use RunWithFacts.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
 	analyzers []*Analyzer) ([]Diagnostic, error) {
+
+	diags, _, err := RunWithFacts(fset, files, pkg, info, analyzers, nil)
+	return diags, err
+}
+
+// RunWithFacts is Run with cross-package fact threading: imported holds
+// the facts of every dependency package (nil is an empty store), and the
+// returned store holds the facts this package exports — its own new
+// facts merged over the imported ones, so handing the result to the next
+// unit propagates facts transitively.
+func RunWithFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	analyzers []*Analyzer, imported *FactStore) ([]Diagnostic, *FactStore, error) {
+
+	if imported == nil {
+		imported = NewFactStore()
+	}
+	exported := NewFactStore()
+	exported.Merge(imported)
 
 	sup, bad := collectSuppressions(fset, files)
 	var out []Diagnostic
@@ -97,9 +123,11 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			imported:  imported,
+			exported:  exported,
 		}
 		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 		for _, d := range diags {
 			d.Analyzer = a.Name
@@ -110,7 +138,7 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 	}
 	out = append(out, bad...)
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
-	return out, nil
+	return out, exported, nil
 }
 
 // suppressions maps "file:line" to the set of analyzer names ignored on

@@ -85,6 +85,59 @@ func b() int {
 	}
 }
 
+// TestMultiAnalyzerListSuppression runs two analyzers against one
+// directive carrying a comma-separated list: both named analyzers are
+// silenced on the covered line, an unnamed third is not.
+func TestMultiAnalyzerListSuppression(t *testing.T) {
+	src := `package x
+
+func a() int {
+	//lint:ignore retflag,declflag both passes excused here
+	var n int
+	return n
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: map[*ast.Ident]types.Object{}, Uses: map[*ast.Ident]types.Object{}}
+	pkg, err := (&types.Config{}).Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, match func(ast.Node) bool) *Analyzer {
+		return &Analyzer{Name: name, Doc: name, Run: func(p *Pass) (any, error) {
+			ast.Inspect(p.Files[0], func(n ast.Node) bool {
+				if n != nil && match(n) {
+					p.Reportf(n.Pos(), "%s found", name)
+				}
+				return true
+			})
+			return nil, nil
+		}}
+	}
+	retflag := mk("retflag", func(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok })
+	declflag := mk("declflag", func(n ast.Node) bool { _, ok := n.(*ast.DeclStmt); return ok })
+	otherflag := mk("otherflag", func(n ast.Node) bool { _, ok := n.(*ast.DeclStmt); return ok })
+
+	diags, err := Run(fset, []*ast.File{f}, pkg, info, []*Analyzer{retflag, declflag, otherflag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// declflag's finding (the var decl, directly under the directive) is
+	// suppressed; otherflag's finding at the same position is not, and
+	// retflag's return is two lines below the directive, out of range.
+	var names []string
+	for _, d := range diags {
+		names = append(names, d.Analyzer)
+	}
+	if len(diags) != 2 || names[0] != "otherflag" || names[1] != "retflag" {
+		t.Fatalf("diagnostics = %+v, want otherflag then retflag", diags)
+	}
+}
+
 func TestMalformedDirectiveReported(t *testing.T) {
 	diags := runOnSource(t, `package x
 

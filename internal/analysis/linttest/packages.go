@@ -1,0 +1,172 @@
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"selfstab/internal/analysis/lint"
+)
+
+// DirResolver resolves fixture import paths to directories under root:
+// the import path "a" maps to root/a. Paths with no such directory fall
+// through to the standard library.
+func DirResolver(root string) func(string) (string, bool) {
+	return func(importPath string) (string, bool) {
+		dir := filepath.Join(root, filepath.FromSlash(importPath))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+}
+
+// ModuleResolver maps import paths under modPath to directories under
+// modRoot, so analyzers can be run over the repository's real packages
+// in tests (the purity regression pins every existing Move as pure).
+func ModuleResolver(modPath, modRoot string) func(string) (string, bool) {
+	return func(importPath string) (string, bool) {
+		if importPath == modPath {
+			return modRoot, true
+		}
+		rest, ok := strings.CutPrefix(importPath, modPath+"/")
+		if !ok {
+			return "", false
+		}
+		return filepath.Join(modRoot, filepath.FromSlash(rest)), true
+	}
+}
+
+// RunPackages type-checks the root packages and every dependency the
+// resolver can place, analyzes them in dependency order with facts
+// threaded from dependencies to dependents — the same propagation the
+// vet driver performs across compilation units — and matches the
+// diagnostics of every resolved package against its `// want`
+// expectations. Standard-library imports are type-checked from GOROOT
+// source and not analyzed.
+func RunPackages(t *testing.T, resolve func(string) (string, bool), roots []string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		resolve: resolve,
+		pkgs:    map[string]*loadedPkg{},
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	for _, root := range roots {
+		if _, err := ld.load(root); err != nil {
+			t.Fatalf("linttest: loading %s: %v", root, err)
+		}
+	}
+
+	facts := lint.NewFactStore()
+	var diags []lint.Diagnostic
+	var files []*ast.File
+	for _, path := range ld.order {
+		p := ld.pkgs[path]
+		ds, exported, err := lint.RunWithFacts(ld.fset, p.files, p.pkg, p.info, analyzers, facts)
+		if err != nil {
+			t.Fatalf("linttest: analyzing %s: %v", path, err)
+		}
+		facts = exported
+		diags = append(diags, ds...)
+		files = append(files, p.files...)
+	}
+
+	expects := collectExpectations(t, ld.fset, files)
+	matchDiagnostics(t, ld.fset, diags, expects)
+}
+
+// loadedPkg is one resolved, type-checked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader type-checks fixture packages recursively, recording a
+// dependency-first order. It implements types.Importer so the
+// type-checker drives dependency loading.
+type loader struct {
+	fset     *token.FileSet
+	resolve  func(string) (string, bool)
+	fallback types.Importer
+	pkgs     map[string]*loadedPkg
+	loading  map[string]bool
+	order    []string
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p.pkg, nil
+	}
+	if _, ok := ld.resolve(path); ok {
+		return ld.load(path)
+	}
+	return ld.fallback.Import(path)
+}
+
+func (ld *loader) load(path string) (*types.Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p.pkg, nil
+	}
+	dir, ok := ld.resolve(path)
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	if ld.loading == nil {
+		ld.loading = map[string]bool{}
+	}
+	if ld.loading[path] {
+		return nil, &importCycleError{path: path}
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: ld}
+	pkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[path] = &loadedPkg{pkg: pkg, files: files, info: info}
+	// Dependencies complete their load before this append, so order is
+	// dependency-first.
+	ld.order = append(ld.order, path)
+	return pkg, nil
+}
+
+type importCycleError struct{ path string }
+
+func (e *importCycleError) Error() string { return "import cycle through " + e.path }

@@ -1,0 +1,19 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"selfstab/internal/analysis/linttest"
+	"selfstab/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", lockorder.New())
+}
+
+// TestLockOrderCrossPackageFacts proves the edge and acquire-set facts
+// round-trip: lockapp's diagnostic depends on the order lockdep
+// exported.
+func TestLockOrderCrossPackageFacts(t *testing.T) {
+	linttest.RunPackages(t, linttest.DirResolver("testdata/src"), []string{"lockapp"}, lockorder.New())
+}

@@ -1,0 +1,95 @@
+// Fixture for the lockorder analyzer: intra-package acquisition-order
+// cycles, may-hold joins, interprocedural summaries, and the shapes
+// that must stay silent.
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	nu sync.Mutex
+}
+
+// ab and ba acquire in opposite orders: each side's inner acquisition
+// closes the cycle, so both are reported.
+
+func ab(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nu.Lock() // want `lock order cycle`
+	s.nu.Unlock()
+}
+
+func ba(s *S) {
+	s.nu.Lock()
+	s.mu.Lock() // want `lock order cycle`
+	s.mu.Unlock()
+	s.nu.Unlock()
+}
+
+// sequential releases before acquiring: no nesting, no edge, no report.
+func sequential(s *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.nu.Lock()
+	s.nu.Unlock()
+}
+
+// Interprocedural: the nested acquisition happens inside a helper, so
+// the edge comes from the helper's acquire-set summary.
+
+type T struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (t *T) lockB() {
+	t.b.Lock()
+	t.b.Unlock()
+}
+
+func (t *T) aThenB() {
+	t.a.Lock()
+	defer t.a.Unlock()
+	t.lockB() // want `lock order cycle`
+}
+
+func (t *T) bThenA() {
+	t.b.Lock()
+	defer t.b.Unlock()
+	t.a.Lock() // want `lock order cycle`
+	t.a.Unlock()
+}
+
+// Package-level mutexes with a may-hold join: gmu is held on one branch
+// only, so the edge gmu->hmu exists, but with no reverse order there is
+// nothing to report.
+
+var (
+	gmu sync.Mutex
+	hmu sync.RWMutex
+)
+
+func branches(x bool) {
+	if x {
+		gmu.Lock()
+	}
+	hmu.RLock()
+	hmu.RUnlock()
+	if x {
+		gmu.Unlock()
+	}
+}
+
+// Promoted embedded mutex: classified as a field of E, no edges here.
+
+type E struct {
+	sync.Mutex
+	n int
+}
+
+func useE(e *E) {
+	e.Lock()
+	e.n++
+	e.Unlock()
+}

@@ -1,0 +1,26 @@
+// Fixture dependent package: the cycle is only visible when lockdep's
+// edge and acquire-set facts are imported.
+package lockapp
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+var local sync.Mutex
+
+// ok nests lockdep.MuB under a local lock: a new edge, but no cycle.
+func ok() {
+	local.Lock()
+	defer local.Unlock()
+	lockdep.Acquire()
+}
+
+// bad holds MuB and calls LockAB, which acquires MuA (and MuB): the
+// resulting MuB -> MuA edge reverses the dependency's MuA -> MuB.
+func bad() {
+	lockdep.MuB.Lock()
+	defer lockdep.MuB.Unlock()
+	lockdep.LockAB() // want `lock order cycle`
+}

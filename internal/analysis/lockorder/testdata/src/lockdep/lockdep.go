@@ -1,0 +1,24 @@
+// Fixture dependency package: its acquisition edges and acquire-set
+// summaries are exported as facts for the lockapp fixture.
+package lockdep
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// LockAB acquires A then B, establishing the exported order MuA -> MuB.
+func LockAB() {
+	MuA.Lock()
+	defer MuA.Unlock()
+	MuB.Lock()
+	MuB.Unlock()
+}
+
+// Acquire takes only B; dependents may call it under their own locks.
+func Acquire() {
+	MuB.Lock()
+	MuB.Unlock()
+}

@@ -1,0 +1,37 @@
+package purity_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"selfstab/internal/analysis/linttest"
+	"selfstab/internal/analysis/purity"
+)
+
+func TestPurity(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", purity.New())
+}
+
+// TestPurityCrossPackageFacts proves the fact round-trip: dep's
+// summaries are computed in its own analysis run and surface as
+// diagnostics only when app is analyzed with dep's facts imported.
+func TestPurityCrossPackageFacts(t *testing.T) {
+	linttest.RunPackages(t, linttest.DirResolver("testdata/src"), []string{"app"}, purity.New())
+}
+
+// TestPurityAcceptsRepoProtocols is the regression pin: every Move the
+// repository actually ships — core.SMM, core.SMI, the protocols
+// package's randomized/refined/composed variants, and the rules engine
+// — must pass the purity analyzer with zero diagnostics. A new
+// diagnostic here means either a protocol gained a real impurity or the
+// analyzer gained a false positive; both need a human.
+func TestPurityAcceptsRepoProtocols(t *testing.T) {
+	resolve := linttest.ModuleResolver("selfstab", filepath.Join("..", "..", ".."))
+	linttest.RunPackages(t, resolve,
+		[]string{
+			"selfstab/internal/core",
+			"selfstab/internal/rules",
+			"selfstab/internal/protocols",
+		},
+		purity.New())
+}

@@ -1,0 +1,25 @@
+// Fixture dependent package: calls into dep, whose purity summaries
+// arrive as imported facts — the diagnostics below exist only if the
+// fact round-trip works.
+package app
+
+import "dep"
+
+type NodeID int
+
+type View struct {
+	ID   NodeID
+	Self dep.State
+	Nbrs []NodeID
+	Peer func(NodeID) dep.State
+}
+
+type P struct{}
+
+func (P) Move(v View) (dep.State, bool) {
+	next := dep.Pure(v.Self) // pure cross-package helper: no diagnostic
+	dep.Bump(&next)          // mutates a private copy: no diagnostic
+	dep.Bump(&v.Self)        // want `passes the View to dep.Bump, which mutates its argument`
+	dep.Count()              // want `calls dep.Count, which writes package-level state`
+	return next, false
+}

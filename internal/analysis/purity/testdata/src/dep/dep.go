@@ -1,0 +1,19 @@
+// Fixture dependency package: its helpers' purity summaries are
+// exported as facts and must be visible when the dependent package
+// (testdata/src/app) is analyzed.
+package dep
+
+// State is the protocol state shared with the app fixture.
+type State struct{ Level int }
+
+// Bump mutates its pointer argument; dependents may only apply it to
+// private copies.
+func Bump(s *State) { s.Level++ }
+
+// Pure transforms a value copy and is safe everywhere.
+func Pure(s State) State { s.Level++; return s }
+
+var total int
+
+// Count writes package-level state.
+func Count() { total++ }

@@ -10,10 +10,27 @@
 // The go command hands the tool a config naming the unit's Go files and
 // the export-data files of every dependency; types are imported with
 // go/importer's gc reader, so no network, module downloads, or source
-// re-typechecking of dependencies is needed. Our analyzers neither
-// produce nor consume cross-package facts, so for dependency units
-// (VetxOnly) the driver records an empty fact file and exits without
-// analyzing.
+// re-typechecking of dependencies is needed.
+//
+// # Cross-package facts
+//
+// Analyzers may export facts (lint.Fact) about package-level objects or
+// whole packages; the go command threads the per-unit fact files
+// (PackageVetx in, VetxOutput out) between units in dependency order, so
+// a fact exported while analyzing package a is visible when analyzing
+// any package that imports a. Dependency units the pattern did not match
+// (VetxOnly) are analyzed too — diagnostics discarded, facts kept — but
+// only for packages inside this module (FactPrefixes): facts about the
+// standard library would cost a full re-typecheck of GOROOT for no
+// benefit, since the analyzers carry built-in summaries for it.
+//
+// # Machine-readable output
+//
+// With -json (what `go vet -json` passes), diagnostics are printed to
+// stdout in the unitchecker JSON shape instead of text on stderr. With
+// -sarifdir=DIR, every unit with findings also drops a fragment file
+// into DIR; `selfstablint -sarif DIR` merges the fragments into one
+// SARIF 2.1.0 report on stdout (see internal/analysis/sarif).
 package unit
 
 import (
@@ -29,10 +46,18 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"selfstab/internal/analysis/lint"
+	"selfstab/internal/analysis/sarif"
 )
+
+// FactPrefixes lists the import-path prefixes whose dependency units are
+// analyzed for facts even when they are not part of the vet pattern
+// (VetxOnly). Everything else — in practice the standard library — is
+// recorded as fact-free.
+var FactPrefixes = []string{"selfstab"}
 
 // Config mirrors the JSON compilation-unit description produced by the
 // go command for a vet tool. Field names form the protocol; unknown
@@ -57,8 +82,10 @@ type Config struct {
 
 // Main is the entry point for a vettool binary: it handles the -V/-flags
 // handshake, registers analyzer flags, runs the unit named on the
-// command line, prints diagnostics to stderr, and exits (0 clean, 1
-// diagnostics, 2 protocol or type-check failure).
+// command line, prints diagnostics (text on stderr, or JSON on stdout
+// under -json), and exits (0 clean, 1 diagnostics, 2 protocol or
+// type-check failure). `selfstablint -sarif DIR` instead merges the
+// SARIF fragments a -sarifdir run produced and prints the report.
 func Main(analyzers ...*lint.Analyzer) {
 	log.SetFlags(0)
 	log.SetPrefix("selfstablint: ")
@@ -66,12 +93,15 @@ func Main(analyzers ...*lint.Analyzer) {
 	fs := flag.NewFlagSet("selfstablint", flag.ExitOnError)
 	version := fs.String("V", "", "if 'full', print the executable fingerprint and exit (go vet protocol)")
 	printFlags := fs.Bool("flags", false, "print the supported flags as JSON and exit (go vet protocol)")
+	jsonFlagSet := fs.Bool("json", false, "emit diagnostics as JSON on stdout (go vet -json protocol)")
+	sarifDir := fs.String("sarifdir", "", "directory to drop per-unit SARIF fragments into (see -sarif)")
+	sarifMerge := fs.String("sarif", "", "merge the SARIF fragments in this directory and print the report to stdout")
+	sarifRoot := fs.String("sarifroot", "", "path findings are reported relative to in the merged SARIF (default: current directory)")
 	// Legacy vet flag shims, so scripted `go vet` invocations keep working.
 	fs.Bool("source", false, "no effect (legacy)")
 	fs.Bool("v", false, "no effect (legacy)")
 	fs.Bool("all", false, "no effect (legacy)")
 	fs.String("tags", "", "no effect (legacy)")
-	fs.Bool("json", false, "no effect (accepted for compatibility)")
 	fs.Int("c", -1, "no effect (accepted for compatibility)")
 	for _, a := range analyzers {
 		prefix := a.Name + "."
@@ -91,14 +121,49 @@ func Main(analyzers ...*lint.Analyzer) {
 		describeFlags(fs)
 		os.Exit(0)
 	}
+	if *sarifMerge != "" {
+		root := *sarifRoot
+		if root == "" {
+			root, _ = os.Getwd()
+		}
+		var rules []sarif.Rule
+		for _, a := range analyzers {
+			rules = append(rules, sarif.Rule{ID: a.Name, Doc: a.Doc})
+		}
+		report, err := sarif.Merge(*sarifMerge, root, rules)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(0)
+	}
 
 	args := fs.Args()
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		log.Fatalf("usage: invoked by the go command as `go vet -vettool=selfstablint`; got args %q", args)
 	}
-	diags, fset, err := Run(args[0], analyzers)
+	diags, fset, importPath, err := RunUnit(args[0], analyzers)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *sarifDir != "" && len(diags) > 0 {
+		frag := sarif.Fragment{ImportPath: importPath}
+		for _, d := range diags {
+			p := fset.Position(d.Pos)
+			frag.Findings = append(frag.Findings, sarif.Finding{
+				File: p.Filename, Line: p.Line, Col: p.Column,
+				Message: d.Message, Analyzer: d.Analyzer,
+			})
+		}
+		if err := sarif.WriteFragment(*sarifDir, frag); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonFlagSet {
+		writeJSONDiagnostics(os.Stdout, importPath, fset, diags)
+		os.Exit(0) // the go command inspects the JSON, not the exit code
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
@@ -110,17 +175,26 @@ func Main(analyzers ...*lint.Analyzer) {
 }
 
 // Run analyzes the compilation unit described by the config file and
-// returns the surviving diagnostics. Dependency units (VetxOnly) are
-// not analyzed: the driver only records the empty fact file the go
-// command expects.
+// returns the surviving diagnostics. It is the legacy two-result form of
+// RunUnit, kept for tests and scripted callers.
 func Run(cfgPath string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, *token.FileSet, error) {
+	diags, fset, _, err := RunUnit(cfgPath, analyzers)
+	return diags, fset, err
+}
+
+// RunUnit analyzes the compilation unit described by the config file,
+// reading dependency facts and writing the unit's fact file. Dependency
+// units (VetxOnly) inside the module are analyzed with diagnostics
+// discarded so their facts exist for dependents; other dependency units
+// are recorded as fact-free without analysis.
+func RunUnit(cfgPath string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, *token.FileSet, string, error) {
 	cfg, err := readConfig(cfgPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 	fset := token.NewFileSet()
-	if cfg.VetxOnly {
-		return nil, fset, writeVetx(cfg)
+	if cfg.VetxOnly && !factsWanted(cfg.ImportPath) {
+		return nil, fset, cfg.ImportPath, writeVetx(cfg, nil)
 	}
 
 	var files []*ast.File
@@ -128,9 +202,9 @@ func Run(cfgPath string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, *token.
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, fset, writeVetx(cfg)
+				return nil, fset, cfg.ImportPath, writeVetx(cfg, nil)
 			}
-			return nil, nil, err
+			return nil, nil, "", err
 		}
 		files = append(files, f)
 	}
@@ -150,16 +224,104 @@ func Run(cfgPath string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, *token.
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, fset, writeVetx(cfg)
+			return nil, fset, cfg.ImportPath, writeVetx(cfg, nil)
 		}
-		return nil, nil, err
+		return nil, nil, "", err
 	}
 
-	diags, err := lint.Run(fset, files, pkg, info, analyzers)
+	imported, err := readFacts(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, "", err
 	}
-	return diags, fset, writeVetx(cfg)
+	diags, exported, err := lint.RunWithFacts(fset, files, pkg, info, analyzers, imported)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if cfg.VetxOnly {
+		diags = nil // dependency unit: facts only, findings belong to its own vet run
+	}
+	return diags, fset, cfg.ImportPath, writeVetx(cfg, exported)
+}
+
+// factsWanted reports whether dependency units of this import path are
+// worth analyzing for facts.
+func factsWanted(importPath string) bool {
+	for _, p := range FactPrefixes {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// readFacts loads and merges the fact files of every dependency unit the
+// go command handed us. A zero-length file is a valid "no facts" marker;
+// anything else that fails to decode aborts the run with an error naming
+// the file, because silently treating a corrupt file as empty would
+// disable cross-package checks without a trace.
+func readFacts(cfg *Config) (*lint.FactStore, error) {
+	store := lint.NewFactStore()
+	// Iterate the import paths in sorted order for deterministic merge
+	// (later merges win, so order must be stable).
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		file := cfg.PackageVetx[p]
+		data, err := os.ReadFile(file)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // dependency vetted by an older tool build: no facts
+			}
+			return nil, fmt.Errorf("reading facts of %s: %v", p, err)
+		}
+		dep, err := lint.DecodeFactStore(data)
+		if err != nil {
+			return nil, fmt.Errorf("facts of %s (%s): %v", p, file, err)
+		}
+		store.Merge(dep)
+	}
+	return store, nil
+}
+
+// writeVetx records the unit's fact file: the facts the analyzers
+// exported (which include re-exported dependency facts), or an empty
+// file for fact-free units, which is what the go command expects to
+// cache and thread to dependents.
+func writeVetx(cfg *Config, facts *lint.FactStore) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	data, err := facts.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
+}
+
+// writeJSONDiagnostics prints diagnostics in the unitchecker -json
+// shape: an object keyed by package path, then analyzer name.
+func writeJSONDiagnostics(w io.Writer, importPath string, fset *token.FileSet, diags []lint.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{importPath: byAnalyzer}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Write(data)
+	io.WriteString(w, "\n")
 }
 
 // configImporter resolves imports through the unit's ImportMap and reads
@@ -206,16 +368,6 @@ func readConfig(path string) (*Config, error) {
 		return nil, fmt.Errorf("package %s has no files", cfg.ImportPath)
 	}
 	return cfg, nil
-}
-
-// writeVetx records the (empty) fact file for this unit. The go command
-// caches and threads these files between units; our analyzers are
-// fact-free, so the content is an empty byte string.
-func writeVetx(cfg *Config) error {
-	if cfg.VetxOutput == "" {
-		return nil
-	}
-	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
 }
 
 // describeExecutable prints the -V=full fingerprint the go command uses

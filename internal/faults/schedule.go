@@ -229,7 +229,14 @@ func Generate(seed int64, g *graph.Graph, prm GenParams) Schedule {
 	if prm.Gap <= 0 {
 		prm.Gap = g.N() + 6
 	}
-	kinds := prm.Kinds
+	kinds := make([]Kind, 0, len(prm.Kinds))
+	for _, k := range prm.Kinds {
+		// Init and Resurrect are engine-internal pseudo-events; a
+		// schedule must never inject them.
+		if k != Init && k != Resurrect {
+			kinds = append(kinds, k)
+		}
+	}
 	if len(kinds) == 0 {
 		kinds = AllKinds[:]
 	}
@@ -285,6 +292,9 @@ func Generate(seed int64, g *graph.Graph, prm GenParams) Schedule {
 			ev.Dur = 1 + rng.Intn(prm.MaxDur)
 		case Churn:
 			ev.K = 1 + rng.Intn(prm.MaxBurst)
+		default:
+			// Init and Resurrect are filtered out of kinds above; no
+			// other Kind exists.
 		}
 		events = append(events, ev)
 	}
