@@ -14,7 +14,16 @@ LINTBIN := bin/selfstablint
 SARIF_FRAGMENTS := lint-sarif-out
 SARIF_REPORT := selfstablint.sarif
 
-.PHONY: all build vet lint lint-sarif lint-diff tools test race cover bench experiments experiments-quick soak soak-quick fuzz clean
+# Benchmark baseline: BENCH_1.json holds labeled runs of the large-n
+# benchmarks (parsed metrics + raw benchfmt lines, benchstat-compatible;
+# see cmd/benchjson). bench-json appends a fresh labeled run; bench-diff
+# compares a fresh run against the last recorded one and exits non-zero
+# past the threshold (CI runs it as a non-blocking signal).
+BENCH_JSON := BENCH_1.json
+BENCH_PATTERN ?= BenchmarkLarge
+BENCH_LABEL ?= dev
+
+.PHONY: all build vet lint lint-sarif lint-diff tools test race cover bench bench-json bench-diff experiments experiments-quick soak soak-quick fuzz clean
 
 all: build vet lint test race
 
@@ -100,6 +109,20 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
+# Append a labeled run of the large-n benchmarks to the committed
+# baseline: make bench-json BENCH_LABEL=my-change
+bench-json:
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' . > bench-out.txt
+	$(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -merge $(BENCH_JSON) < bench-out.txt > $(BENCH_JSON).tmp
+	mv $(BENCH_JSON).tmp $(BENCH_JSON)
+	rm -f bench-out.txt
+
+# Compare a fresh run against the last recorded baseline run. Exits 1 on
+# any >1.25x ns/op regression; CI treats that as a warning, not a gate
+# (shared runners are too noisy to block merges on).
+bench-diff:
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -diff $(BENCH_JSON)
+
 # Regenerate every reproduction table (EXPERIMENTS.md is this output).
 experiments:
 	$(GO) run ./cmd/experiments -markdown
@@ -107,7 +130,7 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
 
-# Fault-injection soak campaigns (see docs/DESIGN.md, "Fault model &
+# Fault-injection soak campaigns (see DESIGN.md, "Fault model &
 # recovery verification"). Failing schedules are shrunk to minimal
 # repros and written to soak-out/. soak-quick is the CI-sized, race-
 # enabled budget.
@@ -125,4 +148,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -rf bin $(SARIF_FRAGMENTS) $(SARIF_REPORT)
+	rm -rf bin $(SARIF_FRAGMENTS) $(SARIF_REPORT) bench-out.txt $(BENCH_JSON).tmp

@@ -458,3 +458,80 @@ func BenchmarkExploreSharded(b *testing.B) {
 		}
 	}
 }
+
+// --- Large-n convergence benchmarks ---
+//
+// The BenchmarkLarge_* family is the frontier-scheduler workload: full
+// E1/E5-style convergence trials on graphs one to two orders of
+// magnitude past the 64-node standard graph, on both sparse random
+// topologies (expected degree ~8) and geometric unit-disk graphs (the
+// paper's ad hoc radio model). Late rounds move only a handful of
+// nodes, so the gap between full-scan and active-frontier scheduling
+// grows with n here. `make bench-json` records exactly this family in
+// BENCH_1.json; `make bench-diff` guards it against regression.
+
+// largeSparse returns a connected sparse random graph with expected
+// degree ~8, regenerated identically each call.
+func largeSparse(n int) *graph.Graph {
+	return graph.RandomConnected(n, 8.0/float64(n), rand.New(rand.NewSource(42)))
+}
+
+// largeDisk returns a connected random unit-disk graph on n nodes.
+func largeDisk(n int) *graph.Graph {
+	g, _ := graph.RandomUnitDisk(n, 0.02, rand.New(rand.NewSource(42)))
+	return g
+}
+
+func benchLargeSMM(b *testing.B, g *graph.Graph) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := benchSMMConfig(g, int64(i))
+		b.StartTimer()
+		l := sim.NewLockstep[core.Pointer](core.NewSMM(), cfg)
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+func benchLargeSMI(b *testing.B, g *graph.Graph) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := core.NewConfig[bool](g)
+		cfg.Randomize(core.NewSMI(), rand.New(rand.NewSource(int64(i))))
+		b.StartTimer()
+		l := sim.NewLockstep[bool](core.NewSMI(), cfg)
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+func BenchmarkLarge_SMMSparse1024(b *testing.B) { benchLargeSMM(b, largeSparse(1024)) }
+func BenchmarkLarge_SMMSparse4096(b *testing.B) { benchLargeSMM(b, largeSparse(4096)) }
+func BenchmarkLarge_SMMDisk1024(b *testing.B)   { benchLargeSMM(b, largeDisk(1024)) }
+func BenchmarkLarge_SMMDisk4096(b *testing.B)   { benchLargeSMM(b, largeDisk(4096)) }
+func BenchmarkLarge_SMISparse1024(b *testing.B) { benchLargeSMI(b, largeSparse(1024)) }
+func BenchmarkLarge_SMISparse4096(b *testing.B) { benchLargeSMI(b, largeSparse(4096)) }
+func BenchmarkLarge_SMIDisk1024(b *testing.B)   { benchLargeSMI(b, largeDisk(1024)) }
+
+// BenchmarkLarge_SMMSparse1024Parallel4W is the data-parallel executor
+// on the same workload, for the frontier × worker-pool interaction.
+func BenchmarkLarge_SMMSparse1024Parallel4W(b *testing.B) {
+	g := largeSparse(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := benchSMMConfig(g, int64(i))
+		b.StartTimer()
+		l := sim.NewParallel[core.Pointer](core.NewSMM(), cfg, 4)
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}

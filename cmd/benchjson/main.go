@@ -1,0 +1,222 @@
+// Command benchjson converts `go test -bench` output into the committed
+// benchmark baseline BENCH_1.json and diffs fresh runs against it.
+//
+// The JSON file holds an ordered list of runs, each with the parsed
+// ns/op, B/op and allocs/op per benchmark plus the raw benchfmt lines,
+// so `jq -r '.runs[].raw[]' BENCH_1.json | benchstat old.txt -` style
+// pipelines keep working: the raw lines are exactly what benchstat
+// consumes.
+//
+// Modes:
+//
+//	benchjson -label after -merge BENCH_1.json < bench.txt   # append a run
+//	benchjson -diff BENCH_1.json < bench.txt                 # regression check
+//
+// The diff mode compares the fresh run on stdin against the most recent
+// run in the file and exits non-zero when any shared benchmark regressed
+// by more than -threshold (default 1.25× ns/op) — the non-blocking CI
+// guard wired up by `make bench-diff`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Run is one benchmark session.
+type Run struct {
+	Label      string  `json:"label"`
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+	// Raw preserves the benchfmt lines (header + results) verbatim for
+	// benchstat consumption.
+	Raw []string `json:"raw"`
+}
+
+// File is the schema of BENCH_1.json.
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, in io.Reader, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	label := fs.String("label", "run", "label recorded for the new run")
+	merge := fs.String("merge", "", "existing JSON file to append the run to (missing file starts fresh)")
+	diff := fs.String("diff", "", "JSON baseline to diff the stdin run against instead of emitting JSON")
+	threshold := fs.Float64("threshold", 1.25, "ns/op ratio above which -diff reports a regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	newRun, err := parseRun(in, *label)
+	if err != nil {
+		fmt.Fprintf(errw, "benchjson: %v\n", err)
+		return 2
+	}
+	if len(newRun.Benchmarks) == 0 {
+		fmt.Fprintln(errw, "benchjson: no benchmark lines on stdin")
+		return 2
+	}
+	if *diff != "" {
+		return diffRuns(*diff, newRun, *threshold, out, errw)
+	}
+	var f File
+	if *merge != "" {
+		if err := readFile(*merge, &f); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(errw, "benchjson: %v\n", err)
+			return 2
+		}
+	}
+	f.Runs = append(f.Runs, newRun)
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		fmt.Fprintf(errw, "benchjson: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func readFile(path string, f *File) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		// A truncated-but-present file (e.g. `foo > BENCH_1.json` racing
+		// the read) starts a fresh baseline rather than failing the run.
+		return nil
+	}
+	if err := json.Unmarshal(data, f); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	return nil
+}
+
+// parseRun reads `go test -bench` output and collects result lines plus
+// the goos/goarch/cpu header.
+func parseRun(in io.Reader, label string) (Run, error) {
+	r := Run{Label: label}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			r.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			r.Raw = append(r.Raw, line)
+		case strings.HasPrefix(line, "goarch:"):
+			r.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			r.Raw = append(r.Raw, line)
+		case strings.HasPrefix(line, "cpu:"):
+			r.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			r.Raw = append(r.Raw, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			r.Benchmarks = append(r.Benchmarks, b)
+			r.Raw = append(r.Raw, line)
+		}
+	}
+	return r, sc.Err()
+}
+
+// parseBenchLine parses one benchfmt result line, e.g.
+//
+//	BenchmarkFoo-8   	 300	  4523 ns/op	  128 B/op	  3 allocs/op
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	b := Bench{Name: fields[0]}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b.Iters = iters
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if b.NsOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Bench{}, false
+			}
+			seen = true
+		case "B/op":
+			b.BOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return b, seen
+}
+
+// diffRuns compares newRun against the last run recorded in path.
+func diffRuns(path string, newRun Run, threshold float64, out, errw io.Writer) int {
+	var f File
+	if err := readFile(path, &f); err != nil {
+		fmt.Fprintf(errw, "benchjson: %v\n", err)
+		return 2
+	}
+	if len(f.Runs) == 0 {
+		fmt.Fprintf(errw, "benchjson: %s holds no runs\n", path)
+		return 2
+	}
+	base := f.Runs[len(f.Runs)-1]
+	old := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	fmt.Fprintf(out, "benchjson diff vs %q (last run of %s), threshold %.2fx ns/op\n", base.Label, path, threshold)
+	fmt.Fprintf(out, "%-42s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs old→new")
+	regressed := 0
+	for _, nb := range newRun.Benchmarks {
+		ob, ok := old[nb.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-42s %14s %14.0f %8s %16s\n", nb.Name, "(new)", nb.NsOp, "-", fmt.Sprintf("-→%d", nb.AllocsOp))
+			continue
+		}
+		ratio := 0.0
+		if ob.NsOp > 0 {
+			ratio = nb.NsOp / ob.NsOp
+		}
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Fprintf(out, "%-42s %14.0f %14.0f %7.2fx %16s%s\n",
+			nb.Name, ob.NsOp, nb.NsOp, ratio, fmt.Sprintf("%d→%d", ob.AllocsOp, nb.AllocsOp), mark)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(out, "%d benchmark(s) regressed beyond %.2fx\n", regressed, threshold)
+		return 1
+	}
+	fmt.Fprintln(out, "no regressions")
+	return 0
+}

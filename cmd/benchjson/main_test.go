@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: selfstab
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLarge_SMMSparse1024           	       3	    946596 ns/op	    5344 B/op	      26 allocs/op
+BenchmarkLarge_SMISparse1024           	       3	    292034 ns/op	    1472 B/op	       9 allocs/op
+PASS
+ok  	selfstab	0.478s
+`
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkFoo-8   \t 300\t  4523 ns/op\t  128 B/op\t  3 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkFoo-8" || b.Iters != 300 || b.NsOp != 4523 || b.BOp != 128 || b.AllocsOp != 3 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if _, ok := parseBenchLine("BenchmarkBare"); ok {
+		t.Fatal("accepted result-free line")
+	}
+}
+
+func TestMergeAppendsRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	var out bytes.Buffer
+	if code := run([]string{"-label", "before", "-merge", path}, strings.NewReader(sampleBench), &out, os.Stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-label", "after", "-merge", path}, strings.NewReader(sampleBench), &out, os.Stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var f File
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 2 || f.Runs[0].Label != "before" || f.Runs[1].Label != "after" {
+		t.Fatalf("runs: %+v", f.Runs)
+	}
+	if len(f.Runs[1].Benchmarks) != 2 || f.Runs[1].Goos != "linux" || f.Runs[1].CPU == "" {
+		t.Fatalf("run: %+v", f.Runs[1])
+	}
+	// Raw lines stay benchstat-consumable: header first, then results.
+	if !strings.HasPrefix(f.Runs[0].Raw[0], "goos:") || !strings.HasPrefix(f.Runs[0].Raw[2], "cpu:") {
+		t.Fatalf("raw: %v", f.Runs[0].Raw)
+	}
+}
+
+func TestDiffDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	var out bytes.Buffer
+	if code := run([]string{"-label", "base", "-merge", path}, strings.NewReader(sampleBench), &out, os.Stderr); code != 0 {
+		t.Fatal("merge failed")
+	}
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Same numbers: no regression.
+	out.Reset()
+	if code := run([]string{"-diff", path}, strings.NewReader(sampleBench), &out, os.Stderr); code != 0 {
+		t.Fatalf("clean diff exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("diff output: %s", out.String())
+	}
+	// 10x slower: regression reported with non-zero exit.
+	slow := strings.ReplaceAll(sampleBench, "946596 ns/op", "9465960 ns/op")
+	out.Reset()
+	if code := run([]string{"-diff", path}, strings.NewReader(slow), &out, os.Stderr); code != 1 {
+		t.Fatalf("regressed diff exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("diff output: %s", out.String())
+	}
+}
+
+func TestNoBenchmarksOnStdin(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, strings.NewReader("PASS\n"), &out, &out); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"selfstab/internal/analysis/detrand"
+	"selfstab/internal/analysis/exhaustive"
+	"selfstab/internal/analysis/guarded"
+	"selfstab/internal/analysis/linttest"
+	"selfstab/internal/analysis/lockorder"
+	"selfstab/internal/analysis/mapiter"
+	"selfstab/internal/analysis/purity"
+)
+
+// TestSuiteAcceptsSchedulerPackages is the regression pin for the
+// frontier scheduler: the full analyzer bundle this command ships must
+// report zero diagnostics over the packages the active-frontier work
+// touches — the CSR/frontier layer in internal/graph, the batch kernels
+// in internal/core, the three executors, and the fault hooks. A new
+// diagnostic here means either the scheduler gained a real determinism
+// or locking hazard, or an analyzer gained a false positive; both need
+// a human before the pin moves.
+func TestSuiteAcceptsSchedulerPackages(t *testing.T) {
+	resolve := linttest.ModuleResolver("selfstab", filepath.Join("..", ".."))
+	linttest.RunPackages(t, resolve,
+		[]string{
+			"selfstab/internal/graph",
+			"selfstab/internal/core",
+			"selfstab/internal/faults",
+			"selfstab/internal/sim",
+			"selfstab/internal/beacon",
+			"selfstab/internal/runtime",
+		},
+		detrand.New(), mapiter.New(), guarded.New(),
+		purity.New(), exhaustive.New(), lockorder.New())
+}

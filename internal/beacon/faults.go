@@ -42,8 +42,13 @@ func (f *FaultNetwork[S]) Config() core.Config[S] { return f.n.Config() }
 func (f *FaultNetwork[S]) ReadState(v graph.NodeID) S { return f.n.nodes[v].state }
 
 // WriteState implements faults.Target. Neighbors learn the new state
-// from the node's next beacon.
-func (f *FaultNetwork[S]) WriteState(v graph.NodeID, s S) { f.n.nodes[v].state = s }
+// from the node's next beacon; the node itself must re-evaluate, so it
+// is marked dirty.
+func (f *FaultNetwork[S]) WriteState(v graph.NodeID, s S) {
+	nd := f.n.nodes[v]
+	nd.state = s
+	nd.dirty = true
+}
 
 // SetLink implements faults.Target. The endpoints of a removed link
 // notice only when their timers t_ij expire; a new link is discovered

@@ -87,6 +87,18 @@ type netNode[S comparable] struct {
 	timers int
 	// lastArrival enforces FIFO per outgoing directed link.
 	lastArrival map[graph.NodeID]float64
+	// dirty is the frontier analogue of the event-driven model: it is set
+	// whenever the node's local view changes (table membership, a
+	// recorded neighbor state, or its own state) and cleared by an
+	// evaluation. A clean act still counts as an action and consumes the
+	// round's beacons, but skips the provably no-op Move call.
+	dirty bool
+	// nbrList caches the sorted neighbor-ID slice served to Move,
+	// invalidated on table membership changes; peerFn is the table read
+	// closure, allocated once per node instead of once per action.
+	nbrList   []graph.NodeID
+	nbrListOK bool
+	peerFn    func(graph.NodeID) S
 }
 
 // Network is the discrete-event simulator. It is not safe for concurrent
@@ -117,6 +129,8 @@ type Network[S comparable] struct {
 	// table: beacons still refresh liveness (no spurious expiry) but do
 	// not overwrite the recorded states, so v acts on stale reads.
 	staleUntil []float64
+	// fullScan is reference mode: evaluate Move on every action.
+	fullScan bool
 }
 
 // Stats counts link-layer traffic, for measuring the beacon overhead the
@@ -147,17 +161,20 @@ func NewNetwork[S comparable](p core.Protocol[S], g *graph.Graph, states []S, pr
 	if len(states) != g.N() {
 		panic(fmt.Sprintf("beacon: %d states for %d nodes", len(states), g.N()))
 	}
-	n := &Network[S]{p: p, g: g, prm: prm, rng: rng}
+	n := &Network[S]{p: p, g: g, prm: prm, rng: rng, fullScan: referenceScan.Load()}
 	n.linkDrop = make(map[graph.Edge]float64)
 	n.staleUntil = make([]float64, g.N())
 	n.nodes = make([]*netNode[S], g.N())
 	for v := range n.nodes {
-		n.nodes[v] = &netNode[S]{
+		nd := &netNode[S]{
 			id:          graph.NodeID(v),
 			state:       states[v],
 			nbrs:        make(map[graph.NodeID]*nbrInfo[S]),
 			lastArrival: make(map[graph.NodeID]float64),
+			dirty:       true, // any node may be privileged initially
 		}
+		nd.peerFn = func(j graph.NodeID) S { return nd.nbrs[j].state }
+		n.nodes[v] = nd
 		// Random phase offsets in [0, TB): beacons are unsynchronized
 		// (unless the caller asked for lockstep-equivalent timing).
 		phase := rng.Float64() * prm.TB
@@ -337,15 +354,24 @@ func (n *Network[S]) onDeliver(to, from int, s S) {
 	nd := n.nodes[to]
 	info, known := nd.nbrs[graph.NodeID(from)]
 	if !known {
-		// Neighbor discovery: first beacon from a new neighbor.
+		// Neighbor discovery: first beacon from a new neighbor — a table
+		// membership change, so the cached list and the evaluation both
+		// need refreshing.
 		info = &nbrInfo[S]{heard: false}
 		nd.nbrs[graph.NodeID(from)] = info
 		nd.unheard++
+		nd.nbrListOK = false
+		nd.dirty = true
 	}
 	if !known || n.now >= n.staleUntil[to] {
 		// A frozen table keeps its recorded states (stale reads) but a
-		// brand-new neighbor has no previous belief to keep.
-		info.state = s
+		// brand-new neighbor has no previous belief to keep. Only an
+		// actual value change dirties the view: a beacon repeating the
+		// recorded state refreshes liveness but cannot enable a rule.
+		if !known || info.state != s {
+			info.state = s
+			nd.dirty = true
+		}
 	}
 	info.lastHeard = n.now
 	if !info.heard {
@@ -380,28 +406,49 @@ func (n *Network[S]) expireNeighbors(nd *netNode[S]) {
 		n.stats.Expired++
 		nd.state = core.RepairState(n.p, nd.id, nd.state, j)
 	}
+	if len(expired) > 0 {
+		// Membership changed (and the repair may have rewritten the
+		// state): re-evaluate at the next action.
+		nd.nbrListOK = false
+		nd.dirty = true
+	}
 }
 
 // act evaluates the protocol rules against the node's neighbor table and
-// consumes the current round of beacons.
+// consumes the current round of beacons. A clean node — whose last
+// evaluation was a complete no-op and whose view has not changed since —
+// skips the Move call: purity guarantees the same no-op result (see
+// DESIGN.md, "Active-frontier scheduling"). Action and move counts,
+// state sequences, and beacon traffic are identical either way.
 func (n *Network[S]) act(nd *netNode[S]) {
-	nbrs := make([]graph.NodeID, 0, len(nd.nbrs))
-	for j := range nd.nbrs {
-		nbrs = append(nbrs, j)
-	}
-	sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
-	v := core.View[S]{
-		ID:   nd.id,
-		Self: nd.state,
-		Nbrs: nbrs,
-		Peer: func(j graph.NodeID) S { return nd.nbrs[j].state },
-	}
-	next, active := n.p.Move(v)
-	nd.state = next
 	n.actions++
-	if active {
-		n.moves++
-		n.lastActivity = n.now
+	if n.fullScan {
+		nd.dirty = true
+	}
+	if nd.dirty {
+		if !nd.nbrListOK {
+			nd.nbrList = nd.nbrList[:0]
+			for j := range nd.nbrs {
+				nd.nbrList = append(nd.nbrList, j)
+			}
+			sort.Slice(nd.nbrList, func(a, b int) bool { return nd.nbrList[a] < nd.nbrList[b] })
+			nd.nbrListOK = true
+		}
+		v := core.View[S]{
+			ID:   nd.id,
+			Self: nd.state,
+			Nbrs: nd.nbrList,
+			Peer: nd.peerFn,
+		}
+		next, active := n.p.Move(v)
+		// Stay dirty after a move or any state change (wrappers may edit
+		// aux fields while inactive): the new Self needs one more look.
+		nd.dirty = active || next != nd.state
+		nd.state = next
+		if active {
+			n.moves++
+			n.lastActivity = n.now
+		}
 	}
 	for _, info := range nd.nbrs {
 		if info.heard {

@@ -1,0 +1,13 @@
+package beacon
+
+import "sync/atomic"
+
+// referenceScan, when set, makes every Network built afterwards
+// evaluate Move on every action instead of skipping provably no-op
+// clean nodes. Test seam for the metamorphic equivalence suite (see
+// sim.SetReferenceScan); production code never sets it.
+var referenceScan atomic.Bool
+
+// SetReferenceScan toggles reference mode for networks constructed
+// afterwards.
+func SetReferenceScan(on bool) { referenceScan.Store(on) }

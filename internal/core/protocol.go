@@ -33,6 +33,16 @@ type View[S any] struct {
 	Nbrs []graph.NodeID
 	// Peer returns the last known state of a neighbor.
 	Peer func(graph.NodeID) S
+	// Peers, when non-nil, is the state vector Peer reads from, indexed
+	// by node ID: Peers[j] == Peer(j) for every j in Nbrs. Executors set
+	// it only when they serve fresh, unfiltered states (the lockstep
+	// engines, the central daemon); it stays nil when reads are mediated
+	// — stale views, fault filters, beacon neighbor tables. Protocols may
+	// use it as an allocation- and call-free read path, but must fall
+	// back to Peer (with the same read sequence they always used) when it
+	// is nil: mediated Peer implementations may observe the sequence of
+	// reads, so only the Peers path is free to reorder or skip them.
+	Peers []S
 }
 
 // Protocol is a self-stabilizing protocol in the synchronous beacon model.
@@ -60,6 +70,34 @@ type Protocol[S comparable] interface {
 	// to detect stabilization: a configuration is stable exactly when no
 	// node reports active.
 	Move(v View[S]) (next S, moved bool)
+}
+
+// BatchEvaluator is an optional protocol fast path: MoveBatch evaluates
+// many nodes in one call against a direct state vector and a CSR
+// adjacency snapshot, writing next[id] and moved[id] for every id in
+// ids. It must be observationally identical to calling Move per id with
+// a View whose Peers is states — executors use it on their unfiltered
+// hot path, fall back to Move everywhere reads are mediated, and the
+// metamorphic suite replays both paths for equality. Implementations
+// must be safe for concurrent calls over disjoint id sets: the
+// data-parallel executor partitions a round's frontier across workers.
+type BatchEvaluator[S comparable] interface {
+	MoveBatch(ids []graph.NodeID, csr *graph.CSR, states []S, next []S, moved []bool)
+}
+
+// BatchInstaller is an optional protocol fast path for the install half of
+// a round: InstallBatch commits next[id] into states[id] for every id in
+// ids, marks every node whose next Move output could now differ on f, and
+// returns the number of ids with moved[id] set. The generic install marks
+// the full closed neighborhood of every changed node; an implementation
+// may mark any subset that still covers the protocol's true read
+// dependencies (e.g. an SMM node holding a pointer reads only its target,
+// an SMI node reads only its bigger neighbors). Under-marking breaks the
+// frontier engine's byte-identity with the full scan, which is exactly
+// what the metamorphic equivalence suite replays for. Unlike MoveBatch,
+// InstallBatch is called from one goroutine only.
+type BatchInstaller[S comparable] interface {
+	InstallBatch(ids []graph.NodeID, csr *graph.CSR, states []S, next []S, moved []bool, f *graph.Frontier) int
 }
 
 // NeighborAware is implemented by protocols whose states reference
@@ -106,10 +144,11 @@ func (c Config[S]) Randomize(p Protocol[S], rng *rand.Rand) {
 // View builds the local view of node id over the configuration.
 func (c Config[S]) View(id graph.NodeID) View[S] {
 	return View[S]{
-		ID:   id,
-		Self: c.States[id],
-		Nbrs: c.G.Neighbors(id),
-		Peer: func(j graph.NodeID) S { return c.States[j] },
+		ID:    id,
+		Self:  c.States[id],
+		Nbrs:  c.G.Neighbors(id),
+		Peer:  func(j graph.NodeID) S { return c.States[j] },
+		Peers: c.States,
 	}
 }
 

@@ -33,10 +33,26 @@ func (*SMI) Random(_ graph.NodeID, _ []graph.NodeID, rng *rand.Rand) bool {
 // Move implements Protocol by evaluating R1 and R2.
 func (*SMI) Move(v View[bool]) (bool, bool) {
 	biggerIn := false
-	for _, j := range v.Nbrs {
-		if j > v.ID && v.Peer(j) {
-			biggerIn = true
-			break
+	if peers := v.Peers; peers != nil {
+		// Direct-read path: the bigger neighbors are a suffix of the
+		// ascending list, so start at the end and stop at the first ID at
+		// or below ours (the Peers contract lets reads reorder freely).
+		for i := len(v.Nbrs) - 1; i >= 0; i-- {
+			j := v.Nbrs[i]
+			if j <= v.ID {
+				break
+			}
+			if peers[j] {
+				biggerIn = true
+				break
+			}
+		}
+	} else {
+		for _, j := range v.Nbrs {
+			if j > v.ID && v.Peer(j) {
+				biggerIn = true
+				break
+			}
 		}
 	}
 	switch {
@@ -46,6 +62,65 @@ func (*SMI) Move(v View[bool]) (bool, bool) {
 		return false, true // R2: leave the set
 	}
 	return v.Self, false
+}
+
+// MoveBatch implements BatchEvaluator: the rules of Move over a direct
+// state vector, one call per round instead of one per node.
+func (*SMI) MoveBatch(ids []graph.NodeID, csr *graph.CSR, states, next []bool, moved []bool) {
+	offs, nbrs := csr.Rows32()
+	for _, id := range ids {
+		row := nbrs[offs[id]:offs[id+1]]
+		id32 := int32(id)
+		biggerIn := false
+		for i := len(row) - 1; i >= 0; i-- {
+			j := row[i]
+			if j <= id32 {
+				break
+			}
+			if states[j] {
+				biggerIn = true
+				break
+			}
+		}
+		self := states[id]
+		switch {
+		case !self && !biggerIn:
+			next[id], moved[id] = true, true // R1: enter the set
+		case self && biggerIn:
+			next[id], moved[id] = false, true // R2: leave the set
+		default:
+			next[id], moved[id] = self, false
+		}
+	}
+}
+
+// InstallBatch implements BatchInstaller. Both rules test only neighbors
+// with bigger IDs, so a state change at id can re-privilege a neighbor w
+// only when w < id — the ascending CSR row makes those a prefix.
+func (*SMI) InstallBatch(ids []graph.NodeID, csr *graph.CSR, states, next []bool, moved []bool, f *graph.Frontier) int {
+	offs, nbrs := csr.Rows32()
+	mv := 0
+	for _, id := range ids {
+		// SMI is deterministic: each rule flips the bit, so moved coincides
+		// exactly with "the state changed".
+		if !moved[id] {
+			continue
+		}
+		mv++
+		states[id] = next[id]
+		// No self re-mark: a mover's next-round privilege depends only on
+		// its bigger in-set neighbors, so it can only be re-enabled by a
+		// bigger neighbor's change — and that neighbor's install marks its
+		// whole smaller-ID prefix, which includes this node.
+		id32 := int32(id)
+		for _, w := range nbrs[offs[id]:offs[id+1]] {
+			if w >= id32 {
+				break
+			}
+			f.Add(graph.NodeID(w))
+		}
+	}
+	return mv
 }
 
 // SetOf extracts {i : x(i)=1} from a configuration, ascending.

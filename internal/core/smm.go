@@ -138,6 +138,9 @@ func (s *SMM) Random(_ graph.NodeID, nbrs []graph.NodeID, rng *rand.Rand) Pointe
 
 // Move implements Protocol by evaluating R1, R2, R3.
 func (s *SMM) Move(v View[Pointer]) (Pointer, bool) {
+	if v.Peers != nil {
+		return s.moveDirect(v.ID, v.Self, v.Nbrs, v.Peers)
+	}
 	if v.Self.IsNull() {
 		// Gather proposers: neighbors pointing at us.
 		best := Null
@@ -178,8 +181,236 @@ func (s *SMM) Move(v View[Pointer]) (Pointer, bool) {
 	return v.Self, false
 }
 
-// containsNode reports membership in an ascending neighbor list.
+// moveDirect is Move over a direct state vector: the same rules R1–R3,
+// restructured around the read freedoms the Peers contract grants. For
+// the published policies a single ascending sweep serves both R1 and
+// R2's scans — the first proposer found IS the min-ID accept target, so
+// the sweep returns on it, and the first null-pointer neighbor seen is
+// remembered as the min-ID proposal candidate.
+func (s *SMM) moveDirect(id graph.NodeID, self Pointer, nbrs []graph.NodeID, peers []Pointer) (Pointer, bool) {
+	me := Pointer(id)
+	if self.IsNull() {
+		if s.Accept == AcceptMinID && s.Proposal == ProposeMinID {
+			proposal := Null
+			for _, j := range nbrs {
+				pj := peers[j]
+				if pj == me {
+					return PointAt(j), true // R1: min-ID proposer accepted
+				}
+				if pj.IsNull() && proposal.IsNull() {
+					proposal = PointAt(j)
+				}
+			}
+			if !proposal.IsNull() {
+				return proposal, true // R2: propose to the min-ID null neighbor
+			}
+			return Null, false
+		}
+		return s.moveDirectPolicies(id, nbrs, peers)
+	}
+	// Pointer set: check R3 (back-off).
+	j := self.Node()
+	if !containsNode(nbrs, j) {
+		return Null, true // dangling pointer repair, as in Move
+	}
+	if pj := peers[j]; !pj.IsNull() && pj != me {
+		return Null, true // R3: j points at some k ∉ {Λ, i}
+	}
+	return self, false
+}
+
+// moveDirectPolicies is the null-pointer case of moveDirect under the
+// non-default ablation policies.
+func (s *SMM) moveDirectPolicies(id graph.NodeID, nbrs []graph.NodeID, peers []Pointer) (Pointer, bool) {
+	me := Pointer(id)
+	best := Null
+	for _, j := range nbrs {
+		if peers[j] == me {
+			if best.IsNull() || (s.Accept == AcceptMaxID && j > best.Node()) {
+				best = PointAt(j)
+			}
+		}
+	}
+	if !best.IsNull() {
+		return best, true // R1 under the accept policy
+	}
+	switch s.Proposal {
+	case ProposeMinID:
+		for _, j := range nbrs {
+			if peers[j].IsNull() {
+				return PointAt(j), true
+			}
+		}
+	case ProposeMaxID:
+		for i := len(nbrs) - 1; i >= 0; i-- {
+			if j := nbrs[i]; peers[j].IsNull() {
+				return PointAt(j), true
+			}
+		}
+	case ProposeSuccessor:
+		// First null-pointer neighbor above our ID, wrapping to the
+		// smallest — the "clockwise" choice, without the candidate slice.
+		first := Null
+		for _, j := range nbrs {
+			if peers[j].IsNull() {
+				if j > id {
+					return PointAt(j), true
+				}
+				if first.IsNull() {
+					first = PointAt(j)
+				}
+			}
+		}
+		if !first.IsNull() {
+			return first, true
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown proposal policy %d", s.Proposal))
+	}
+	return Null, false
+}
+
+// MoveBatch implements BatchEvaluator: the rules of Move over a direct
+// state vector, one call per round instead of one per node. The default-
+// policy loop is the synchronous executors' hottest code path.
+func (s *SMM) MoveBatch(ids []graph.NodeID, csr *graph.CSR, states, next []Pointer, moved []bool) {
+	if s.Accept != AcceptMinID || s.Proposal != ProposeMinID {
+		woffs, wnbrs := csr.Rows()
+		for _, id := range ids {
+			next[id], moved[id] = s.moveDirect(id, states[id], wnbrs[woffs[id]:woffs[id+1]], states)
+		}
+		return
+	}
+	offs, nbrs := csr.Rows32()
+	for _, id := range ids {
+		self := states[id]
+		row := nbrs[offs[id]:offs[id+1]]
+		me := Pointer(id)
+		if self.IsNull() {
+			// One reverse sweep with conditional moves: the last hit in
+			// reverse order is the first in ascending order, so prop ends
+			// as the min-ID proposer and firstNull as the min-ID null
+			// neighbor, with no data-dependent branches inside the loop.
+			prop, firstNull := int32(-1), int32(-1)
+			for i := len(row) - 1; i >= 0; i-- {
+				j := row[i]
+				pj := states[j]
+				if pj == Null {
+					firstNull = j
+				}
+				if pj == me {
+					prop = j
+				}
+			}
+			switch {
+			case prop >= 0:
+				next[id], moved[id] = Pointer(prop), true // R1
+			case firstNull >= 0:
+				next[id], moved[id] = Pointer(firstNull), true // R2
+			default:
+				next[id], moved[id] = Null, false
+			}
+			continue
+		}
+		j := int32(self)
+		if uint(j) >= uint(len(states)) {
+			next[id], moved[id] = Null, true // pointer outside the ID space: repair
+			continue
+		}
+		if pj := states[j]; pj != Null && pj != me {
+			// The output is Null either way — R3 if j is a neighbor, the
+			// dangling-pointer repair if not — so membership need not be
+			// tested at all on this path.
+			next[id], moved[id] = Null, true
+			continue
+		}
+		// pj is Null or points back at us: the outcome now turns on
+		// whether the pointer is legal.
+		if containsNode32(row, j) {
+			next[id], moved[id] = self, false
+		} else {
+			next[id], moved[id] = Null, true // dangling pointer repair
+		}
+	}
+}
+
+// InstallBatch implements BatchInstaller. The dependency rule follows
+// directly from the rules' read sets: a node holding a pointer reads only
+// its target's state (R3 and the dangling-pointer repair consult nothing
+// else), so a state change at id re-privileges a pointing neighbor w only
+// when w points at id; a null node's rules (R1/R2) scan every neighbor,
+// so it always re-evaluates. This holds for every Accept/Proposal policy
+// — policies change which null-neighbor wins, not which states are read.
+func (s *SMM) InstallBatch(ids []graph.NodeID, csr *graph.CSR, states, next []Pointer, moved []bool, f *graph.Frontier) int {
+	offs, nbrs := csr.Rows32()
+	mv := 0
+	for _, id := range ids {
+		// SMM is deterministic: every firing rule rewrites the pointer, so
+		// moved coincides exactly with "the state changed" and one flag
+		// covers both the move count and the install test.
+		if !moved[id] {
+			continue
+		}
+		mv++
+		nx := next[id]
+		states[id] = nx
+		// A mover re-marks itself only when it lands on Null: a node whose
+		// new state points at k can only become privileged again through a
+		// change at k, and k's own install marks it — whether k installs
+		// before us (it reads our old state, Null, since R1/R2 fire only
+		// from Null) or after us (it reads our new Pointer(k)). A node
+		// landing on Null may have R1/R2 immediately enabled with no
+		// neighbor changing, so it must re-evaluate.
+		f.AddMask(id, nx == Null)
+		target := Pointer(id)
+		for _, w := range nbrs[offs[id]:offs[id+1]] {
+			pw := states[w]
+			// Exact dependency test, compiled to flag-set-and-or rather
+			// than a data-dependent branch: null neighbors read every
+			// state, pointing neighbors read only their target's.
+			isNull := pw == Null
+			pointsHere := pw == target
+			f.AddMask(graph.NodeID(w), isNull || pointsHere)
+		}
+	}
+	return mv
+}
+
+// containsNode reports membership in an ascending neighbor list. Short
+// lists — the common case in the bounded-degree ad hoc topologies — scan
+// linearly: the predictable branch beats binary search's mispredicted
+// halving well past a cache line of IDs.
 func containsNode(nbrs []graph.NodeID, j graph.NodeID) bool {
+	if len(nbrs) <= 32 {
+		for _, x := range nbrs {
+			if x >= j {
+				return x == j
+			}
+		}
+		return false
+	}
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbrs[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(nbrs) && nbrs[lo] == j
+}
+
+// containsNode32 is containsNode over a narrowed CSR row.
+func containsNode32(nbrs []int32, j int32) bool {
+	if len(nbrs) <= 32 {
+		for _, x := range nbrs {
+			if x >= j {
+				return x == j
+			}
+		}
+		return false
+	}
 	lo, hi := 0, len(nbrs)
 	for lo < hi {
 		mid := (lo + hi) / 2

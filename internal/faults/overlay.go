@@ -1,6 +1,10 @@
 package faults
 
-import "selfstab/internal/graph"
+import (
+	"sort"
+
+	"selfstab/internal/graph"
+)
 
 // overlayKey addresses one direction of one link: what viewer believes
 // about nbr.
@@ -26,7 +30,8 @@ type overlayPin[S comparable] struct {
 // An Overlay is confined to its executor's Step loop and is not safe
 // for concurrent use.
 type Overlay[S comparable] struct {
-	pins map[overlayKey]overlayPin[S]
+	pins       map[overlayKey]overlayPin[S]
+	expiredBuf []graph.NodeID // reused by Tick for its return value
 }
 
 // NewOverlay returns an empty overlay.
@@ -88,16 +93,35 @@ func (o *Overlay[S]) Unpin(u, v graph.NodeID) {
 // once at the end of each executor Step. The two passes commute across
 // map iteration order: the first uniformly decrements, the second
 // deletes exactly the non-positive entries.
-func (o *Overlay[S]) Tick() {
+//
+// It returns the viewers that lost at least one pin this tick, sorted
+// ascending with duplicates removed (deterministic despite the map
+// walk). An expiry changes the viewer's effective view without any
+// state changing — the read flips back from the pinned value to fresh —
+// so frontier-scheduled executors must re-dirty exactly these nodes.
+// The returned slice is reused by the next Tick; callers must consume
+// it before then.
+func (o *Overlay[S]) Tick() []graph.NodeID {
 	for k, p := range o.pins {
 		p.ttl--
 		o.pins[k] = p
 	}
+	expired := o.expiredBuf[:0]
 	for k, p := range o.pins {
 		if p.ttl <= 0 {
 			delete(o.pins, k)
+			expired = append(expired, k.Viewer)
 		}
 	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	dedup := expired[:0]
+	for i, v := range expired {
+		if i == 0 || v != expired[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	o.expiredBuf = expired[:len(dedup)]
+	return o.expiredBuf
 }
 
 // Empty reports whether no pins are live.

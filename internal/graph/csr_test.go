@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVersionCountsMutations(t *testing.T) {
+	g := New(4)
+	if g.Version() != 0 {
+		t.Fatalf("fresh graph version %d", g.Version())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	v := g.Version()
+	if v != 2 {
+		t.Fatalf("after 2 adds: version %d", v)
+	}
+	// No-op mutations must not move the version: caches stay valid.
+	g.AddEdge(0, 1)
+	g.RemoveEdge(2, 3)
+	if g.Version() != v {
+		t.Fatalf("no-op mutations moved version %d -> %d", v, g.Version())
+	}
+	g.RemoveEdge(0, 1)
+	if g.Version() != v+1 {
+		t.Fatalf("remove: version %d", g.Version())
+	}
+}
+
+func TestCSRMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := RandomConnected(2+rng.Intn(40), 0.2, rng)
+		c := BuildCSR(g)
+		if !c.Fresh(g) {
+			t.Fatal("fresh CSR not Fresh")
+		}
+		if c.N() != g.N() {
+			t.Fatalf("N %d != %d", c.N(), g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			id := NodeID(v)
+			want := g.Neighbors(id)
+			got := c.Neighbors(id)
+			if len(got) != len(want) || c.Degree(id) != g.Degree(id) {
+				t.Fatalf("node %d: %v vs %v", v, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("node %d: %v vs %v", v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCSRStaleAfterMutation(t *testing.T) {
+	g := Cycle(5)
+	c := BuildCSR(g)
+	g.RemoveEdge(0, 1)
+	if c.Fresh(g) {
+		t.Fatal("CSR still Fresh after edge removal")
+	}
+	if !BuildCSR(g).Fresh(g) {
+		t.Fatal("rebuilt CSR not Fresh")
+	}
+}
+
+func TestFrontierStartsFull(t *testing.T) {
+	f := NewFrontier(7)
+	if f.Empty() || f.Len(7) != 7 {
+		t.Fatalf("fresh frontier: empty=%v len=%d", f.Empty(), f.Len(7))
+	}
+	got := f.Drain(nil, 7)
+	if len(got) != 7 {
+		t.Fatalf("drained %v", got)
+	}
+	for i, v := range got {
+		if v != NodeID(i) {
+			t.Fatalf("drained %v", got)
+		}
+	}
+	if !f.Empty() {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestFrontierDedupAndOrder(t *testing.T) {
+	f := NewFrontier(100)
+	f.Drain(nil, 100) // discharge the initial full state
+	for _, v := range []NodeID{42, 3, 99, 3, 42, 0, 64, 63} {
+		f.Add(v)
+	}
+	if f.Len(100) != 6 {
+		t.Fatalf("len %d", f.Len(100))
+	}
+	got := f.Drain(nil, 100)
+	want := []NodeID{0, 3, 42, 63, 64, 99}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v want %v", got, want)
+		}
+	}
+	// The bitset must be fully cleared: re-adding works afresh.
+	f.Add(42)
+	if got := f.Drain(nil, 100); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("after re-add: %v", got)
+	}
+}
+
+func TestFrontierAddAll(t *testing.T) {
+	f := NewFrontier(5)
+	f.Drain(nil, 5)
+	f.Add(2)
+	f.AddAll()
+	f.Add(4) // absorbed: already fully dirty
+	got := f.Drain(nil, 5)
+	if len(got) != 5 {
+		t.Fatalf("drained %v", got)
+	}
+	if !f.Empty() {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestFrontierDrainReusesBuffer(t *testing.T) {
+	f := NewFrontier(10)
+	f.Drain(nil, 10)
+	f.Add(1)
+	buf := make([]NodeID, 0, 16)
+	got := f.Drain(buf, 10)
+	if &got[:1][0] != &buf[:1][0] {
+		t.Fatal("drain did not reuse the buffer")
+	}
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Frontier is the active-set scheduler's dirty set: the nodes that must
+// be re-evaluated in the next round because their local view may have
+// changed. It is a dense byte-per-node flag array: insertion is a plain
+// one-byte store (no membership test, no queue, no read-modify-write —
+// duplicates are free and marks to different nodes carry no data
+// dependency between them, unlike a shared bitset word), and Drain scans
+// the flags eight bytes at a time in index order, so members come out in
+// ascending ID order with no sorting and executors iterate the frontier
+// in the same order the full-scan loop visits nodes, keeping every
+// observable output byte-identical. A drain costs O(n/8 + f) in the node
+// count n and frontier size f.
+//
+// A Frontier is confined to its executor's coordinator; it is not safe
+// for concurrent use.
+type Frontier struct {
+	// flags has one byte per node (padded to a multiple of 8 so Drain can
+	// read whole words); nonzero means dirty.
+	flags []byte
+	// full marks "every node is dirty" without materializing the flags —
+	// the state after construction and after an unattributed topology
+	// change. Flags set while full are stray and discharged by the next
+	// Drain or AddAll, which both clear the array.
+	full bool
+}
+
+// NewFrontier returns a frontier over n nodes with every node dirty
+// (round 0 must evaluate everyone: any node may be privileged in an
+// arbitrary initial configuration).
+func NewFrontier(n int) *Frontier {
+	return &Frontier{flags: make([]byte, (n+7)&^7), full: true}
+}
+
+// Add marks node v dirty. Unconditional on purpose: the store absorbs
+// duplicates, and stray flags set while the frontier is full are cleared
+// when the full state discharges — this is the hot-path insert of the
+// install phase, so it carries no branches and no read-modify-write.
+func (f *Frontier) Add(v NodeID) {
+	f.flags[v] = 1
+}
+
+// AddMask marks node v dirty when mark is true and is a no-op otherwise,
+// compiled to an unconditional byte OR rather than a branch. Batch
+// installers use it for per-neighbor dependency tests whose outcomes are
+// too data-dependent for the branch predictor.
+func (f *Frontier) AddMask(v NodeID, mark bool) {
+	var m byte
+	if mark {
+		m = 1
+	}
+	f.flags[v] |= m
+}
+
+// AddAll marks every node dirty — the response to any event whose
+// footprint the caller cannot (or does not care to) bound, e.g. a
+// topology edit made directly on the Graph rather than through a fault
+// hook.
+func (f *Frontier) AddAll() {
+	f.full = true
+	f.clear()
+}
+
+// Len returns the number of dirty nodes, where n is the node count
+// (needed because a full frontier stores no explicit flags).
+func (f *Frontier) Len(n int) int {
+	if f.full {
+		return n
+	}
+	c := 0
+	for _, b := range f.flags {
+		if b != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Empty reports whether no node is dirty.
+func (f *Frontier) Empty() bool {
+	if f.full {
+		return false
+	}
+	for i := 0; i < len(f.flags); i += 8 {
+		if binary.LittleEndian.Uint64(f.flags[i:]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain appends the dirty set to buf[:0] in ascending ID order, resets
+// the frontier to empty, and returns the slice. n is the node count
+// used to expand a full frontier.
+func (f *Frontier) Drain(buf []NodeID, n int) []NodeID {
+	buf = buf[:0]
+	if f.full {
+		f.full = false
+		f.clear()
+		for v := 0; v < n; v++ {
+			buf = append(buf, NodeID(v))
+		}
+		return buf
+	}
+	for i := 0; i < len(f.flags); i += 8 {
+		w := binary.LittleEndian.Uint64(f.flags[i:])
+		if w == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint64(f.flags[i:], 0)
+		// Little-endian load: byte k of the chunk sits in bits 8k..8k+7,
+		// so walking set bits low to high yields ascending node IDs.
+		for w != 0 {
+			k := bits.TrailingZeros64(w) >> 3
+			buf = append(buf, NodeID(i+k))
+			w &^= 0xff << (uint(k) << 3)
+		}
+	}
+	return buf
+}
+
+// clear zeroes the flags.
+func (f *Frontier) clear() {
+	for i := range f.flags {
+		f.flags[i] = 0
+	}
+}

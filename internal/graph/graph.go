@@ -13,6 +13,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node. IDs are dense: a Graph with n nodes uses IDs
@@ -29,6 +30,18 @@ type NodeID int
 type Graph struct {
 	adj [][]NodeID // adj[v] sorted ascending
 	m   int        // number of edges
+	// version counts edge mutations. Executors cache derived structures
+	// (the CSR adjacency snapshot, frontier validity) keyed on it, so a
+	// topology change made behind their back — by the fault engine, by
+	// mobility churn, by a test poking the graph directly — is detected
+	// at the next round without any callback wiring.
+	version uint64
+
+	// snap caches the CSR adjacency snapshot served by Snapshot, keyed on
+	// version, so every executor and run over one topology shares a single
+	// immutable snapshot instead of each rebuilding it.
+	snap   *CSR
+	snapMu sync.Mutex
 }
 
 // New returns an empty graph (no edges) on n nodes with IDs 0..n-1.
@@ -45,6 +58,12 @@ func (g *Graph) N() int { return len(g.adj) }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.m }
+
+// Version returns the edge-mutation counter: it increases on every
+// successful AddEdge or RemoveEdge and never otherwise. Equal versions
+// of the same Graph value imply an identical edge set, so callers may
+// cache adjacency-derived structures against it.
+func (g *Graph) Version() uint64 { return g.version }
 
 // Nodes returns the node IDs 0..n-1 as a fresh slice.
 func (g *Graph) Nodes() []NodeID {
@@ -88,6 +107,7 @@ func (g *Graph) AddEdge(u, v NodeID) bool {
 	g.adj[u] = insertSorted(g.adj[u], v)
 	g.adj[v] = insertSorted(g.adj[v], u)
 	g.m++
+	g.version++
 	return true
 }
 
@@ -102,6 +122,7 @@ func (g *Graph) RemoveEdge(u, v NodeID) bool {
 	g.adj[u] = removeSorted(g.adj[u], v)
 	g.adj[v] = removeSorted(g.adj[v], u)
 	g.m--
+	g.version++
 	return true
 }
 

@@ -130,10 +130,11 @@ func (sp *space[S]) successor(cur []S, into []S) {
 	for v := range sp.domains {
 		id := graph.NodeID(v)
 		into[v], _ = sp.p.Move(core.View[S]{
-			ID:   id,
-			Self: cur[v],
-			Nbrs: sp.g.Neighbors(id),
-			Peer: func(j graph.NodeID) S { return cur[j] },
+			ID:    id,
+			Self:  cur[v],
+			Nbrs:  sp.g.Neighbors(id),
+			Peer:  func(j graph.NodeID) S { return cur[j] },
+			Peers: cur,
 		})
 	}
 }

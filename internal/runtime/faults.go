@@ -43,14 +43,23 @@ func (f *FaultNetwork[S]) Config() core.Config[S] { return f.net.Config() }
 func (f *FaultNetwork[S]) ReadState(v graph.NodeID) S { return f.net.states[v] }
 
 // WriteState implements faults.Target. Must only be called between
-// rounds (the engine is sequential, so it always is).
-func (f *FaultNetwork[S]) WriteState(v graph.NodeID, s S) { f.net.states[v] = s }
+// rounds (the engine is sequential, so it always is). The overwrite
+// re-dirties v's closed neighborhood.
+func (f *FaultNetwork[S]) WriteState(v graph.NodeID, s S) {
+	f.net.states[v] = s
+	f.net.DirtyState(v)
+}
 
 // SetLink implements faults.Target, with the same repair semantics as
-// ApplyEvents plus clearing stale pins on a removed link.
+// ApplyEvents plus clearing stale pins on a removed link. Either
+// direction of the flip re-dirties the closed neighborhoods of both
+// endpoints precisely (instead of the full re-dirty an unhooked
+// topology edit triggers).
 func (f *FaultNetwork[S]) SetLink(e graph.Edge, present bool) {
 	if present {
-		f.net.g.AddEdge(e.U, e.V)
+		if f.net.g.AddEdge(e.U, e.V) {
+			f.net.DirtyEdge(e.U, e.V)
+		}
 		return
 	}
 	if f.net.g.RemoveEdge(e.U, e.V) {
@@ -59,27 +68,35 @@ func (f *FaultNetwork[S]) SetLink(e graph.Edge, present bool) {
 			other := e.U ^ e.V ^ v
 			f.net.states[v] = core.RepairState(f.net.p, v, f.net.states[v], other)
 		}
+		f.net.DirtyEdge(e.U, e.V)
 	}
 }
 
-// DropLink implements faults.Target.
+// DropLink implements faults.Target. Only the two viewers' reads change.
 func (f *FaultNetwork[S]) DropLink(e graph.Edge, rounds int) {
 	st := f.net.states
 	f.ov.PinLink(e.U, e.V, st[e.U], st[e.V], rounds)
+	f.net.DirtyView(e.U)
+	f.net.DirtyView(e.V)
 }
 
-// Freeze implements faults.Target.
+// Freeze implements faults.Target. Only v's reads change.
 func (f *FaultNetwork[S]) Freeze(v graph.NodeID, rounds int) {
 	st := f.net.states
 	f.ov.PinView(v, f.net.g.Neighbors(v), func(j graph.NodeID) S { return st[j] }, rounds)
+	f.net.DirtyView(v)
 }
 
 // Step implements faults.Target: one bulk-synchronous round, then one
 // overlay tick. The overlay is only read by node goroutines during the
-// round and only mutated here between rounds.
+// round and only mutated here between rounds. Viewers whose pins
+// expired read fresh again without any state change, so they are
+// re-dirtied.
 func (f *FaultNetwork[S]) Step() int {
 	moved := f.net.Step()
-	f.ov.Tick()
+	for _, v := range f.ov.Tick() {
+		f.net.DirtyView(v)
+	}
 	return moved
 }
 

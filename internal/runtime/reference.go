@@ -1,0 +1,13 @@
+package runtime
+
+import "sync/atomic"
+
+// referenceScan, when set, makes every Network built afterwards
+// re-evaluate all nodes every round instead of only the active
+// frontier. Test seam for the metamorphic equivalence suite (see
+// sim.SetReferenceScan); production code never sets it.
+var referenceScan atomic.Bool
+
+// SetReferenceScan toggles reference mode for networks constructed
+// afterwards.
+func SetReferenceScan(on bool) { referenceScan.Store(on) }

@@ -2,11 +2,20 @@
 // node and Go channels as the logical links — the "nodes are processes,
 // beacons are messages" reading of the paper's system model. Rounds are
 // bulk-synchronous: in each round every node goroutine broadcasts its
-// state to its neighbors' inboxes (the beacons), waits for the barrier,
-// drains exactly one beacon per neighbor, evaluates its rules, and
-// reports the move to the coordinator, which commits all new states at
-// once. The semantics therefore coincide with sim.Lockstep (verified by
-// the equivalence tests) while the execution is genuinely concurrent.
+// state to the inboxes of its neighbors that will evaluate this round
+// (the beacons), waits for the barrier, drains exactly one beacon per
+// neighbor, evaluates its rules, and reports the move to the
+// coordinator, which commits all new states at once. The semantics
+// therefore coincide with sim.Lockstep (verified by the equivalence
+// tests) while the execution is genuinely concurrent.
+//
+// The coordinator schedules rounds with the same active frontier as
+// sim.Lockstep: a node whose last evaluation was a no-op and whose view
+// has not changed since is published as clean, skips the gather and
+// Move phases, and receives no beacons (none of its neighbors would be
+// heard by anyone). Purity of Move makes the skip exact — every state
+// sequence and move count matches the full scan (see DESIGN.md,
+// "Active-frontier scheduling").
 //
 // Topology changes are applied by the coordinator between rounds, which
 // models the link layer updating the neighbor lists before the next
@@ -16,6 +25,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"selfstab/internal/core"
@@ -56,16 +66,23 @@ type Network[S comparable] struct {
 	reports chan moveReport[S]
 	sent    *sync.WaitGroup // beacons of the current round all sent
 
-	// snapshot handed to node goroutines for the current round.
-	roundNbrs   [][]graph.NodeID
+	// Round snapshot handed to node goroutines: the adjacency (a CSR,
+	// rebuilt when the topology's version moves), the pre-round states,
+	// and the round's dirty set. All are written by the coordinator
+	// strictly before the cmdRound sends and read by node goroutines
+	// strictly after the receives, so the channel handshake orders every
+	// write before every read.
+	roundCSR    *graph.CSR
 	roundStates []S
+	dirty       []bool
+
+	frontier *graph.Frontier
+	dirtyBuf []graph.NodeID // drained frontier of the current round
+	fullScan bool           // reference mode: every node every round
 
 	// peerFilter, when non-nil, intercepts every neighbor-state read with
 	// (viewer, neighbor, fresh state); the fault layer uses it to serve
-	// stale views. Like roundNbrs/roundStates it is written by the
-	// coordinator strictly before the cmdRound sends and read by node
-	// goroutines strictly after the receives, so the channel handshake
-	// orders every write before every read.
+	// stale views. Published under the same handshake as the snapshot.
 	peerFilter func(viewer, nbr graph.NodeID, fresh S) S
 
 	rounds int
@@ -88,8 +105,10 @@ func New[S comparable](p core.Protocol[S], g *graph.Graph, states []S) *Network[
 		cmds:        make([]chan roundCmd, n),
 		reports:     make(chan moveReport[S], n),
 		sent:        &sync.WaitGroup{},
-		roundNbrs:   make([][]graph.NodeID, n),
 		roundStates: make([]S, n),
+		dirty:       make([]bool, n),
+		frontier:    graph.NewFrontier(n),
+		fullScan:    referenceScan.Load(),
 	}
 	for v := 0; v < n; v++ {
 		net.inboxes[v] = make(chan beaconMsg[S], n) // capacity ≥ max degree
@@ -101,29 +120,56 @@ func New[S comparable](p core.Protocol[S], g *graph.Graph, states []S) *Network[
 	return net
 }
 
-// nodeLoop is the per-node process: beacon, gather, move, report.
+// nodeLoop is the per-node process: beacon, gather, move, report. The
+// gather buffer and the peer closures live across rounds, so steady
+// state allocates nothing per round.
 func (net *Network[S]) nodeLoop(id graph.NodeID) {
+	var (
+		nbrs  []graph.NodeID
+		heard []S
+	)
+	// lookup resolves a neighbor's beacon by binary search over the
+	// sorted neighbor list — replacing the per-round map.
+	lookup := func(j graph.NodeID) S {
+		i := sort.Search(len(nbrs), func(k int) bool { return nbrs[k] >= j })
+		return heard[i]
+	}
+	filtered := func(j graph.NodeID) S { return net.peerFilter(id, j, lookup(j)) }
 	for cmd := range net.cmds[id] {
 		if cmd == cmdStop {
 			return
 		}
-		nbrs := net.roundNbrs[id]
+		nbrs = net.roundCSR.Neighbors(id)
 		self := net.roundStates[id]
-		// Beacon phase: broadcast our state to every neighbor.
+		// Beacon phase: broadcast our state to every neighbor that will
+		// evaluate this round. Clean neighbors consume no beacons.
 		for _, j := range nbrs {
-			net.inboxes[j] <- beaconMsg[S]{from: id, state: self}
+			if net.dirty[j] {
+				net.inboxes[j] <- beaconMsg[S]{from: id, state: self}
+			}
 		}
 		net.sent.Done()
 		net.sent.Wait() // barrier: all beacons of this round are in flight
-		// Gather phase: exactly one beacon per neighbor.
-		heard := make(map[graph.NodeID]S, len(nbrs))
+		if !net.dirty[id] {
+			// Clean: our last evaluation was a no-op and our view is
+			// unchanged, so Move would return (self, false) again.
+			net.reports <- moveReport[S]{id: id, next: self, active: false}
+			continue
+		}
+		// Gather phase: exactly one beacon per neighbor (every neighbor
+		// sent to us — we are dirty).
+		if cap(heard) < len(nbrs) {
+			heard = make([]S, len(nbrs))
+		}
+		heard = heard[:len(nbrs)]
 		for range nbrs {
 			m := <-net.inboxes[id]
-			heard[m.from] = m.state
+			i := sort.Search(len(nbrs), func(k int) bool { return nbrs[k] >= m.from })
+			heard[i] = m.state
 		}
-		peer := func(j graph.NodeID) S { return heard[j] }
-		if filter := net.peerFilter; filter != nil {
-			peer = func(j graph.NodeID) S { return filter(id, j, heard[j]) }
+		peer := lookup
+		if net.peerFilter != nil {
+			peer = filtered
 		}
 		next, active := net.p.Move(core.View[S]{
 			ID:   id,
@@ -135,17 +181,62 @@ func (net *Network[S]) nodeLoop(id graph.NodeID) {
 	}
 }
 
+// DirtyState marks node v's closed neighborhood for re-evaluation after
+// an external write to its state between rounds.
+func (net *Network[S]) DirtyState(v graph.NodeID) {
+	net.frontier.Add(v)
+	for _, w := range net.g.Neighbors(v) {
+		net.frontier.Add(w)
+	}
+}
+
+// DirtyView marks node v alone for re-evaluation: its effective view
+// changed without any state changing (a stale-read pin installed or
+// expired).
+func (net *Network[S]) DirtyView(v graph.NodeID) {
+	net.frontier.Add(v)
+}
+
+// DirtyEdge re-syncs the adjacency snapshot after a hooked topology
+// mutation on edge {u,v} and re-dirties the affected closed
+// neighborhoods (see sim.Lockstep.DirtyEdge).
+func (net *Network[S]) DirtyEdge(u, v graph.NodeID) {
+	if !net.roundCSR.Fresh(net.g) {
+		net.roundCSR = net.g.Snapshot()
+	}
+	for _, x := range [2]graph.NodeID{u, v} {
+		net.frontier.Add(x)
+		for _, w := range net.roundCSR.Neighbors(x) {
+			net.frontier.Add(w)
+		}
+	}
+}
+
 // Step runs one synchronous round and returns the number of active
 // nodes.
 func (net *Network[S]) Step() int {
 	if net.closed {
 		panic("runtime: Step after Close")
 	}
+	if !net.roundCSR.Fresh(net.g) {
+		// Unhooked topology change (ApplyEvents, a test editing the
+		// graph): re-snapshot and re-evaluate everyone.
+		net.roundCSR = net.g.Snapshot()
+		net.frontier.AddAll()
+	}
+	if net.fullScan {
+		net.frontier.AddAll()
+	}
 	n := net.g.N()
-	// Publish the round snapshot: neighbor lists and states are stable
-	// while node goroutines run.
-	for v := 0; v < n; v++ {
-		net.roundNbrs[v] = net.g.Neighbors(graph.NodeID(v))
+	// Publish the round snapshot: reset the previous round's dirty bits
+	// (O(frontier), not O(n)), then raise this round's.
+	for _, v := range net.dirtyBuf {
+		net.dirty[v] = false
+	}
+	ids := net.frontier.Drain(net.dirtyBuf, n)
+	net.dirtyBuf = ids
+	for _, v := range ids {
+		net.dirty[v] = true
 	}
 	copy(net.roundStates, net.states)
 	net.sent.Add(n)
@@ -154,10 +245,20 @@ func (net *Network[S]) Step() int {
 	}
 	active := 0
 	for i := 0; i < n; i++ {
+		// Reports arrive in goroutine-scheduling order, but the frontier
+		// deduplicates through a bitset and drains sorted, so the next
+		// round is independent of arrival order.
 		rep := <-net.reports
-		net.states[rep.id] = rep.next
 		if rep.active {
 			active++
+			net.frontier.Add(rep.id)
+		}
+		if rep.next != net.states[rep.id] {
+			net.states[rep.id] = rep.next
+			net.frontier.Add(rep.id)
+			for _, w := range net.roundCSR.Neighbors(rep.id) {
+				net.frontier.Add(w)
+			}
 		}
 	}
 	if active > 0 {
@@ -170,6 +271,9 @@ func (net *Network[S]) Step() int {
 // Run drives Step until a quiet round or until maxRounds active rounds.
 // The result mirrors sim.Result.
 func (net *Network[S]) Run(maxRounds int) (rounds, moves int, stable bool) {
+	// Run is the boundary at which callers may have edited states
+	// directly; re-dirty everything (see sim.Lockstep.RunHook).
+	net.frontier.AddAll()
 	start := net.rounds
 	for net.rounds-start < maxRounds {
 		if net.Step() == 0 {
@@ -194,7 +298,8 @@ func (net *Network[S]) Moves() int { return net.moves }
 
 // ApplyEvents mutates the topology between rounds (the link layer
 // reporting created/destroyed links) and repairs states that referenced
-// departed neighbors.
+// departed neighbors. The version bump makes the next Step re-snapshot
+// the adjacency and re-evaluate everyone.
 func (net *Network[S]) ApplyEvents(events []mobility.Event) {
 	for _, ev := range events {
 		if ev.Add {

@@ -25,6 +25,16 @@ func NewFaultLockstep[S comparable](p core.Protocol[S], cfg core.Config[S]) *Fau
 	return &FaultLockstep[S]{l: l, ov: ov}
 }
 
+// NewReferenceFaultLockstep is NewFaultLockstep over the full-scan
+// reference engine: identical fault semantics, no frontier scheduling.
+// The metamorphic fault tests replay the same schedule on both and
+// require byte-identical reports.
+func NewReferenceFaultLockstep[S comparable](p core.Protocol[S], cfg core.Config[S]) *FaultLockstep[S] {
+	f := NewFaultLockstep(p, cfg)
+	f.l.fullScan = true
+	return f
+}
+
 // Lockstep returns the wrapped executor.
 func (f *FaultLockstep[S]) Lockstep() *Lockstep[S] { return f.l }
 
@@ -40,15 +50,25 @@ func (f *FaultLockstep[S]) Config() core.Config[S] { return f.l.cfg }
 // ReadState implements faults.Target.
 func (f *FaultLockstep[S]) ReadState(v graph.NodeID) S { return f.l.cfg.States[v] }
 
-// WriteState implements faults.Target.
-func (f *FaultLockstep[S]) WriteState(v graph.NodeID, s S) { f.l.cfg.States[v] = s }
+// WriteState implements faults.Target. The overwrite changes v's own
+// view and the view of every neighbor, so that closed neighborhood is
+// re-dirtied.
+func (f *FaultLockstep[S]) WriteState(v graph.NodeID, s S) {
+	f.l.cfg.States[v] = s
+	f.l.DirtyState(v)
+}
 
 // SetLink implements faults.Target. Removing a link clears any stale
 // pins on it and runs the dangling-reference repair at both endpoints,
-// mirroring the link layer reporting the loss.
+// mirroring the link layer reporting the loss. Either direction of the
+// flip re-dirties the closed neighborhoods of both endpoints (DirtyEdge
+// also re-syncs the executor's adjacency snapshot, so the fault's
+// footprint stays exact instead of falling back to a full re-dirty).
 func (f *FaultLockstep[S]) SetLink(e graph.Edge, present bool) {
 	if present {
-		f.l.cfg.G.AddEdge(e.U, e.V)
+		if f.l.cfg.G.AddEdge(e.U, e.V) {
+			f.l.DirtyEdge(e.U, e.V)
+		}
 		return
 	}
 	if f.l.cfg.G.RemoveEdge(e.U, e.V) {
@@ -57,28 +77,38 @@ func (f *FaultLockstep[S]) SetLink(e graph.Edge, present bool) {
 			other := e.U ^ e.V ^ v
 			f.l.cfg.States[v] = core.RepairState(f.l.p, v, f.l.cfg.States[v], other)
 		}
+		f.l.DirtyEdge(e.U, e.V)
 	}
 }
 
 // DropLink implements faults.Target: both endpoints keep reading the
-// state the other has right now for the given number of rounds.
+// state the other has right now for the given number of rounds. Only
+// the two viewers' own reads change, so only they are re-dirtied.
 func (f *FaultLockstep[S]) DropLink(e graph.Edge, rounds int) {
 	st := f.l.cfg.States
 	f.ov.PinLink(e.U, e.V, st[e.U], st[e.V], rounds)
+	f.l.DirtyView(e.U)
+	f.l.DirtyView(e.V)
 }
 
 // Freeze implements faults.Target: node v's entire neighbor view is
-// pinned to the current states for the given number of rounds.
+// pinned to the current states for the given number of rounds. Only v's
+// reads change.
 func (f *FaultLockstep[S]) Freeze(v graph.NodeID, rounds int) {
 	st := f.l.cfg.States
 	f.ov.PinView(v, f.l.cfg.G.Neighbors(v), func(j graph.NodeID) S { return st[j] }, rounds)
+	f.l.DirtyView(v)
 }
 
 // Step implements faults.Target: one lockstep round, then one overlay
-// tick so pins age in round units.
+// tick so pins age in round units. A pin expiring flips the viewer's
+// read back to fresh without any state changing, so every such viewer
+// is re-dirtied.
 func (f *FaultLockstep[S]) Step() int {
 	moved := f.l.Step()
-	f.ov.Tick()
+	for _, v := range f.ov.Tick() {
+		f.l.DirtyView(v)
+	}
 	return moved
 }
 

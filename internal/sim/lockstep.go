@@ -4,6 +4,18 @@
 // and all privileged nodes move simultaneously. A round here corresponds
 // exactly to the paper's "period of time in which each node in the system
 // receives beacon messages from all its neighbors".
+//
+// Two engines share the Lockstep type. The default (NewLockstep) is the
+// active-frontier engine: after each round only nodes whose local view
+// may have changed — movers, nodes whose state changed, and the
+// neighbors of the latter — are enqueued for evaluation next round.
+// Because Move is a pure function of the local view (enforced by the
+// purity analyzer; see DESIGN.md, "Active-frontier scheduling"), a
+// node outside the frontier is guaranteed to be a no-op, so every Result,
+// trace, and state sequence is byte-identical to the full scan. The
+// reference engine (NewReferenceLockstep) keeps the plain evaluate-
+// everything loop; the metamorphic suite replays random workloads on
+// both and demands equality.
 package sim
 
 import (
@@ -49,6 +61,20 @@ type Instance interface {
 	Moves() int
 }
 
+// filteredViewer is the reusable viewer-aware peer reader of fault runs:
+// one value per executor, re-targeted per node by writing viewer, so the
+// peerFilter path allocates nothing per node (the closure over the
+// pointer is created once at construction).
+type filteredViewer[S comparable] struct {
+	viewer graph.NodeID
+	states []S
+	filter func(viewer, nbr graph.NodeID, fresh S) S
+}
+
+func (f *filteredViewer[S]) read(j graph.NodeID) S {
+	return f.filter(f.viewer, j, f.states[j])
+}
+
 // Lockstep runs one protocol on one configuration in lockstep rounds.
 // It is the reference semantics the beacon simulator and the concurrent
 // runtime are validated against.
@@ -63,13 +89,69 @@ type Lockstep[S comparable] struct {
 	// layer serves stale views (beacon-loss bursts, frozen neighbor
 	// tables) without touching the true states; nil in normal runs.
 	peerFilter func(viewer, nbr graph.NodeID, fresh S) S
+
+	// fullScan selects the reference engine: every node every round.
+	fullScan bool
+	// csr is the flat adjacency snapshot serving all neighbor reads; it
+	// is rebuilt (and the frontier fully re-dirtied) whenever the
+	// topology's version moves without a DirtyEdge notification.
+	csr       *graph.CSR
+	frontier  *graph.Frontier
+	movedBuf  []bool         // per-node active flag of the current round
+	activeBuf []graph.NodeID // reusable frontier drain buffer
+
+	// peerFn and filteredFn are the two per-round Peer readers, allocated
+	// once here instead of once per round (or, pre-frontier, once per
+	// node per round on the filtered path).
+	peerFn     func(graph.NodeID) S
+	fv         filteredViewer[S]
+	filteredFn func(graph.NodeID) S
+
+	// batch, when the protocol provides one, evaluates a whole round in a
+	// single call on the unfiltered path — no View construction and no
+	// interface dispatch per node. It is nil for wrapped or third-party
+	// protocols, which take the per-node Move loop. installer is the
+	// matching fast path for the install half of the round; it
+	// additionally prunes the next frontier to the protocol's true read
+	// dependencies instead of whole closed neighborhoods.
+	batch     core.BatchEvaluator[S]
+	installer core.BatchInstaller[S]
 }
 
-// NewLockstep wraps protocol p over configuration cfg. The configuration
-// is used in place (not copied): callers observing cfg see the evolving
-// states.
+// NewLockstep wraps protocol p over configuration cfg with the
+// active-frontier engine. The configuration is used in place (not
+// copied): callers observing cfg see the evolving states.
+//
+// Callers that mutate cfg.States or the topology directly between
+// rounds must either call Run (which re-dirties everything at entry) or
+// notify the engine through DirtyState/DirtyEdge; the fault adapters do
+// the latter. Topology edits are self-detected via graph.Version.
 func NewLockstep[S comparable](p core.Protocol[S], cfg core.Config[S]) *Lockstep[S] {
-	return &Lockstep[S]{p: p, cfg: cfg, next: make([]S, len(cfg.States))}
+	l := &Lockstep[S]{
+		p:         p,
+		cfg:       cfg,
+		next:      make([]S, len(cfg.States)),
+		frontier:  graph.NewFrontier(len(cfg.States)),
+		movedBuf:  make([]bool, len(cfg.States)),
+		activeBuf: make([]graph.NodeID, 0, len(cfg.States)),
+		fullScan:  referenceScan.Load(),
+	}
+	states := cfg.States // the slice header is stable; only elements change
+	l.peerFn = func(j graph.NodeID) S { return states[j] }
+	l.filteredFn = l.fv.read
+	l.batch, _ = p.(core.BatchEvaluator[S])
+	l.installer, _ = p.(core.BatchInstaller[S])
+	return l
+}
+
+// NewReferenceLockstep wraps p over cfg with the full-scan reference
+// engine: every node is evaluated every round, exactly the paper's
+// round structure with no scheduling shortcut. It exists as the oracle
+// the metamorphic tests compare the frontier engine against.
+func NewReferenceLockstep[S comparable](p core.Protocol[S], cfg core.Config[S]) *Lockstep[S] {
+	l := NewLockstep(p, cfg)
+	l.fullScan = true
+	return l
 }
 
 // Name implements Instance.
@@ -84,35 +166,117 @@ func (l *Lockstep[S]) Rounds() int { return l.rounds }
 // Moves implements Instance.
 func (l *Lockstep[S]) Moves() int { return l.moves }
 
-// Step implements Instance: every node evaluates its rules against the
-// current configuration and all resulting states are installed at once.
-func (l *Lockstep[S]) Step() int {
-	moved := 0
-	// One Peer closure serves every node this round: it reads the shared
-	// pre-round state vector, so hoisting it out of the loop removes the
-	// dominant per-node allocation of the hot path.
-	states := l.cfg.States
-	peer := func(j graph.NodeID) S { return states[j] }
-	for v := range l.cfg.States {
-		id := graph.NodeID(v)
-		pv := peer
-		if l.peerFilter != nil {
-			// Fault runs need the viewer's identity per read; the shared
-			// closure (which avoids the allocation) cannot carry it.
-			pv = func(j graph.NodeID) S { return l.peerFilter(id, j, states[j]) }
-		}
-		next, m := l.p.Move(core.View[S]{
-			ID:   id,
-			Self: states[v],
-			Nbrs: l.cfg.G.Neighbors(id),
-			Peer: pv,
-		})
-		l.next[v] = next
-		if m {
-			moved++
+// DirtyState marks node v's closed neighborhood for re-evaluation after
+// an external write to States[v] (a memory-corruption fault, a crash
+// resurrection): v's own view changed, and v's state is part of every
+// neighbor's view.
+func (l *Lockstep[S]) DirtyState(v graph.NodeID) {
+	l.frontier.Add(v)
+	for _, w := range l.cfg.G.Neighbors(v) {
+		l.frontier.Add(w)
+	}
+}
+
+// DirtyView marks node v alone for re-evaluation: its effective view
+// changed without any state changing, e.g. a stale-read pin was
+// installed on or expired from its peer reads.
+func (l *Lockstep[S]) DirtyView(v graph.NodeID) {
+	l.frontier.Add(v)
+}
+
+// DirtyEdge re-syncs the adjacency snapshot after the caller mutated the
+// topology on edge {u,v} and re-dirties exactly the affected closed
+// neighborhoods: both endpoints (their neighbor lists changed, and link
+// removal may have repaired their states) and the endpoints' current
+// neighbors (whose views contain those states). Calling it after every
+// hooked topology edit keeps the self-detection path (graph.Version →
+// full re-dirty) for unhooked edits only.
+func (l *Lockstep[S]) DirtyEdge(u, v graph.NodeID) {
+	if !l.csr.Fresh(l.cfg.G) {
+		l.csr = l.cfg.G.Snapshot()
+	}
+	for _, x := range [2]graph.NodeID{u, v} {
+		l.frontier.Add(x)
+		for _, w := range l.csr.Neighbors(x) {
+			l.frontier.Add(w)
 		}
 	}
-	copy(l.cfg.States, l.next)
+}
+
+// Step implements Instance: every frontier node evaluates its rules
+// against the current configuration and all resulting states are
+// installed at once. Non-frontier nodes are provably no-ops (their view
+// is unchanged since they last evaluated inactive), so the returned
+// move count equals the full scan's.
+func (l *Lockstep[S]) Step() int {
+	if !l.csr.Fresh(l.cfg.G) {
+		// The topology changed behind our back (mobility churn, a test
+		// editing the graph): re-snapshot and re-evaluate everyone.
+		l.csr = l.cfg.G.Snapshot()
+		l.frontier.AddAll()
+	}
+	if l.fullScan {
+		l.frontier.AddAll()
+	}
+	n := len(l.cfg.States)
+	active := l.frontier.Drain(l.activeBuf, n)
+	l.activeBuf = active
+
+	states := l.cfg.States
+	filtered := l.peerFilter != nil
+	switch {
+	case l.batch != nil && !filtered:
+		l.batch.MoveBatch(active, l.csr, states, l.next, l.movedBuf)
+	default:
+		pv := l.peerFn
+		direct := states
+		if filtered {
+			l.fv.states = states
+			l.fv.filter = l.peerFilter
+			pv = l.filteredFn
+			direct = nil // mediated reads: protocols must go through Peer
+		}
+		for _, id := range active {
+			if filtered {
+				l.fv.viewer = id
+			}
+			next, m := l.p.Move(core.View[S]{
+				ID:    id,
+				Self:  states[id],
+				Nbrs:  l.csr.Neighbors(id),
+				Peer:  pv,
+				Peers: direct,
+			})
+			l.next[id] = next
+			l.movedBuf[id] = m
+		}
+	}
+	// Install phase: commit every evaluated node at once (the loop above
+	// read only pre-round states), then build the next round's frontier —
+	// movers re-evaluate, and a changed state re-dirties the nodes whose
+	// view contains it: the whole closed neighborhood on the generic path,
+	// or only the protocol's true read dependents when it provides an
+	// installer. Both are sound supersets, so outputs are byte-identical.
+	var moved int
+	if l.installer != nil {
+		moved = l.installer.InstallBatch(active, l.csr, states, l.next, l.movedBuf, l.frontier)
+	} else {
+		offs, nbrs := l.csr.Rows()
+		for _, id := range active {
+			nx := l.next[id]
+			if l.movedBuf[id] {
+				moved++
+				l.frontier.Add(id)
+			}
+			if nx != states[id] {
+				states[id] = nx
+				l.frontier.Add(id)
+				for _, w := range nbrs[offs[id]:offs[id+1]] {
+					l.frontier.Add(w)
+				}
+			}
+		}
+	}
 	if moved > 0 {
 		l.rounds++
 		l.moves += moved
@@ -129,6 +293,13 @@ func (l *Lockstep[S]) Run(maxRounds int) Result {
 // had at least one move, receiving the 1-based round index and the
 // post-round configuration. The hook must not mutate the configuration.
 func (l *Lockstep[S]) RunHook(maxRounds int, hook func(round int, cfg core.Config[S])) Result {
+	// Re-dirty everything at entry: Run is the boundary at which callers
+	// legitimately hand back a configuration they edited freely (e.g.
+	// stabilize → churn + normalize states → Run again), so no incremental
+	// knowledge survives it. Within the run the frontier shrinks as the
+	// execution quiesces — which is where the paper's own convergence
+	// analysis says nearly all the full-scan work is wasted.
+	l.frontier.AddAll()
 	start := l.rounds
 	for l.rounds-start < maxRounds {
 		if l.Step() == 0 {

@@ -9,22 +9,31 @@ import (
 )
 
 // Parallel is a data-parallel lockstep executor: each synchronous round
-// partitions the node set across a fixed worker pool, with every worker
-// evaluating its block of nodes against the shared immutable pre-round
-// state vector. The semantics are identical to Lockstep — the round
-// barrier is a WaitGroup instead of a loop boundary — but large networks
-// amortize rule evaluation across cores. Protocols must be safe for
-// concurrent Move calls on distinct nodes (all protocols in this module
-// are: the deterministic ones are pure, the randomized ones use per-node
-// generators).
+// partitions the active frontier across a fixed worker pool, with every
+// worker evaluating its block of nodes against the shared immutable
+// pre-round state vector. The semantics are identical to Lockstep — the
+// round barrier is a WaitGroup instead of a loop boundary, and the
+// frontier is drained in the same ascending ID order — but large
+// networks amortize rule evaluation across cores. Protocols must be
+// safe for concurrent Move calls on distinct nodes (all protocols in
+// this module are: the deterministic ones are pure, the randomized ones
+// use per-node generators).
 type Parallel[S comparable] struct {
 	p       core.Protocol[S]
 	cfg     core.Config[S]
 	workers int
 	next    []S
 	active  []bool
-	rounds  int
-	moves   int
+
+	csr       *graph.CSR
+	frontier  *graph.Frontier
+	activeBuf []graph.NodeID
+	fullScan  bool
+	batch     core.BatchEvaluator[S]
+	installer core.BatchInstaller[S]
+
+	rounds int
+	moves  int
 }
 
 // NewParallel wraps protocol p over cfg with the given worker count;
@@ -33,13 +42,19 @@ func NewParallel[S comparable](p core.Protocol[S], cfg core.Config[S], workers i
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Parallel[S]{
-		p:       p,
-		cfg:     cfg,
-		workers: workers,
-		next:    make([]S, len(cfg.States)),
-		active:  make([]bool, len(cfg.States)),
+	l := &Parallel[S]{
+		p:         p,
+		cfg:       cfg,
+		workers:   workers,
+		next:      make([]S, len(cfg.States)),
+		active:    make([]bool, len(cfg.States)),
+		frontier:  graph.NewFrontier(len(cfg.States)),
+		activeBuf: make([]graph.NodeID, 0, len(cfg.States)),
+		fullScan:  referenceScan.Load(),
 	}
+	l.batch, _ = p.(core.BatchEvaluator[S])
+	l.installer, _ = p.(core.BatchInstaller[S])
+	return l
 }
 
 // Name implements Instance.
@@ -54,46 +69,77 @@ func (l *Parallel[S]) Rounds() int { return l.rounds }
 // Moves implements Instance.
 func (l *Parallel[S]) Moves() int { return l.moves }
 
-// Step implements Instance: one parallel synchronous round.
+// Step implements Instance: one parallel synchronous round over the
+// active frontier. Only frontier nodes are evaluated (non-frontier
+// nodes are provably no-ops; see Lockstep), and only evaluated nodes
+// are installed, so results match Lockstep byte for byte.
 func (l *Parallel[S]) Step() int {
+	if !l.csr.Fresh(l.cfg.G) {
+		l.csr = l.cfg.G.Snapshot()
+		l.frontier.AddAll()
+	}
+	if l.fullScan {
+		l.frontier.AddAll()
+	}
 	n := len(l.cfg.States)
+	ids := l.frontier.Drain(l.activeBuf, n)
+	l.activeBuf = ids
+
 	states := l.cfg.States
+	peer := func(j graph.NodeID) S { return states[j] }
 	var wg sync.WaitGroup
-	block := (n + l.workers - 1) / l.workers
+	block := (len(ids) + l.workers - 1) / l.workers
 	for w := 0; w < l.workers; w++ {
 		lo := w * block
-		if lo >= n {
+		if lo >= len(ids) {
 			break
 		}
 		hi := lo + block
-		if hi > n {
-			hi = n
+		if hi > len(ids) {
+			hi = len(ids)
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(part []graph.NodeID) {
 			defer wg.Done()
-			peer := func(j graph.NodeID) S { return states[j] }
-			for v := lo; v < hi; v++ {
-				id := graph.NodeID(v)
-				next, m := l.p.Move(core.View[S]{
-					ID:   id,
-					Self: states[v],
-					Nbrs: l.cfg.G.Neighbors(id),
-					Peer: peer,
-				})
-				l.next[v] = next
-				l.active[v] = m
+			if l.batch != nil {
+				l.batch.MoveBatch(part, l.csr, states, l.next, l.active)
+				return
 			}
-		}(lo, hi)
+			for _, id := range part {
+				next, m := l.p.Move(core.View[S]{
+					ID:    id,
+					Self:  states[id],
+					Nbrs:  l.csr.Neighbors(id),
+					Peer:  peer,
+					Peers: states,
+				})
+				l.next[id] = next
+				l.active[id] = m
+			}
+		}(ids[lo:hi])
 	}
 	wg.Wait()
-	moved := 0
-	for v := 0; v < n; v++ {
-		if l.active[v] {
-			moved++
+	// Sequential install over the same ascending order: commit changed
+	// states and build the next frontier exactly as Lockstep does.
+	var moved int
+	if l.installer != nil {
+		moved = l.installer.InstallBatch(ids, l.csr, states, l.next, l.active, l.frontier)
+	} else {
+		offs, nbrs := l.csr.Rows()
+		for _, id := range ids {
+			if l.active[id] {
+				moved++
+				l.frontier.Add(id)
+			}
+			if nx := l.next[id]; nx != states[id] {
+				states[id] = nx
+				l.frontier.Add(id)
+				for _, w := range nbrs[offs[id]:offs[id+1]] {
+					l.frontier.Add(w)
+				}
+			}
 		}
 	}
-	copy(l.cfg.States, l.next)
 	if moved > 0 {
 		l.rounds++
 		l.moves += moved
@@ -103,6 +149,9 @@ func (l *Parallel[S]) Step() int {
 
 // Run implements Instance.
 func (l *Parallel[S]) Run(maxRounds int) Result {
+	// Re-dirty everything at entry — Run is the boundary at which callers
+	// may have edited the configuration directly (see Lockstep.RunHook).
+	l.frontier.AddAll()
 	start := l.rounds
 	for l.rounds-start < maxRounds {
 		if l.Step() == 0 {

@@ -1,0 +1,15 @@
+package sim
+
+import "sync/atomic"
+
+// referenceScan, when set, makes every executor built by this package
+// use the full-scan reference engine instead of the active frontier. It
+// exists for the metamorphic equivalence tests, which render identical
+// workloads (experiment tables, soak reports) under both engines and
+// require byte-identical output; production code never sets it.
+var referenceScan atomic.Bool
+
+// SetReferenceScan toggles reference mode for executors constructed
+// afterwards (already-built executors keep their engine). Tests must
+// not toggle it while executors are being constructed concurrently.
+func SetReferenceScan(on bool) { referenceScan.Store(on) }

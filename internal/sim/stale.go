@@ -18,6 +18,11 @@ import (
 // probes territory the paper does NOT claim: what if beacons carried
 // cached state, or nodes acted on timeout with old tables? Experiment
 // E12 measures which of the protocols survive it.
+// StaleLockstep deliberately stays a full scan: the shared generator is
+// consumed lazily inside every Peer read, so skipping a provably
+// inactive node would still shift the random-lag stream of every later
+// read and change the execution. Frontier scheduling is sound only for
+// executors whose skipped evaluations consume no randomness.
 type StaleLockstep[S comparable] struct {
 	p       core.Protocol[S]
 	cfg     core.Config[S]
@@ -25,6 +30,8 @@ type StaleLockstep[S comparable] struct {
 	rng     *rand.Rand
 	history [][]S // history[k] = states k rounds ago, k in [0, maxLag]
 	next    []S
+	csr     *graph.CSR
+	peerFn  func(graph.NodeID) S // hoisted: one closure per executor, not per node per round
 	rounds  int
 	moves   int
 }
@@ -47,6 +54,13 @@ func NewStaleLockstep[S comparable](p core.Protocol[S], cfg core.Config[S], maxL
 	for k := range s.history {
 		s.history[k] = append([]S(nil), cfg.States...)
 	}
+	s.peerFn = func(j graph.NodeID) S {
+		lag := 0
+		if s.maxLag > 0 {
+			lag = s.rng.Intn(s.maxLag + 1)
+		}
+		return s.history[lag][j]
+	}
 	return s
 }
 
@@ -62,20 +76,17 @@ func (s *StaleLockstep[S]) Moves() int { return s.moves }
 // Step executes one round with randomly stale views and returns the
 // number of active nodes.
 func (s *StaleLockstep[S]) Step() int {
+	if !s.csr.Fresh(s.cfg.G) {
+		s.csr = s.cfg.G.Snapshot()
+	}
 	moved := 0
 	for v := range s.cfg.States {
 		id := graph.NodeID(v)
 		view := core.View[S]{
 			ID:   id,
 			Self: s.cfg.States[v], // own state is always current
-			Nbrs: s.cfg.G.Neighbors(id),
-			Peer: func(j graph.NodeID) S {
-				lag := 0
-				if s.maxLag > 0 {
-					lag = s.rng.Intn(s.maxLag + 1)
-				}
-				return s.history[lag][j]
-			},
+			Nbrs: s.csr.Neighbors(id),
+			Peer: s.peerFn,
 		}
 		n, m := s.p.Move(view)
 		s.next[v] = n
