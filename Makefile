@@ -14,16 +14,22 @@ LINTBIN := bin/selfstablint
 SARIF_FRAGMENTS := lint-sarif-out
 SARIF_REPORT := selfstablint.sarif
 
-# Benchmark baseline: BENCH_1.json holds labeled runs of the large-n
-# benchmarks (parsed metrics + raw benchfmt lines, benchstat-compatible;
-# see cmd/benchjson). bench-json appends a fresh labeled run; bench-diff
-# compares a fresh run against the last recorded one and exits non-zero
-# past the threshold (CI runs it as a non-blocking signal).
-BENCH_JSON := BENCH_1.json
-BENCH_PATTERN ?= BenchmarkLarge
+# Benchmark baseline: BENCH_2.json holds labeled runs of the large-n and
+# million-node sharded benchmarks (parsed metrics + raw benchfmt lines,
+# benchstat-compatible; see cmd/benchjson). BENCH_1.json is the frozen
+# pre-sharding baseline, kept for history. bench-json appends a fresh
+# labeled run; bench-diff compares a fresh run against the last recorded
+# one and exits non-zero past the threshold (cross-machine, so advisory
+# only); bench-gate is the blocking variant — it compares against a
+# baseline measured on the same runner minutes earlier, so CI can fail
+# the check on a >10% ns/op regression in a pinned benchmark.
+BENCH_JSON := BENCH_2.json
+BENCH_PATTERN ?= BenchmarkLarge|BenchmarkShard
 BENCH_LABEL ?= dev
+BENCH_GATE_BASE ?= bench-base.json
+BENCH_PIN ?= ^Benchmark(Large|Shard1M)_
 
-.PHONY: all build vet lint lint-sarif lint-diff tools test race cover bench bench-json bench-diff experiments experiments-quick soak soak-quick fuzz clean
+.PHONY: all build vet lint lint-sarif lint-diff tools test race cover bench bench-json bench-diff bench-gate experiments experiments-quick soak soak-quick fuzz clean
 
 all: build vet lint test race
 
@@ -119,9 +125,19 @@ bench-json:
 
 # Compare a fresh run against the last recorded baseline run. Exits 1 on
 # any >1.25x ns/op regression; CI treats that as a warning, not a gate
-# (shared runners are too noisy to block merges on).
+# (the committed baseline was measured on a different machine, so ns/op
+# ratios against it are too noisy to block merges on).
 bench-diff:
 	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -diff $(BENCH_JSON)
+
+# Blocking regression gate: compare a fresh run against a baseline
+# recorded on this same machine (CI measures origin/main in a worktree
+# right before this), failing on any pinned benchmark >10% slower.
+# Record the baseline with:
+#   git worktree add /tmp/base origin/main && cd /tmp/base && \
+#   make bench-json BENCH_JSON=$(CURDIR)/$(BENCH_GATE_BASE)
+bench-gate:
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -gate $(BENCH_GATE_BASE) -pin '$(BENCH_PIN)'
 
 # Regenerate every reproduction table (EXPERIMENTS.md is this output).
 experiments:
@@ -145,7 +161,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzGraphJSON -fuzztime=30s ./internal/graph/
 	$(GO) test -fuzz=FuzzSMMMove -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzSMIMove -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzShardPartition -fuzztime=30s ./internal/graph/
 
 clean:
 	$(GO) clean ./...
-	rm -rf bin $(SARIF_FRAGMENTS) $(SARIF_REPORT) bench-out.txt $(BENCH_JSON).tmp
+	rm -rf bin $(SARIF_FRAGMENTS) $(SARIF_REPORT) bench-out.txt $(BENCH_JSON).tmp bench-base.json

@@ -535,3 +535,111 @@ func BenchmarkLarge_SMMSparse1024Parallel4W(b *testing.B) {
 		}
 	}
 }
+
+// The BenchmarkShard1M_* family is the sharded executor at deliverable
+// scale: one million nodes, sparse (expected degree 8) and unit-disk
+// (expected degree ~10) topologies, at 1/2/4/8 shards. Each iteration
+// restores the same random initial configuration and converges from
+// scratch on a pre-built executor, so steady-state iterations allocate
+// nothing (the first convergence, before the timer, warms the drain
+// buffers and spawns the worker pool). As with the Parallel benches,
+// the single-shard-vs-many ratio on a GOMAXPROCS=1 machine shows only
+// barrier overhead — the near-linear speedup materializes with
+// GOMAXPROCS > 1, one core per shard.
+
+// megaSparseG/megaDiskG cache the million-node topologies: construction
+// costs seconds and every shard count reuses the same graph. Benchmarks
+// run sequentially, so plain lazy initialization suffices.
+var (
+	megaSparseG *graph.Graph
+	megaDiskG   *graph.Graph
+)
+
+func megaSparse() *graph.Graph {
+	if megaSparseG == nil {
+		megaSparseG = graph.RandomSparseConnected(1_000_000, 8, rand.New(rand.NewSource(42)))
+	}
+	return megaSparseG
+}
+
+func megaDisk() *graph.Graph {
+	if megaDiskG == nil {
+		pts := graph.RandomPoints(1_000_000, rand.New(rand.NewSource(42)))
+		// r chosen for expected degree pi*r^2*n ~ 10.
+		megaDiskG = graph.UnitDiskGrid(pts, 0.0018)
+	}
+	return megaDiskG
+}
+
+func benchShardSMM(b *testing.B, g *graph.Graph, shards int) {
+	cfg := benchSMMConfig(g, 42)
+	start := append([]core.Pointer(nil), cfg.States...)
+	l := sim.NewShardedLockstep[core.Pointer](core.NewSMM(), cfg, shards)
+	defer l.Close()
+	if res := l.Run(g.N() + 2); !res.Stable {
+		b.Fatal(res)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		copy(cfg.States, start)
+		b.StartTimer()
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+func benchShardSMI(b *testing.B, g *graph.Graph, shards int) {
+	cfg := core.NewConfig[bool](g)
+	cfg.Randomize(core.NewSMI(), rand.New(rand.NewSource(42)))
+	start := append([]bool(nil), cfg.States...)
+	l := sim.NewShardedLockstep[bool](core.NewSMI(), cfg, shards)
+	defer l.Close()
+	if res := l.Run(g.N() + 2); !res.Stable {
+		b.Fatal(res)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		copy(cfg.States, start)
+		b.StartTimer()
+		if res := l.Run(g.N() + 2); !res.Stable {
+			b.Fatal(res)
+		}
+	}
+}
+
+func BenchmarkShard1M_SMMSparse1(b *testing.B) { benchShardSMM(b, megaSparse(), 1) }
+func BenchmarkShard1M_SMMSparse2(b *testing.B) { benchShardSMM(b, megaSparse(), 2) }
+func BenchmarkShard1M_SMMSparse4(b *testing.B) { benchShardSMM(b, megaSparse(), 4) }
+func BenchmarkShard1M_SMMSparse8(b *testing.B) { benchShardSMM(b, megaSparse(), 8) }
+func BenchmarkShard1M_SMISparse1(b *testing.B) { benchShardSMI(b, megaSparse(), 1) }
+func BenchmarkShard1M_SMISparse2(b *testing.B) { benchShardSMI(b, megaSparse(), 2) }
+func BenchmarkShard1M_SMISparse4(b *testing.B) { benchShardSMI(b, megaSparse(), 4) }
+func BenchmarkShard1M_SMISparse8(b *testing.B) { benchShardSMI(b, megaSparse(), 8) }
+func BenchmarkShard1M_SMMDisk1(b *testing.B)   { benchShardSMM(b, megaDisk(), 1) }
+func BenchmarkShard1M_SMMDisk8(b *testing.B)   { benchShardSMM(b, megaDisk(), 8) }
+
+// BenchmarkShard1M_QuietRound8 is the steady-state round: the network
+// has stabilized, every per-shard frontier is empty, and a Step is just
+// K range drains finding nothing. This is the zero-allocation hot loop
+// a long-lived million-node deployment spends almost all its time in.
+func BenchmarkShard1M_QuietRound8(b *testing.B) {
+	g := megaSparse()
+	cfg := benchSMMConfig(g, 42)
+	l := sim.NewShardedLockstep[core.Pointer](core.NewSMM(), cfg, 8)
+	defer l.Close()
+	if res := l.Run(g.N() + 2); !res.Stable {
+		b.Fatal(res)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.Step() != 0 {
+			b.Fatal("moved in a quiet round")
+		}
+	}
+}

@@ -1,21 +1,34 @@
 // Command benchjson converts `go test -bench` output into the committed
-// benchmark baseline BENCH_1.json and diffs fresh runs against it.
+// benchmark baselines (BENCH_1.json, BENCH_2.json, ...) and checks
+// fresh runs against them.
 //
 // The JSON file holds an ordered list of runs, each with the parsed
 // ns/op, B/op and allocs/op per benchmark plus the raw benchfmt lines,
-// so `jq -r '.runs[].raw[]' BENCH_1.json | benchstat old.txt -` style
+// so `jq -r '.runs[].raw[]' BENCH_2.json | benchstat old.txt -` style
 // pipelines keep working: the raw lines are exactly what benchstat
 // consumes.
 //
 // Modes:
 //
-//	benchjson -label after -merge BENCH_1.json < bench.txt   # append a run
-//	benchjson -diff BENCH_1.json < bench.txt                 # regression check
+//	benchjson -label after -merge BENCH_2.json < bench.txt   # append a run
+//	benchjson -diff BENCH_2.json < bench.txt                 # regression warning
+//	benchjson -gate base.json -pin '^BenchmarkLarge' < bench.txt  # blocking gate
 //
 // The diff mode compares the fresh run on stdin against the most recent
 // run in the file and exits non-zero when any shared benchmark regressed
-// by more than -threshold (default 1.25× ns/op) — the non-blocking CI
-// guard wired up by `make bench-diff`.
+// by more than -threshold (default 1.25× ns/op) — a loose advisory
+// signal for cross-machine baselines.
+//
+// The gate mode is the blocking CI guard: it fails (exit 1) when any
+// benchmark matching -pin regresses by more than -threshold (default
+// 1.10× ns/op in this mode) against the baseline's most recent run.
+// Because it is blocking, it is forgiving about everything that is not
+// a measured regression: a missing or empty baseline passes with a
+// notice (the first run on a runner bootstraps the baseline), and
+// benchmarks absent from the baseline are reported as new, not failed.
+// CI measures the baseline on the same runner in the same job (bench
+// main, then bench the candidate), so the ratio compares like with
+// like — committed cross-machine baselines stay with -diff.
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -65,9 +79,23 @@ func run(args []string, in io.Reader, out, errw io.Writer) int {
 	label := fs.String("label", "run", "label recorded for the new run")
 	merge := fs.String("merge", "", "existing JSON file to append the run to (missing file starts fresh)")
 	diff := fs.String("diff", "", "JSON baseline to diff the stdin run against instead of emitting JSON")
-	threshold := fs.Float64("threshold", 1.25, "ns/op ratio above which -diff reports a regression")
+	gate := fs.String("gate", "", "JSON baseline to gate the stdin run against (blocking mode: exit 1 on pinned regressions)")
+	pin := fs.String("pin", ".", "regexp of benchmark names the -gate mode enforces; others are informational")
+	threshold := fs.Float64("threshold", 1.25, "ns/op ratio above which a regression is reported (default 1.10 under -gate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	// The two modes want different default strictness: -diff is a loose
+	// advisory across machines, -gate a tight same-runner block. Apply
+	// the gate default only when the caller did not set -threshold.
+	thresholdSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "threshold" {
+			thresholdSet = true
+		}
+	})
+	if *gate != "" && !thresholdSet {
+		*threshold = 1.10
 	}
 	newRun, err := parseRun(in, *label)
 	if err != nil {
@@ -77,6 +105,9 @@ func run(args []string, in io.Reader, out, errw io.Writer) int {
 	if len(newRun.Benchmarks) == 0 {
 		fmt.Fprintln(errw, "benchjson: no benchmark lines on stdin")
 		return 2
+	}
+	if *gate != "" {
+		return gateRuns(*gate, newRun, *threshold, *pin, out, errw)
 	}
 	if *diff != "" {
 		return diffRuns(*diff, newRun, *threshold, out, errw)
@@ -174,6 +205,75 @@ func parseBenchLine(line string) (Bench, bool) {
 		}
 	}
 	return b, seen
+}
+
+// gateRuns is the blocking regression gate: newRun vs the last run in
+// path, failing only on pinned benchmarks that regressed past the
+// threshold. Missing baselines pass (they bootstrap), new benchmarks
+// are noted, and pinned benchmarks that disappeared from the fresh run
+// are warned about but do not fail (renames land with their own PR).
+func gateRuns(path string, newRun Run, threshold float64, pin string, out, errw io.Writer) int {
+	pinRe, err := regexp.Compile(pin)
+	if err != nil {
+		fmt.Fprintf(errw, "benchjson: -pin: %v\n", err)
+		return 2
+	}
+	var f File
+	if err := readFile(path, &f); err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(out, "benchjson gate: no baseline at %s; passing (first run bootstraps the baseline)\n", path)
+			return 0
+		}
+		fmt.Fprintf(errw, "benchjson: %v\n", err)
+		return 2
+	}
+	if len(f.Runs) == 0 {
+		fmt.Fprintf(out, "benchjson gate: %s holds no runs; passing (first run bootstraps the baseline)\n", path)
+		return 0
+	}
+	base := f.Runs[len(f.Runs)-1]
+	old := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	fmt.Fprintf(out, "benchjson gate vs %q (last run of %s), threshold %.2fx ns/op, pin %q\n", base.Label, path, threshold, pin)
+	fmt.Fprintf(out, "%-42s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs old→new")
+	regressed := 0
+	fresh := make(map[string]bool, len(newRun.Benchmarks))
+	for _, nb := range newRun.Benchmarks {
+		fresh[nb.Name] = true
+		ob, ok := old[nb.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-42s %14s %14.0f %8s %16s  (new)\n", nb.Name, "-", nb.NsOp, "-", fmt.Sprintf("-→%d", nb.AllocsOp))
+			continue
+		}
+		ratio := 0.0
+		if ob.NsOp > 0 {
+			ratio = nb.NsOp / ob.NsOp
+		}
+		mark := ""
+		if ratio > threshold {
+			if pinRe.MatchString(nb.Name) {
+				mark = "  REGRESSION"
+				regressed++
+			} else {
+				mark = "  (regressed, unpinned)"
+			}
+		}
+		fmt.Fprintf(out, "%-42s %14.0f %14.0f %7.2fx %16s%s\n",
+			nb.Name, ob.NsOp, nb.NsOp, ratio, fmt.Sprintf("%d→%d", ob.AllocsOp, nb.AllocsOp), mark)
+	}
+	for _, ob := range base.Benchmarks {
+		if !fresh[ob.Name] && pinRe.MatchString(ob.Name) {
+			fmt.Fprintf(out, "%-42s missing from the fresh run (was %.0f ns/op)\n", ob.Name, ob.NsOp)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(out, "GATE FAILED: %d pinned benchmark(s) regressed beyond %.2fx\n", regressed, threshold)
+		return 1
+	}
+	fmt.Fprintln(out, "gate passed")
+	return 0
 }
 
 // diffRuns compares newRun against the last run recorded in path.

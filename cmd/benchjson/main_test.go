@@ -91,6 +91,123 @@ func TestDiffDetectsRegression(t *testing.T) {
 	}
 }
 
+// writeBaseline records sampleBench as the last run of a fresh baseline
+// file and returns its path.
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	var out bytes.Buffer
+	if code := run([]string{"-label", "base", "-merge", path}, strings.NewReader(sampleBench), &out, os.Stderr); code != 0 {
+		t.Fatal("merge failed")
+	}
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGateThreshold(t *testing.T) {
+	path := writeBaseline(t)
+	// Identical numbers pass.
+	var out bytes.Buffer
+	if code := run([]string{"-gate", path}, strings.NewReader(sampleBench), &out, os.Stderr); code != 0 {
+		t.Fatalf("clean gate exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "gate passed") {
+		t.Fatalf("gate output: %s", out.String())
+	}
+	// +8% stays under the 10% default.
+	under := strings.ReplaceAll(sampleBench, "946596 ns/op", "1022324 ns/op")
+	out.Reset()
+	if code := run([]string{"-gate", path}, strings.NewReader(under), &out, os.Stderr); code != 0 {
+		t.Fatalf("+8%% gate exited %d: %s", code, out.String())
+	}
+	// +12% fails.
+	over := strings.ReplaceAll(sampleBench, "946596 ns/op", "1060187 ns/op")
+	out.Reset()
+	if code := run([]string{"-gate", path}, strings.NewReader(over), &out, os.Stderr); code != 1 {
+		t.Fatalf("+12%% gate exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "GATE FAILED") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("gate output: %s", out.String())
+	}
+	// An explicit -threshold overrides the gate default.
+	out.Reset()
+	if code := run([]string{"-gate", path, "-threshold", "1.5"}, strings.NewReader(over), &out, os.Stderr); code != 0 {
+		t.Fatalf("loose-threshold gate exited %d: %s", code, out.String())
+	}
+}
+
+func TestGatePinFilter(t *testing.T) {
+	path := writeBaseline(t)
+	// A regression outside the pinned set is reported but does not fail.
+	over := strings.ReplaceAll(sampleBench, "946596 ns/op", "9465960 ns/op") // SMMSparse regresses 10x
+	var out bytes.Buffer
+	if code := run([]string{"-gate", path, "-pin", "SMISparse"}, strings.NewReader(over), &out, os.Stderr); code != 0 {
+		t.Fatalf("unpinned regression exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "(regressed, unpinned)") {
+		t.Fatalf("gate output: %s", out.String())
+	}
+	// The same regression inside the pinned set fails.
+	out.Reset()
+	if code := run([]string{"-gate", path, "-pin", "SMMSparse"}, strings.NewReader(over), &out, os.Stderr); code != 1 {
+		t.Fatalf("pinned regression exited %d: %s", code, out.String())
+	}
+	// A bad pin regexp is a usage error, not a pass.
+	out.Reset()
+	if code := run([]string{"-gate", path, "-pin", "("}, strings.NewReader(sampleBench), &out, &out); code != 2 {
+		t.Fatalf("bad pin exited %d", code)
+	}
+}
+
+func TestGateMissingBaseline(t *testing.T) {
+	// No file at all: pass with a bootstrap notice.
+	var out bytes.Buffer
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if code := run([]string{"-gate", missing}, strings.NewReader(sampleBench), &out, os.Stderr); code != 0 {
+		t.Fatalf("missing baseline exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "bootstraps") {
+		t.Fatalf("gate output: %s", out.String())
+	}
+	// Present but empty (zero runs): same bootstrap pass.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-gate", empty}, strings.NewReader(sampleBench), &out, os.Stderr); code != 0 {
+		t.Fatalf("empty baseline exited %d: %s", code, out.String())
+	}
+	// Corrupt baseline is a hard error — the gate must not silently pass.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"runs":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-gate", bad}, strings.NewReader(sampleBench), &out, &out); code != 2 {
+		t.Fatalf("corrupt baseline exited %d: %s", code, out.String())
+	}
+}
+
+func TestGateNewAndMissingBenchmarks(t *testing.T) {
+	path := writeBaseline(t)
+	// A benchmark absent from the baseline is noted, never failed — and a
+	// pinned baseline benchmark missing from the fresh run only warns.
+	fresh := strings.ReplaceAll(sampleBench, "BenchmarkLarge_SMMSparse1024", "BenchmarkShard1M_SMMSparse8")
+	var out bytes.Buffer
+	if code := run([]string{"-gate", path}, strings.NewReader(fresh), &out, os.Stderr); code != 0 {
+		t.Fatalf("new benchmark exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "(new)") {
+		t.Fatalf("gate output lacks (new): %s", out.String())
+	}
+	if !strings.Contains(out.String(), "missing from the fresh run") {
+		t.Fatalf("gate output lacks missing warning: %s", out.String())
+	}
+}
+
 func TestNoBenchmarksOnStdin(t *testing.T) {
 	var out bytes.Buffer
 	if code := run(nil, strings.NewReader("PASS\n"), &out, &out); code != 2 {

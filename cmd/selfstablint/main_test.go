@@ -14,13 +14,14 @@ import (
 )
 
 // TestSuiteAcceptsSchedulerPackages is the regression pin for the
-// frontier scheduler: the full analyzer bundle this command ships must
-// report zero diagnostics over the packages the active-frontier work
-// touches — the CSR/frontier layer in internal/graph, the batch kernels
-// in internal/core, the three executors, and the fault hooks. A new
-// diagnostic here means either the scheduler gained a real determinism
-// or locking hazard, or an analyzer gained a false positive; both need
-// a human before the pin moves.
+// frontier scheduler and the sharded executor built on it: the full
+// analyzer bundle this command ships must report zero diagnostics over
+// the packages that work touches — the CSR/frontier/partition layer in
+// internal/graph, the batch and shard kernels in internal/core, the
+// executors (including the sharded barrier runtime in internal/sim),
+// and the fault hooks. A new diagnostic here means either the scheduler
+// gained a real determinism or locking hazard, or an analyzer gained a
+// false positive; both need a human before the pin moves.
 func TestSuiteAcceptsSchedulerPackages(t *testing.T) {
 	resolve := linttest.ModuleResolver("selfstab", filepath.Join("..", ".."))
 	linttest.RunPackages(t, resolve,

@@ -100,6 +100,37 @@ type BatchInstaller[S comparable] interface {
 	InstallBatch(ids []graph.NodeID, csr *graph.CSR, states []S, next []S, moved []bool, f *graph.Frontier) int
 }
 
+// ShardKernel is an optional protocol fast path for sharded executors,
+// which split the install half of a round at a barrier so shards never
+// read a half-committed state vector: first every shard commits its own
+// nodes (CommitBatch — disjoint writes, no reads of other shards'
+// states), then, after all commits land, every shard derives its
+// re-evaluation marks from the fully post-round state vector (MarkBatch
+// — concurrent reads of immutable-for-the-phase states, writes only to
+// the shard's own frontier).
+//
+// MarkBatch must mark a superset of the nodes whose next Move output
+// could differ because of this round's changes, reading neighbor states
+// as they stand after the round. For SMM and SMI the sequential
+// InstallBatch dependency tests remain sound under post-round reads:
+// the InstallBatch comments argue the mark test is order-independent
+// ("whether k installs before us or after us"), and reading post-round
+// states is simply the all-installs-first order. The sharded
+// metamorphic suite replays random workloads at 1–8 shards against the
+// reference engine to pin the resulting byte-identity.
+//
+// CommitBatch must be safe for concurrent calls over disjoint id sets,
+// and MarkBatch for concurrent calls over disjoint id sets with
+// distinct frontiers.
+type ShardKernel[S comparable] interface {
+	// CommitBatch installs next[id] into states[id] for every id in ids
+	// and returns the number of ids with moved[id] set.
+	CommitBatch(ids []graph.NodeID, states []S, next []S, moved []bool) int
+	// MarkBatch marks on f every node whose view this shard's movers
+	// changed, reading only post-round states.
+	MarkBatch(ids []graph.NodeID, csr *graph.CSR, states []S, moved []bool, f *graph.Frontier)
+}
+
 // NeighborAware is implemented by protocols whose states reference
 // neighbors (e.g. SMM's pointer). When the neighbor-discovery protocol
 // drops a neighbor — its beacons timed out, or the link-layer reported

@@ -123,6 +123,41 @@ func (*SMI) InstallBatch(ids []graph.NodeID, csr *graph.CSR, states, next []bool
 	return mv
 }
 
+// CommitBatch implements ShardKernel: the commit half of InstallBatch
+// (moved coincides with "the state changed" — SMI flips the bit). Writes
+// touch only ids' slots — safe across shards with disjoint id sets.
+func (*SMI) CommitBatch(ids []graph.NodeID, states, next []bool, moved []bool) int {
+	mv := 0
+	for _, id := range ids {
+		if moved[id] {
+			mv++
+			states[id] = next[id]
+		}
+	}
+	return mv
+}
+
+// MarkBatch implements ShardKernel: the marking half of InstallBatch. It
+// reads no states at all — each mover marks its smaller-ID neighbor
+// prefix from the CSR alone (the InstallBatch comment explains why no
+// self re-mark is needed) — so it is trivially sound under any commit
+// order, including the sharded all-installs-first order.
+func (*SMI) MarkBatch(ids []graph.NodeID, csr *graph.CSR, _ []bool, moved []bool, f *graph.Frontier) {
+	offs, nbrs := csr.Rows32()
+	for _, id := range ids {
+		if !moved[id] {
+			continue
+		}
+		id32 := int32(id)
+		for _, w := range nbrs[offs[id]:offs[id+1]] {
+			if w >= id32 {
+				break
+			}
+			f.Add(graph.NodeID(w))
+		}
+	}
+}
+
 // SetOf extracts {i : x(i)=1} from a configuration, ascending.
 func SetOf(cfg Config[bool]) []graph.NodeID {
 	var s []graph.NodeID

@@ -376,6 +376,47 @@ func (s *SMM) InstallBatch(ids []graph.NodeID, csr *graph.CSR, states, next []Po
 	return mv
 }
 
+// CommitBatch implements ShardKernel: the commit half of InstallBatch.
+// SMM is deterministic, so moved coincides exactly with "the state
+// changed". Writes touch only ids' slots — safe across shards with
+// disjoint id sets.
+func (s *SMM) CommitBatch(ids []graph.NodeID, states, next []Pointer, moved []bool) int {
+	mv := 0
+	for _, id := range ids {
+		if moved[id] {
+			mv++
+			states[id] = next[id]
+		}
+	}
+	return mv
+}
+
+// MarkBatch implements ShardKernel: the dependency-marking half of
+// InstallBatch, reading the fully committed post-round states. The test
+// per neighbor is the same as InstallBatch's; its soundness argument is
+// order-independent (see the InstallBatch comments), and post-round
+// reads are the all-installs-first order: a moved neighbor w either
+// landed on Null (its own shard's mark phase re-marks it) or points at
+// some k, in which case only a change at k — whose mark phase tests
+// exactly this — can re-enable it.
+func (s *SMM) MarkBatch(ids []graph.NodeID, csr *graph.CSR, states []Pointer, moved []bool, f *graph.Frontier) {
+	offs, nbrs := csr.Rows32()
+	for _, id := range ids {
+		if !moved[id] {
+			continue
+		}
+		nx := states[id]
+		f.AddMask(id, nx == Null)
+		target := Pointer(id)
+		for _, w := range nbrs[offs[id]:offs[id+1]] {
+			pw := states[w]
+			isNull := pw == Null
+			pointsHere := pw == target
+			f.AddMask(graph.NodeID(w), isNull || pointsHere)
+		}
+	}
+}
+
 // containsNode reports membership in an ascending neighbor list. Short
 // lists — the common case in the bounded-degree ad hoc topologies — scan
 // linearly: the predictable branch beats binary search's mispredicted

@@ -124,6 +124,90 @@ func (f *Frontier) Drain(buf []NodeID, n int) []NodeID {
 	return buf
 }
 
+// Reset empties the frontier: every flag cleared and the full state
+// discharged. Sharded executors use it where a full frontier would be
+// ambiguous — per-shard frontiers never go full; the executor carries a
+// single "evaluate everyone" flag instead (see internal/sim).
+func (f *Frontier) Reset() {
+	f.full = false
+	f.clear()
+}
+
+// DrainRange appends the dirty members of [lo, hi) to buf[:0] in
+// ascending ID order, clears exactly that range, and returns the slice.
+// It is the per-shard drain: concurrent DrainRange calls on one frontier
+// are safe when their ranges do not overlap (byte stores on the shared
+// edge words touch disjoint bytes). It panics on a full frontier — a
+// full frontier has no materialized flags to scan, and sharded executors
+// expand their full rounds explicitly.
+func (f *Frontier) DrainRange(buf []NodeID, lo, hi int) []NodeID {
+	if f.full {
+		panic("graph: DrainRange on a full frontier")
+	}
+	buf = buf[:0]
+	i := lo
+	// Byte steps up to the first word boundary, then whole words, then
+	// byte steps over the tail: word loads never cross the range edges,
+	// so a neighboring shard draining the adjacent range cannot observe
+	// (or clobber) this range's flags.
+	for ; i < hi && i%8 != 0; i++ {
+		if f.flags[i] != 0 {
+			f.flags[i] = 0
+			buf = append(buf, NodeID(i))
+		}
+	}
+	for ; i+8 <= hi; i += 8 {
+		w := binary.LittleEndian.Uint64(f.flags[i:])
+		if w == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint64(f.flags[i:], 0)
+		for w != 0 {
+			k := bits.TrailingZeros64(w) >> 3
+			buf = append(buf, NodeID(i+k))
+			w &^= 0xff << (uint(k) << 3)
+		}
+	}
+	for ; i < hi; i++ {
+		if f.flags[i] != 0 {
+			f.flags[i] = 0
+			buf = append(buf, NodeID(i))
+		}
+	}
+	return buf
+}
+
+// Absorb ORs src's dirty flags over [lo, hi) into f and clears them in
+// src. It is the cross-shard merge: after the mark phase each shard
+// absorbs, from every other shard's frontier, the marks that landed in
+// its own range. Concurrent Absorb calls are safe when their [lo, hi)
+// ranges do not overlap, for the same edge-byte reason as DrainRange.
+// It panics when src is full (a full source has no flags to move; the
+// executor's full flag already covers every range).
+func (f *Frontier) Absorb(src *Frontier, lo, hi int) {
+	if src.full {
+		panic("graph: Absorb from a full frontier")
+	}
+	i := lo
+	for ; i < hi && i%8 != 0; i++ {
+		f.flags[i] |= src.flags[i]
+		src.flags[i] = 0
+	}
+	for ; i+8 <= hi; i += 8 {
+		w := binary.LittleEndian.Uint64(src.flags[i:])
+		if w == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint64(src.flags[i:], 0)
+		fw := binary.LittleEndian.Uint64(f.flags[i:])
+		binary.LittleEndian.PutUint64(f.flags[i:], fw|w)
+	}
+	for ; i < hi; i++ {
+		f.flags[i] |= src.flags[i]
+		src.flags[i] = 0
+	}
+}
+
 // clear zeroes the flags.
 func (f *Frontier) clear() {
 	for i := range f.flags {

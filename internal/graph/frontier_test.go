@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// oddSizes are the word-scan edge cases the per-range frontier paths
+// lean on: a single node, one short of a word, exactly one word, one
+// over, and one short of two words.
+var oddSizes = []int{1, 63, 64, 65, 127}
+
+func drained(f *Frontier, n int) []NodeID {
+	return f.Drain(nil, n)
+}
+
+func TestFrontierOddSizesDrainLenAddMask(t *testing.T) {
+	for _, n := range oddSizes {
+		f := NewFrontier(n)
+		if got := f.Len(n); got != n {
+			t.Fatalf("n=%d: fresh frontier Len = %d, want %d", n, got, n)
+		}
+		if got := drained(f, n); len(got) != n || (n > 0 && int(got[n-1]) != n-1) {
+			t.Fatalf("n=%d: full drain = %v", n, got)
+		}
+		if !f.Empty() {
+			t.Fatalf("n=%d: not empty after drain", n)
+		}
+
+		// Mark the boundary-prone IDs: first, last, and both sides of
+		// every word edge within range.
+		want := map[NodeID]bool{0: true, NodeID(n - 1): true}
+		for _, v := range []int{62, 63, 64, 65} {
+			if v < n {
+				want[NodeID(v)] = true
+			}
+		}
+		for v := range want {
+			f.AddMask(v, true)
+		}
+		f.AddMask(0, true) // duplicate must not double-count
+		if n > 1 {
+			f.AddMask(1, false) // false mask must not mark
+		}
+		if got := f.Len(n); got != len(want) {
+			t.Fatalf("n=%d: Len = %d, want %d", n, got, len(want))
+		}
+		got := drained(f, n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: drain = %v, want %d members", n, got, len(want))
+		}
+		for i, v := range got {
+			if !want[v] {
+				t.Fatalf("n=%d: unexpected member %d", n, v)
+			}
+			if i > 0 && got[i-1] >= v {
+				t.Fatalf("n=%d: drain not ascending: %v", n, got)
+			}
+		}
+		if !f.Empty() || f.Len(n) != 0 {
+			t.Fatalf("n=%d: drain did not clear", n)
+		}
+	}
+}
+
+func TestFrontierAddAllThenDrainIntoUndersizedBuffer(t *testing.T) {
+	for _, n := range oddSizes {
+		f := NewFrontier(n)
+		f.Drain(make([]NodeID, 0, n), n)
+		f.AddAll()
+		// An undersized buffer must grow, not truncate: every node comes
+		// out, ascending, regardless of the caller's capacity guess.
+		buf := make([]NodeID, 0, 1)
+		got := f.Drain(buf, n)
+		if len(got) != n {
+			t.Fatalf("n=%d: drain into undersized buffer returned %d members", n, len(got))
+		}
+		for v := 0; v < n; v++ {
+			if got[v] != NodeID(v) {
+				t.Fatalf("n=%d: position %d holds %d", n, v, got[v])
+			}
+		}
+		if !f.Empty() {
+			t.Fatalf("n=%d: AddAll survived the drain", n)
+		}
+	}
+}
+
+func TestFrontierDrainRange(t *testing.T) {
+	for _, n := range oddSizes {
+		// Split [0, n) at deliberately unaligned points and check that
+		// per-range drains partition the full drain exactly.
+		cuts := []int{0, n / 3, 2*n/3 + 1, n}
+		f := NewFrontier(n)
+		f.Reset()
+		marked := []NodeID{}
+		for v := 0; v < n; v += 2 {
+			f.Add(NodeID(v))
+			marked = append(marked, NodeID(v))
+		}
+		var got []NodeID
+		for c := 0; c+1 < len(cuts); c++ {
+			lo, hi := cuts[c], cuts[c+1]
+			if lo > hi {
+				continue
+			}
+			part := f.DrainRange(nil, lo, hi)
+			for _, v := range part {
+				if int(v) < lo || int(v) >= hi {
+					t.Fatalf("n=%d: DrainRange(%d,%d) leaked %d", n, lo, hi, v)
+				}
+			}
+			got = append(got, part...)
+		}
+		if !reflect.DeepEqual(got, marked) {
+			t.Fatalf("n=%d: ranged drains = %v, want %v", n, got, marked)
+		}
+		if !f.Empty() {
+			t.Fatalf("n=%d: ranged drains did not clear", n)
+		}
+		// Draining a clean subrange must not disturb marks outside it.
+		f.Add(NodeID(n - 1))
+		if part := f.DrainRange(nil, 0, n-1); len(part) != 0 {
+			t.Fatalf("n=%d: clean range drained %v", n, part)
+		}
+		if f.Len(n) != 1 {
+			t.Fatalf("n=%d: outside mark lost", n)
+		}
+	}
+}
+
+func TestFrontierDrainRangePanicsOnFull(t *testing.T) {
+	f := NewFrontier(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DrainRange on a full frontier did not panic")
+		}
+	}()
+	f.DrainRange(nil, 0, 8)
+}
+
+func TestFrontierAbsorb(t *testing.T) {
+	for _, n := range oddSizes {
+		dst := NewFrontier(n)
+		dst.Reset()
+		src := NewFrontier(n)
+		src.Reset()
+		for v := 0; v < n; v += 3 {
+			src.Add(NodeID(v))
+		}
+		if n > 1 {
+			dst.Add(NodeID(1)) // pre-existing mark must survive the OR
+		}
+		lo, hi := n/4, n-n/4
+		dst.Absorb(src, lo, hi)
+		for v := 0; v < n; v++ {
+			inWindow := v >= lo && v < hi
+			wantSrc := v%3 == 0 && !inWindow
+			wantDst := (v%3 == 0 && inWindow) || (v == 1 && n > 1)
+			gotSrc := contains(drainedCopy(src, n), NodeID(v))
+			gotDst := contains(drainedCopy(dst, n), NodeID(v))
+			if gotSrc != wantSrc || gotDst != wantDst {
+				t.Fatalf("n=%d lo=%d hi=%d node %d: src=%v (want %v) dst=%v (want %v)",
+					n, lo, hi, v, gotSrc, wantSrc, gotDst, wantDst)
+			}
+		}
+	}
+}
+
+// drainedCopy peeks at membership without consuming the frontier.
+func drainedCopy(f *Frontier, n int) []NodeID {
+	members := f.Drain(nil, n)
+	for _, v := range members {
+		f.Add(v)
+	}
+	return members
+}
+
+func contains(s []NodeID, v NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFrontierAbsorbPanicsOnFullSource(t *testing.T) {
+	dst := NewFrontier(8)
+	dst.Reset()
+	src := NewFrontier(8) // full by construction
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Absorb from a full frontier did not panic")
+		}
+	}()
+	dst.Absorb(src, 0, 8)
+}
+
+func TestFrontierReset(t *testing.T) {
+	f := NewFrontier(16) // full
+	f.Reset()
+	if !f.Empty() || f.Len(16) != 0 {
+		t.Fatal("Reset left a full frontier non-empty")
+	}
+	f.Add(3)
+	f.Reset()
+	if !f.Empty() {
+		t.Fatal("Reset left a mark behind")
+	}
+	if got := f.Drain(nil, 16); len(got) != 0 {
+		t.Fatalf("drain after Reset = %v", got)
+	}
+}

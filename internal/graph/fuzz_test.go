@@ -2,6 +2,7 @@ package graph
 
 import (
 	"encoding/json"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -61,5 +62,33 @@ func FuzzGraphJSON(f *testing.F) {
 		if uErr := json.Unmarshal(data, &back); uErr != nil || !g.Equal(&back) {
 			t.Fatalf("round trip failed: %v", uErr)
 		}
+	})
+}
+
+// FuzzShardPartition asserts the partitioner's structural invariants on
+// arbitrary graphs and shard counts: every node has exactly one owner,
+// every cross-shard edge appears in both shards' halos, every halo
+// member is covered by an absorb span, and reassembling the shard views
+// reproduces the original CSR rows byte for byte. The graph is derived
+// from the fuzzed bytes as a random edge set over a fuzzed node count.
+func FuzzShardPartition(f *testing.F) {
+	f.Add(uint8(0), uint8(1), int64(0))
+	f.Add(uint8(1), uint8(4), int64(1))
+	f.Add(uint8(64), uint8(3), int64(7))
+	f.Add(uint8(65), uint8(8), int64(42))
+	f.Add(uint8(200), uint8(16), int64(1234))
+	f.Fuzz(func(t *testing.T, n uint8, k uint8, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(int(n))
+		for e := 0; e < int(n)*2; e++ {
+			u := NodeID(rng.Intn(int(n) + 1))
+			v := NodeID(rng.Intn(int(n) + 1))
+			if u != v && int(u) < g.N() && int(v) < g.N() && !g.HasEdge(u, v) {
+				g.AddEdge(u, v)
+			}
+		}
+		c := g.Snapshot()
+		p := NewPartition(c, int(k))
+		checkPartition(t, c, p)
 	})
 }

@@ -234,6 +234,78 @@ func RandomUnitDisk(n int, r0 float64, rng *rand.Rand) (*Graph, []Point) {
 	}
 }
 
+// RandomSparseConnected returns a connected random graph on n nodes with
+// expected average degree avgDeg, in O(n·avgDeg) time: a random
+// attachment tree (each node i >= 1 links to a uniform earlier node)
+// plus n·(avgDeg-2)/2 sampled extra edges. RandomConnected enumerates
+// all n(n-1)/2 pairs and is quadratic; this is the million-node
+// workhorse for the sharded executor's benchmarks, where the pair sweep
+// would never finish. avgDeg below 2 yields just the tree.
+func RandomSparseConnected(n int, avgDeg float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(NodeID(i), NodeID(rng.Intn(i)))
+	}
+	extra := int(float64(n) * (avgDeg - 2) / 2)
+	for e := 0; e < extra; {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.AddEdge(u, v)
+		e++
+	}
+	return g
+}
+
+// UnitDiskGrid returns exactly the graph UnitDisk(pts, r) — same nodes,
+// same edges — in O(n·deg) expected time instead of O(n²), by hashing
+// points into an r-sized cell grid and testing only the 3x3 cell
+// neighborhood of each point (any pair within distance r lands in
+// adjacent cells). It is the million-node unit-disk generator; the unit
+// tests pin its equality with the quadratic definition.
+func UnitDiskGrid(pts []Point, r float64) *Graph {
+	g := New(len(pts))
+	if len(pts) == 0 || r <= 0 {
+		return g
+	}
+	cols := int(1/r) + 1
+	cell := func(p Point) (int, int) {
+		cx, cy := int(p.X/r), int(p.Y/r)
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= cols {
+			cy = cols - 1
+		}
+		return cx, cy
+	}
+	buckets := make(map[int][]int, len(pts))
+	for i, p := range pts {
+		cx, cy := cell(p)
+		key := cy*cols + cx
+		buckets[key] = append(buckets[key], i)
+	}
+	r2 := r * r
+	for i, p := range pts {
+		cx, cy := cell(p)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || nx >= cols || ny < 0 || ny >= cols {
+					continue
+				}
+				for _, j := range buckets[ny*cols+nx] {
+					if j > i && p.Dist2(pts[j]) <= r2 {
+						g.AddEdge(NodeID(i), NodeID(j))
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
 // RandomPermutation returns a uniformly random permutation of 0..n-1 as
 // NodeIDs, for use with Graph.Relabel.
 func RandomPermutation(n int, rng *rand.Rand) []NodeID {

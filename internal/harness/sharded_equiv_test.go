@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"selfstab/internal/sim"
+)
+
+// The experiment tables must also be byte-identical when every
+// sim-package executor runs sharded: sharding, like frontier
+// scheduling, is an optimization, never an observable change. The
+// SetShards seam reroutes every lockstep executor built during the
+// campaign through the sharded engine at an odd shard count (so range
+// boundaries land unaligned inside frontier words).
+func TestExperimentTablesByteIdenticalSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	render := func() string {
+		var sb strings.Builder
+		if _, err := RunAll(QuickOptions(), &sb, false); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	frontier := render()
+
+	sim.SetShards(3)
+	defer sim.SetShards(1)
+	sharded := render()
+
+	if frontier != sharded {
+		d := firstDiffLine(frontier, sharded)
+		t.Fatalf("experiment tables diverged under sharding at line %d:\nfrontier: %q\nsharded:  %q",
+			d.line, d.a, d.b)
+	}
+}

@@ -35,6 +35,18 @@ func NewReferenceFaultLockstep[S comparable](p core.Protocol[S], cfg core.Config
 	return f
 }
 
+// NewShardedFaultLockstep is NewFaultLockstep over the sharded frontier
+// engine: identical fault semantics, with fault-footprint dirty marks
+// routed to the owning shards' frontiers. The sharded metamorphic fault
+// tests replay the same schedule on this and on the reference engine at
+// 1–8 shards and require byte-identical reports.
+func NewShardedFaultLockstep[S comparable](p core.Protocol[S], cfg core.Config[S], shards int) *FaultLockstep[S] {
+	f := NewFaultLockstep(p, cfg)
+	f.l.sh = nil
+	f.l.attachShards(shards)
+	return f
+}
+
 // Lockstep returns the wrapped executor.
 func (f *FaultLockstep[S]) Lockstep() *Lockstep[S] { return f.l }
 
@@ -123,7 +135,8 @@ func (f *FaultLockstep[S]) DetectionLag() int { return 0 }
 // point in the deterministic lockstep model.
 func (f *FaultLockstep[S]) QuietRounds() int { return 1 }
 
-// Close implements faults.Target; lockstep holds no resources.
-func (f *FaultLockstep[S]) Close() {}
+// Close implements faults.Target: releases the sharded engine's worker
+// pool, if any (the unsharded engines hold no resources).
+func (f *FaultLockstep[S]) Close() { f.l.Close() }
 
 var _ faults.Target[bool] = (*FaultLockstep[bool])(nil)

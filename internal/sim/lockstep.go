@@ -116,6 +116,12 @@ type Lockstep[S comparable] struct {
 	// dependencies instead of whole closed neighborhoods.
 	batch     core.BatchEvaluator[S]
 	installer core.BatchInstaller[S]
+
+	// sh, when non-nil, switches Step to the sharded engine: the node ID
+	// space is partitioned into contiguous ranges, each with its own
+	// frontier, and rounds run as barrier-separated shard phases (see
+	// sharded.go). All observable behavior is unchanged.
+	sh *shardRT[S]
 }
 
 // NewLockstep wraps protocol p over configuration cfg with the
@@ -141,6 +147,9 @@ func NewLockstep[S comparable](p core.Protocol[S], cfg core.Config[S]) *Lockstep
 	l.filteredFn = l.fv.read
 	l.batch, _ = p.(core.BatchEvaluator[S])
 	l.installer, _ = p.(core.BatchInstaller[S])
+	if k := int(defaultShards.Load()); k > 1 && !l.fullScan {
+		l.attachShards(k)
+	}
 	return l
 }
 
@@ -151,6 +160,7 @@ func NewLockstep[S comparable](p core.Protocol[S], cfg core.Config[S]) *Lockstep
 func NewReferenceLockstep[S comparable](p core.Protocol[S], cfg core.Config[S]) *Lockstep[S] {
 	l := NewLockstep(p, cfg)
 	l.fullScan = true
+	l.sh = nil // the reference engine wins over the sharding seam
 	return l
 }
 
@@ -171,17 +181,27 @@ func (l *Lockstep[S]) Moves() int { return l.moves }
 // resurrection): v's own view changed, and v's state is part of every
 // neighbor's view.
 func (l *Lockstep[S]) DirtyState(v graph.NodeID) {
-	l.frontier.Add(v)
+	l.dirty(v)
 	for _, w := range l.cfg.G.Neighbors(v) {
-		l.frontier.Add(w)
+		l.dirty(w)
 	}
+}
+
+// dirty marks one node for re-evaluation, routing to the owning shard's
+// frontier on the sharded engine.
+func (l *Lockstep[S]) dirty(v graph.NodeID) {
+	if l.sh != nil {
+		l.sh.mark(v)
+		return
+	}
+	l.frontier.Add(v)
 }
 
 // DirtyView marks node v alone for re-evaluation: its effective view
 // changed without any state changing, e.g. a stale-read pin was
 // installed on or expired from its peer reads.
 func (l *Lockstep[S]) DirtyView(v graph.NodeID) {
-	l.frontier.Add(v)
+	l.dirty(v)
 }
 
 // DirtyEdge re-syncs the adjacency snapshot after the caller mutated the
@@ -194,11 +214,17 @@ func (l *Lockstep[S]) DirtyView(v graph.NodeID) {
 func (l *Lockstep[S]) DirtyEdge(u, v graph.NodeID) {
 	if !l.csr.Fresh(l.cfg.G) {
 		l.csr = l.cfg.G.Snapshot()
+		if l.sh != nil {
+			// Ranges depend only on (n, k) and stay put, but the halo
+			// index follows the edge set: rebuild it so the next absorb
+			// phase still covers every cross-shard mark.
+			l.sh.part = graph.NewPartition(l.csr, l.sh.k)
+		}
 	}
 	for _, x := range [2]graph.NodeID{u, v} {
-		l.frontier.Add(x)
+		l.dirty(x)
 		for _, w := range l.csr.Neighbors(x) {
-			l.frontier.Add(w)
+			l.dirty(w)
 		}
 	}
 }
@@ -209,6 +235,9 @@ func (l *Lockstep[S]) DirtyEdge(u, v graph.NodeID) {
 // is unchanged since they last evaluated inactive), so the returned
 // move count equals the full scan's.
 func (l *Lockstep[S]) Step() int {
+	if l.sh != nil {
+		return l.stepSharded()
+	}
 	if !l.csr.Fresh(l.cfg.G) {
 		// The topology changed behind our back (mobility churn, a test
 		// editing the graph): re-snapshot and re-evaluate everyone.
@@ -299,7 +328,11 @@ func (l *Lockstep[S]) RunHook(maxRounds int, hook func(round int, cfg core.Confi
 	// knowledge survives it. Within the run the frontier shrinks as the
 	// execution quiesces — which is where the paper's own convergence
 	// analysis says nearly all the full-scan work is wasted.
-	l.frontier.AddAll()
+	if l.sh != nil {
+		l.sh.addAll()
+	} else {
+		l.frontier.AddAll()
+	}
 	start := l.rounds
 	for l.rounds-start < maxRounds {
 		if l.Step() == 0 {

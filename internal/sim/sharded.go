@@ -1,0 +1,415 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"selfstab/internal/core"
+	"selfstab/internal/graph"
+)
+
+// defaultShards, when set above 1, makes every frontier-engine Lockstep
+// built by this package (including the fault adapters) run sharded with
+// that many shards. It is the sharded analog of referenceScan: the
+// metamorphic equivalence tests flip it to replay whole experiment
+// tables and soak campaigns through the sharded engine and demand
+// byte-identical output. Production code constructs sharded executors
+// explicitly via NewShardedLockstep.
+var defaultShards atomic.Int32
+
+// SetShards sets the shard count for executors constructed afterwards
+// (already-built executors keep their engine); k <= 1 restores the
+// unsharded default. Tests must not toggle it while executors are being
+// constructed concurrently.
+func SetShards(k int) { defaultShards.Store(int32(k)) }
+
+// shardParallelMin is the round-size threshold (drained active nodes,
+// estimated from the previous round) below which the sharded executor
+// runs its phases inline on the coordinator goroutine instead of
+// dispatching to the worker pool. Small or quiescing executions — unit
+// tests, the tail of a convergence run — stay free of goroutine and
+// channel traffic; the pool is spawned lazily the first time a round
+// clears the threshold. It is a variable so the equivalence tests can
+// lower it and drive the pooled path under the race detector.
+var shardParallelMin = 4096
+
+// shardReq is one unit of pool work: run one phase for one shard.
+type shardReq struct {
+	phase int
+	shard int
+}
+
+// Phases of a sharded round, in order. Each runs for every shard with a
+// barrier in between, so a phase never observes another shard's partial
+// work from the same phase.
+const (
+	phaseEval   = iota // drain own range, evaluate into next/moved
+	phaseCommit        // install own range's results into states
+	phaseMark          // derive re-evaluation marks from post-round states
+	phaseAbsorb        // pull marks other shards left in our range
+)
+
+// shardRT is the sharded engine state hanging off a Lockstep. The
+// executor keeps Lockstep's observable behavior — byte-identical
+// Results, rounds, moves, states — while splitting every round into the
+// four phases above across K contiguous node ranges:
+//
+//   - Eval reads only the frozen pre-round state vector and writes
+//     next/moved at owned indices — disjoint across shards.
+//   - Commit writes states at owned indices — disjoint.
+//   - Mark reads the fully committed post-round vector and writes only
+//     the shard's own frontier (at owned and halo indices).
+//   - Absorb moves the marks other shards left inside this shard's
+//     range (bounded by the partition's halo spans) into its frontier —
+//     writes land in disjoint ranges across shards, so the merge is
+//     race-free and, being commutative flag ORs, order-independent.
+//
+// Byte-identity with the reference engine follows from the same
+// argument as the frontier engine's (DESIGN.md §7b): each shard's
+// frontier, after absorb, covers every node in its range whose view
+// changed, so the union drained next round is a sound superset of the
+// privileged set, and evaluating a non-privileged node is a no-op that
+// consumes no randomness.
+type shardRT[S comparable] struct {
+	k    int
+	part *graph.Partition
+	// fronts[s] is shard s's full-length frontier. Shard s drains only
+	// its own range from it; marks it writes outside that range land in
+	// its halo and are pulled over by the owners during absorb. Shard
+	// frontiers never use the "full" state — fullRound below replaces it
+	// so no per-range scan ever has to expand an implicit full set.
+	fronts []*graph.Frontier
+	bufs   [][]graph.NodeID // per-shard drain buffers, cap = range size
+	chg    [][]bool         // generic-path change flags, parallel to bufs[s]; nil with a kernel
+	mv     []int            // per-shard move count of the round in flight
+	chgAny []bool           // per-shard "some state changed" of the round in flight
+
+	fullRound  bool // next round evaluates everyone (Run entry, topology resync)
+	roundFull  bool // the round in flight is a full round
+	parallel   bool // the round in flight uses the worker pool
+	lastActive int  // drained size of the previous round, the pool heuristic
+
+	// skern, when the protocol provides one, is the barrier-split
+	// install fast path; nil falls back to the generic commit+mark with
+	// closed-neighborhood marking, exactly as Lockstep's generic install.
+	skern core.ShardKernel[S]
+
+	// fvs/filtFns are per-shard filtered peer readers (one filteredViewer
+	// per shard so concurrent shards can each re-target their own viewer).
+	fvs     []filteredViewer[S]
+	filtFns []func(graph.NodeID) S
+
+	workCh  chan shardReq
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+}
+
+// NewShardedLockstep wraps protocol p over configuration cfg with the
+// sharded frontier engine at the given shard count. Semantics are those
+// of NewLockstep — same Results, same state evolution, byte for byte —
+// with rounds executed shard-parallel once they are large enough to pay
+// for dispatch. shards <= 1 (after clamping to the node count) yields a
+// plain frontier engine. Call Close when done to release the worker
+// pool (a pool is only spawned once a round exceeds an internal size
+// threshold, so small executions hold no goroutines).
+func NewShardedLockstep[S comparable](p core.Protocol[S], cfg core.Config[S], shards int) *Lockstep[S] {
+	l := NewLockstep(p, cfg)
+	l.sh = nil
+	l.attachShards(shards)
+	return l
+}
+
+// attachShards switches l to the sharded engine with k shards (clamped
+// to the node count; k <= 1 after clamping leaves l unsharded).
+func (l *Lockstep[S]) attachShards(k int) {
+	n := len(l.cfg.States)
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		return
+	}
+	l.csr = l.cfg.G.Snapshot()
+	rt := &shardRT[S]{
+		k:         k,
+		part:      graph.NewPartition(l.csr, k),
+		fronts:    make([]*graph.Frontier, k),
+		bufs:      make([][]graph.NodeID, k),
+		mv:        make([]int, k),
+		chgAny:    make([]bool, k),
+		fullRound: true,
+	}
+	rt.skern, _ = l.p.(core.ShardKernel[S])
+	if rt.skern == nil {
+		rt.chg = make([][]bool, k)
+	}
+	for s := 0; s < k; s++ {
+		lo, hi := rt.part.Range(s)
+		rt.fronts[s] = graph.NewFrontier(n)
+		rt.fronts[s].Reset()
+		rt.bufs[s] = make([]graph.NodeID, 0, hi-lo)
+		if rt.skern == nil {
+			rt.chg[s] = make([]bool, hi-lo)
+		}
+	}
+	rt.fvs = make([]filteredViewer[S], k)
+	rt.filtFns = make([]func(graph.NodeID) S, k)
+	for s := 0; s < k; s++ {
+		rt.filtFns[s] = rt.fvs[s].read
+	}
+	l.sh = rt
+}
+
+// Close releases the sharded worker pool, if one was spawned. It is a
+// no-op on unsharded executors and safe to call more than once.
+func (l *Lockstep[S]) Close() {
+	if l.sh != nil {
+		l.sh.close()
+	}
+}
+
+// mark routes an externally attributed dirty mark to the owning shard.
+func (rt *shardRT[S]) mark(v graph.NodeID) {
+	rt.fronts[rt.part.Owner(v)].Add(v)
+}
+
+// addAll schedules a full round: every node of every shard evaluates.
+// Pending per-shard marks are discharged — the full round subsumes them.
+func (rt *shardRT[S]) addAll() {
+	for _, f := range rt.fronts {
+		f.Reset()
+	}
+	rt.fullRound = true
+}
+
+// stepSharded is Step for the sharded engine: the same round shape as
+// Lockstep.Step, with the evaluate and install halves split into
+// barrier-separated shard phases.
+func (l *Lockstep[S]) stepSharded() int {
+	rt := l.sh
+	if !l.csr.Fresh(l.cfg.G) {
+		// Unattributed topology change: re-snapshot, rebuild the halo
+		// index (ranges depend only on (n, k) and stay put), re-dirty
+		// everyone — exactly Lockstep's self-detection response.
+		l.csr = l.cfg.G.Snapshot()
+		rt.part = graph.NewPartition(l.csr, rt.k)
+		rt.addAll()
+	}
+	rt.roundFull = rt.fullRound
+	rt.fullRound = false
+	est := rt.lastActive
+	if rt.roundFull {
+		est = len(l.cfg.States)
+	}
+	rt.parallel = est >= shardParallelMin
+
+	rt.runAll(l, phaseEval)
+	active := 0
+	for s := 0; s < rt.k; s++ {
+		active += len(rt.bufs[s])
+	}
+	rt.lastActive = active
+
+	rt.runAll(l, phaseCommit)
+	moved, anyChg := 0, false
+	for s := 0; s < rt.k; s++ {
+		moved += rt.mv[s]
+		anyChg = anyChg || rt.chgAny[s]
+	}
+	// Quiet rounds skip the install half entirely: nothing moved and
+	// nothing changed, so there are no marks to derive or exchange.
+	if moved > 0 || anyChg {
+		rt.runAll(l, phaseMark)
+		rt.runAll(l, phaseAbsorb)
+	}
+	if moved > 0 {
+		l.rounds++
+		l.moves += moved
+	}
+	return moved
+}
+
+// runAll runs one phase for every shard: inline in ascending shard
+// order on small rounds, on the worker pool otherwise. Either way the
+// phase fully completes for all shards before runAll returns — that
+// barrier is what lets the mark phase read post-round states and the
+// absorb phase see every shard's finished marks.
+func (rt *shardRT[S]) runAll(l *Lockstep[S], phase int) {
+	if !rt.parallel {
+		for s := 0; s < rt.k; s++ {
+			rt.runPhase(l, phase, s)
+		}
+		return
+	}
+	rt.ensurePool(l)
+	rt.wg.Add(rt.k)
+	for s := 0; s < rt.k; s++ {
+		rt.workCh <- shardReq{phase: phase, shard: s}
+	}
+	rt.wg.Wait()
+}
+
+// ensurePool spawns the K persistent workers on first parallel use.
+func (rt *shardRT[S]) ensurePool(l *Lockstep[S]) {
+	if rt.started {
+		return
+	}
+	rt.started = true
+	rt.workCh = make(chan shardReq)
+	for i := 0; i < rt.k; i++ {
+		go shardWorker(l)
+	}
+}
+
+func shardWorker[S comparable](l *Lockstep[S]) {
+	rt := l.sh
+	for req := range rt.workCh {
+		rt.runPhase(l, req.phase, req.shard)
+		rt.wg.Done()
+	}
+}
+
+func (rt *shardRT[S]) close() {
+	if rt.started && !rt.closed {
+		rt.closed = true
+		close(rt.workCh)
+	}
+}
+
+// runPhase executes one phase for shard s. See shardRT for the per-phase
+// read/write footprints that make concurrent execution race-free.
+func (rt *shardRT[S]) runPhase(l *Lockstep[S], phase, s int) {
+	switch phase {
+	case phaseEval:
+		rt.evalShard(l, s)
+	case phaseCommit:
+		rt.commitShard(l, s)
+	case phaseMark:
+		rt.markShard(l, s)
+	case phaseAbsorb:
+		rt.absorbShard(s)
+	default:
+		panic("sim: unknown shard phase")
+	}
+}
+
+// evalShard drains shard s's range and evaluates every drained node
+// against the frozen pre-round state vector.
+func (rt *shardRT[S]) evalShard(l *Lockstep[S], s int) {
+	lo, hi := rt.part.Range(s)
+	var ids []graph.NodeID
+	if rt.roundFull {
+		ids = rt.bufs[s][:0]
+		for v := lo; v < hi; v++ {
+			ids = append(ids, v)
+		}
+		// Discharge stray marks routed in since the full round was
+		// scheduled — the full evaluation subsumes them.
+		rt.fronts[s].Reset()
+	} else {
+		ids = rt.fronts[s].DrainRange(rt.bufs[s], int(lo), int(hi))
+	}
+	rt.bufs[s] = ids
+
+	states := l.cfg.States
+	filtered := l.peerFilter != nil
+	if l.batch != nil && !filtered {
+		l.batch.MoveBatch(ids, l.csr, states, l.next, l.movedBuf)
+		return
+	}
+	pv := l.peerFn
+	direct := states
+	fv := &rt.fvs[s]
+	if filtered {
+		fv.states = states
+		fv.filter = l.peerFilter
+		pv = rt.filtFns[s]
+		direct = nil // mediated reads: protocols must go through Peer
+	}
+	for _, id := range ids {
+		if filtered {
+			fv.viewer = id
+		}
+		next, m := l.p.Move(core.View[S]{
+			ID:    id,
+			Self:  states[id],
+			Nbrs:  l.csr.Neighbors(id),
+			Peer:  pv,
+			Peers: direct,
+		})
+		l.next[id] = next
+		l.movedBuf[id] = m
+	}
+}
+
+// commitShard installs shard s's results into the shared state vector —
+// writes land only at owned indices.
+func (rt *shardRT[S]) commitShard(l *Lockstep[S], s int) {
+	ids := rt.bufs[s]
+	states := l.cfg.States
+	if rt.skern != nil {
+		rt.mv[s] = rt.skern.CommitBatch(ids, states, l.next, l.movedBuf)
+		rt.chgAny[s] = rt.mv[s] > 0
+		return
+	}
+	chg := rt.chg[s]
+	mv, any := 0, false
+	for i, id := range ids {
+		nx := l.next[id]
+		c := nx != states[id]
+		chg[i] = c
+		if c {
+			states[id] = nx
+			any = true
+		}
+		if l.movedBuf[id] {
+			mv++
+		}
+	}
+	rt.mv[s], rt.chgAny[s] = mv, any
+}
+
+// markShard derives shard s's re-evaluation marks from the fully
+// committed post-round states, writing only its own frontier. The
+// generic path mirrors Lockstep's generic install marking exactly: it
+// reads no neighbor states, only structure, so the commit/mark split
+// cannot change which nodes it marks.
+func (rt *shardRT[S]) markShard(l *Lockstep[S], s int) {
+	ids := rt.bufs[s]
+	f := rt.fronts[s]
+	if rt.skern != nil {
+		rt.skern.MarkBatch(ids, l.csr, l.cfg.States, l.movedBuf, f)
+		return
+	}
+	offs, nbrs := l.csr.Rows()
+	chg := rt.chg[s]
+	for i, id := range ids {
+		if l.movedBuf[id] {
+			f.Add(id)
+		}
+		if chg[i] {
+			f.Add(id)
+			for _, w := range nbrs[offs[id]:offs[id+1]] {
+				f.Add(w)
+			}
+		}
+	}
+}
+
+// absorbShard pulls the marks every other shard left inside shard s's
+// range into s's frontier, visiting sources in ascending shard order.
+// Marks are commutative ORs, so the merge order cannot affect the
+// drained set — the ascending order is just a fixed convention.
+func (rt *shardRT[S]) absorbShard(s int) {
+	mine := rt.fronts[s]
+	for t := 0; t < rt.k; t++ {
+		if t == s {
+			continue
+		}
+		alo, ahi := rt.part.AbsorbSpan(t, s)
+		if alo < ahi {
+			mine.Absorb(rt.fronts[t], int(alo), int(ahi))
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package soak
+
+import (
+	"strings"
+	"testing"
+
+	"selfstab/internal/sim"
+)
+
+// A soak campaign's report must be byte-identical when every sim-package
+// executor under test runs sharded — fault injection, recovery
+// verification, and bound checking all ride on the same observables the
+// sharded engine promises not to change.
+func TestSoakReportByteIdenticalSharded(t *testing.T) {
+	opt := Options{Seed: 42, Sizes: []int{8, 10}, Trials: 1, Events: 6, Workers: 2}
+	campaign := func() string {
+		var sb strings.Builder
+		if _, err := Run(opt, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	frontier := campaign()
+
+	sim.SetShards(3)
+	defer sim.SetShards(1)
+	sharded := campaign()
+
+	if frontier != sharded {
+		t.Fatalf("soak reports diverged under sharding:\nfrontier:\n%s\nsharded:\n%s", frontier, sharded)
+	}
+}
