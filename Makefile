@@ -41,11 +41,13 @@ vet:
 
 # lint runs the repo's custom determinism/concurrency analyzers
 # (detrand, mapiter, guarded, plus the dataflow tier: purity,
-# exhaustive, lockorder — see docs/STATIC_ANALYSIS.md) through the
+# exhaustive, lockorder, and the allocation/shard-isolation tier:
+# noalloc, shardsafe — see docs/STATIC_ANALYSIS.md) through the
 # standard `go vet -vettool` protocol, then staticcheck and govulncheck
 # when installed. The custom suite is mandatory; the external tools are
 # skipped with a notice if absent so offline checkouts still lint.
-# Cross-package facts (purity summaries, lock-order edges) ride the go
+# Cross-package facts (purity summaries, lock-order edges, noalloc
+# allocation summaries and interface contracts) ride the go
 # command's vet fact files, so they are cached in GOCACHE with the rest
 # of the vet results.
 lint:

@@ -21,7 +21,10 @@
 //
 // The gate mode is the blocking CI guard: it fails (exit 1) when any
 // benchmark matching -pin regresses by more than -threshold (default
-// 1.10× ns/op in this mode) against the baseline's most recent run.
+// 1.10× ns/op in this mode) against the baseline's most recent run, or
+// regresses on allocs/op — any increase from a 0-alloc baseline (the
+// statically pinned steady state of the shard kernels) is a hard fail,
+// and a nonzero baseline fails past the same proportional threshold.
 // Because it is blocking, it is forgiving about everything that is not
 // a measured regression: a missing or empty baseline passes with a
 // notice (the first run on a runner bootstraps the baseline), and
@@ -251,10 +254,19 @@ func gateRuns(path string, newRun Run, threshold float64, pin string, out, errw 
 		if ob.NsOp > 0 {
 			ratio = nb.NsOp / ob.NsOp
 		}
+		// allocs/op is gated alongside ns/op: a 0-alloc baseline is a
+		// structural claim (the noalloc analyzer pins it statically), so
+		// ANY increase from 0 fails; nonzero baselines get the same
+		// proportional threshold as ns/op.
+		allocsBad := (ob.AllocsOp == 0 && nb.AllocsOp > 0) ||
+			(ob.AllocsOp > 0 && float64(nb.AllocsOp) > float64(ob.AllocsOp)*threshold)
 		mark := ""
-		if ratio > threshold {
+		if ratio > threshold || allocsBad {
 			if pinRe.MatchString(nb.Name) {
 				mark = "  REGRESSION"
+				if allocsBad && ratio <= threshold {
+					mark = "  REGRESSION (allocs/op)"
+				}
 				regressed++
 			} else {
 				mark = "  (regressed, unpinned)"

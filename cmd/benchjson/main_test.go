@@ -95,9 +95,16 @@ func TestDiffDetectsRegression(t *testing.T) {
 // file and returns its path.
 func writeBaseline(t *testing.T) string {
 	t.Helper()
+	return writeBaselineFrom(t, sampleBench)
+}
+
+// writeBaselineFrom records the given bench output as the last run of a
+// fresh baseline file and returns its path.
+func writeBaselineFrom(t *testing.T, bench string) string {
+	t.Helper()
 	path := filepath.Join(t.TempDir(), "base.json")
 	var out bytes.Buffer
-	if code := run([]string{"-label", "base", "-merge", path}, strings.NewReader(sampleBench), &out, os.Stderr); code != 0 {
+	if code := run([]string{"-label", "base", "-merge", path}, strings.NewReader(bench), &out, os.Stderr); code != 0 {
 		t.Fatal("merge failed")
 	}
 	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
@@ -158,6 +165,52 @@ func TestGatePinFilter(t *testing.T) {
 	out.Reset()
 	if code := run([]string{"-gate", path, "-pin", "("}, strings.NewReader(sampleBench), &out, &out); code != 2 {
 		t.Fatalf("bad pin exited %d", code)
+	}
+}
+
+func TestGateAllocsZeroBaseline(t *testing.T) {
+	// A 0-alloc baseline is a structural claim: ANY allocs/op increase
+	// fails the gate even when ns/op is unchanged.
+	zero := strings.ReplaceAll(sampleBench, "26 allocs/op", "0 allocs/op")
+	path := writeBaselineFrom(t, zero)
+	var out bytes.Buffer
+	if code := run([]string{"-gate", path}, strings.NewReader(zero), &out, os.Stderr); code != 0 {
+		t.Fatalf("clean 0-alloc gate exited %d: %s", code, out.String())
+	}
+	leak := strings.ReplaceAll(zero, "0 allocs/op", "1 allocs/op")
+	out.Reset()
+	if code := run([]string{"-gate", path}, strings.NewReader(leak), &out, os.Stderr); code != 1 {
+		t.Fatalf("0→1 allocs gate exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION (allocs/op)") || !strings.Contains(out.String(), "GATE FAILED") {
+		t.Fatalf("gate output: %s", out.String())
+	}
+}
+
+func TestGateAllocsThreshold(t *testing.T) {
+	path := writeBaseline(t)
+	// 26 → 28 allocs/op is +7.7%, under the 10% gate default: passes.
+	under := strings.ReplaceAll(sampleBench, "26 allocs/op", "28 allocs/op")
+	var out bytes.Buffer
+	if code := run([]string{"-gate", path}, strings.NewReader(under), &out, os.Stderr); code != 0 {
+		t.Fatalf("+8%% allocs gate exited %d: %s", code, out.String())
+	}
+	// 26 → 30 is +15%: fails even with ns/op flat.
+	over := strings.ReplaceAll(sampleBench, "26 allocs/op", "30 allocs/op")
+	out.Reset()
+	if code := run([]string{"-gate", path}, strings.NewReader(over), &out, os.Stderr); code != 1 {
+		t.Fatalf("+15%% allocs gate exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION (allocs/op)") {
+		t.Fatalf("gate output: %s", out.String())
+	}
+	// The pin filter applies to allocs regressions like ns/op ones.
+	out.Reset()
+	if code := run([]string{"-gate", path, "-pin", "SMISparse"}, strings.NewReader(over), &out, os.Stderr); code != 0 {
+		t.Fatalf("unpinned allocs regression exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "(regressed, unpinned)") {
+		t.Fatalf("gate output: %s", out.String())
 	}
 }
 

@@ -8,11 +8,18 @@
 //	purity     — protocol Move rules are pure functions of the local View
 //	exhaustive — switches over enum-like constant sets cover every member
 //	lockorder  — the cross-package mutex acquisition order is acyclic
+//	noalloc    — //selfstab:noalloc functions perform no heap allocation
+//	shardsafe  — ShardKernel commit/mark phases honor shard write ownership
 //
-// The last three are the dataflow tier: purity and lockorder run
-// flow-sensitive analyses over internal/analysis/cfg control-flow
-// graphs and exchange function summaries and acquisition edges between
-// packages through the driver's fact files.
+// purity, exhaustive, and lockorder are the dataflow tier: purity and
+// lockorder run flow-sensitive analyses over internal/analysis/cfg
+// control-flow graphs and exchange function summaries and acquisition
+// edges between packages through the driver's fact files. noalloc and
+// shardsafe are the allocation/shard-isolation tier: noalloc threads
+// interprocedural allocation summaries (and annotated interface
+// contracts) through the same fact files, and shardsafe runs a
+// must-analysis over the CFG proving every state-vector access in a
+// shard kernel is derived from the shard's owned batch or the CSR rows.
 //
 // It is not run directly; the go command drives it one package at a
 // time:
@@ -32,11 +39,14 @@ import (
 	"selfstab/internal/analysis/guarded"
 	"selfstab/internal/analysis/lockorder"
 	"selfstab/internal/analysis/mapiter"
+	"selfstab/internal/analysis/noalloc"
 	"selfstab/internal/analysis/purity"
+	"selfstab/internal/analysis/shardsafe"
 	"selfstab/internal/analysis/unit"
 )
 
 func main() {
 	unit.Main(detrand.New(), mapiter.New(), guarded.New(),
-		purity.New(), exhaustive.New(), lockorder.New())
+		purity.New(), exhaustive.New(), lockorder.New(),
+		noalloc.New(), shardsafe.New())
 }

@@ -10,7 +10,9 @@ import (
 	"selfstab/internal/analysis/linttest"
 	"selfstab/internal/analysis/lockorder"
 	"selfstab/internal/analysis/mapiter"
+	"selfstab/internal/analysis/noalloc"
 	"selfstab/internal/analysis/purity"
+	"selfstab/internal/analysis/shardsafe"
 )
 
 // TestSuiteAcceptsSchedulerPackages is the regression pin for the
@@ -34,5 +36,6 @@ func TestSuiteAcceptsSchedulerPackages(t *testing.T) {
 			"selfstab/internal/runtime",
 		},
 		detrand.New(), mapiter.New(), guarded.New(),
-		purity.New(), exhaustive.New(), lockorder.New())
+		purity.New(), exhaustive.New(), lockorder.New(),
+		noalloc.New(), shardsafe.New())
 }

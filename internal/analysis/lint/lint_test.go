@@ -161,3 +161,75 @@ func a() int {
 		t.Fatalf("diagnostics = %+v, want malformed-directive and return findings", diags)
 	}
 }
+
+// TestNewAnalyzerNamesSuppression is the regression pin for the
+// allocation/shard-isolation tier's suppression spellings: the driver
+// must honor `//lint:ignore noalloc <reason>`, `//lint:ignore
+// shardsafe <reason>`, and the combined `//lint:ignore
+// noalloc,shardsafe <reason>` list exactly as it does for the older
+// analyzers (stub analyzers stand in for the real ones, which cannot
+// be imported here without a cycle; the real-analyzer suppressions are
+// exercised by their fixture packages).
+func TestNewAnalyzerNamesSuppression(t *testing.T) {
+	src := `package x
+
+func a() int {
+	//lint:ignore noalloc caller pre-sizes the buffer
+	return 1
+}
+
+func b() int {
+	//lint:ignore shardsafe index proven owned by construction
+	return 2
+}
+
+func c() int {
+	//lint:ignore noalloc,shardsafe both tiers excused here
+	return 3
+}
+
+func d() int {
+	return 4
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: map[*ast.Ident]types.Object{}, Uses: map[*ast.Ident]types.Object{}}
+	pkg, err := (&types.Config{}).Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) *Analyzer {
+		return &Analyzer{Name: name, Doc: name, Run: func(p *Pass) (any, error) {
+			ast.Inspect(p.Files[0], func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					p.Reportf(r.Pos(), "%s finding", name)
+				}
+				return true
+			})
+			return nil, nil
+		}}
+	}
+	diags, err := Run(fset, []*ast.File{f}, pkg, info, []*Analyzer{mk("noalloc"), mk("shardsafe")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a(): shardsafe survives; b(): noalloc survives; c(): both
+	// silenced; d(): both survive.
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer)
+	}
+	want := []string{"shardsafe", "noalloc", "noalloc", "shardsafe"}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics = %+v, want analyzers %v", diags, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diagnostics = %+v, want analyzers %v", diags, want)
+		}
+	}
+}

@@ -1,0 +1,757 @@
+// Package noalloc implements an interprocedural allocation/escape
+// analyzer for functions annotated //selfstab:noalloc.
+//
+// The annotation is a machine-checked claim that a function's body
+// performs no heap allocation on any path: no composite literals that
+// escape, no append growth, no map or channel operations, no interface
+// boxing, no closure captures, no string conversions or concatenation,
+// no defer/go statements, and no calls to callees that are not
+// themselves known allocation-free.
+//
+// Call resolution is interprocedural: within a package, summaries are
+// computed to a fixpoint over the call graph; across packages, each
+// bodied function whose summary is allocation-free exports an AllocFact
+// through the unitchecker fact protocol, and interface methods
+// annotated at their declaration site export a package-level
+// ContractsFact so dynamic calls through annotated interfaces are
+// accepted. A small stdlib table covers the leaf packages the hot
+// paths use (math/bits, encoding/binary, sync/atomic, sort.Search,
+// mutex lock/unlock).
+//
+// The analyzer is deliberately conservative in one direction only: a
+// callee with no summary, no fact, and no stdlib entry is assumed to
+// allocate. Channel sends and receives on existing channels are not
+// flagged — they do not allocate — only make(chan) does.
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"selfstab/internal/analysis/lint"
+)
+
+// Directive is the comment that marks a function as allocation-free.
+const Directive = "//selfstab:noalloc"
+
+// AllocFact is exported for every bodied package-level function or
+// method whose body summary is allocation-free. Absence of a fact
+// means the function may allocate.
+type AllocFact struct {
+	Free bool
+}
+
+// AFact marks AllocFact as a serializable analysis fact.
+func (*AllocFact) AFact() {}
+
+// ContractsFact is a package fact listing interface methods declared
+// with the //selfstab:noalloc directive, keyed "Type.Method". A call
+// through such a method is accepted as allocation-free; every concrete
+// implementation that is itself annotated is checked independently.
+type ContractsFact struct {
+	NoAlloc []string
+}
+
+// AFact marks ContractsFact as a serializable analysis fact.
+func (*ContractsFact) AFact() {}
+
+// New returns the noalloc analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "noalloc",
+		Doc:  "check that //selfstab:noalloc functions perform no heap allocation",
+		Run:  run,
+	}
+}
+
+type analysis struct {
+	pass *lint.Pass
+
+	// summaries[fn] == true means fn may allocate. Only functions
+	// declared in this package appear here.
+	summaries map[*types.Func]bool
+	// declared marks bodied functions in this package, so the
+	// fixpoint can be optimistic about not-yet-summarized callees.
+	declared map[*types.Func]bool
+	// annotatedFns marks functions carrying the directive: callers
+	// trust the claim (violations surface at the annotated
+	// declaration, where they are fixed or reasonedly suppressed).
+	annotatedFns map[*types.Func]bool
+	// contracts holds "Type.Method" keys for annotated interface
+	// methods declared in this package.
+	contracts map[string]bool
+	// importedContracts caches per-package contract sets loaded from
+	// package facts, keyed by import path.
+	importedContracts map[string]map[string]bool
+}
+
+func run(pass *lint.Pass) (any, error) {
+	a := &analysis{
+		pass:              pass,
+		summaries:         make(map[*types.Func]bool),
+		declared:          make(map[*types.Func]bool),
+		annotatedFns:      make(map[*types.Func]bool),
+		contracts:         make(map[string]bool),
+		importedContracts: make(map[string]map[string]bool),
+	}
+
+	var decls []*ast.FuncDecl
+	annotated := make(map[*ast.FuncDecl]bool)
+	for _, f := range pass.Files {
+		if lint.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				if d.Body == nil {
+					// Assembly or linkname stubs: trust the
+					// annotation if present, otherwise assume
+					// the worst.
+					a.summaries[fn] = !marked(d.Doc)
+					continue
+				}
+				decls = append(decls, d)
+				a.declared[fn] = true
+				if marked(d.Doc) {
+					annotated[d] = true
+					a.annotatedFns[fn] = true
+				}
+			case *ast.GenDecl:
+				a.collectContracts(d)
+			}
+		}
+	}
+
+	// Fixpoint: start optimistic (declared functions are assumed free
+	// until their body proves otherwise) so that mutual recursion
+	// converges; mayAllocate is monotone in the summaries, so flags
+	// only ever turn on.
+	for iter := 0; iter < 12; iter++ {
+		changed := false
+		for _, d := range decls {
+			fn := pass.TypesInfo.Defs[d.Name].(*types.Func)
+			may := a.mayAllocate(d)
+			if a.summaries[fn] != may {
+				a.summaries[fn] = may
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Export facts: allocation-free bodies and annotated interface
+	// methods, for downstream packages.
+	for _, d := range decls {
+		fn := pass.TypesInfo.Defs[d.Name].(*types.Func)
+		if !a.summaries[fn] || a.annotatedFns[fn] {
+			pass.ExportObjectFact(fn, &AllocFact{Free: true})
+		}
+	}
+	if len(a.contracts) > 0 {
+		keys := make([]string, 0, len(a.contracts))
+		for k := range a.contracts {
+			keys = append(keys, k)
+		}
+		// Deterministic order for the fact file.
+		sort.Strings(keys)
+		pass.ExportPackageFact(&ContractsFact{NoAlloc: keys})
+	}
+
+	// Diagnose: replay the walk over each annotated body with
+	// reporting enabled.
+	for _, d := range decls {
+		if !annotated[d] {
+			continue
+		}
+		desc := funcDesc(d)
+		a.walk(d, func(pos token.Pos, msg string) {
+			pass.Reportf(pos, "%s is marked //selfstab:noalloc but %s", desc, msg)
+		})
+	}
+	return nil, nil
+}
+
+// marked reports whether a comment group carries the noalloc directive
+// on a line of its own.
+func marked(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == Directive || strings.HasPrefix(text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectContracts records annotated interface methods declared in a
+// type declaration group.
+func (a *analysis) collectContracts(d *ast.GenDecl) {
+	if d.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		it, ok := ts.Type.(*ast.InterfaceType)
+		if !ok || it.Methods == nil {
+			continue
+		}
+		for _, m := range it.Methods.List {
+			if len(m.Names) != 1 {
+				continue // embedded interface
+			}
+			if marked(m.Doc) || marked(m.Comment) {
+				a.contracts[ts.Name.Name+"."+m.Names[0].Name] = true
+			}
+		}
+	}
+}
+
+// mayAllocate computes the current summary for one body: true if any
+// statement allocates under the present summaries.
+func (a *analysis) mayAllocate(d *ast.FuncDecl) bool {
+	may := false
+	a.walk(d, func(token.Pos, string) { may = true })
+	return may
+}
+
+// allocFree reports whether calling fn is known not to allocate.
+func (a *analysis) allocFree(fn *types.Func) bool {
+	fn = fn.Origin()
+	if a.annotatedFns[fn] {
+		return true
+	}
+	if may, ok := a.summaries[fn]; ok {
+		return !may
+	}
+	if key := contractKey(fn); key != "" {
+		if fn.Pkg() == a.pass.Pkg {
+			if a.contracts[key] {
+				return true
+			}
+		} else if fn.Pkg() != nil && a.contractSet(fn.Pkg().Path())[key] {
+			return true
+		}
+	}
+	if fn.Pkg() == nil {
+		return false // error.Error and friends
+	}
+	if fn.Pkg() == a.pass.Pkg {
+		// Same package, no summary yet: optimistic for declared
+		// bodies (the fixpoint will flip it if needed), pessimistic
+		// otherwise.
+		return a.declared[fn]
+	}
+	var fact AllocFact
+	if a.pass.ImportObjectFact(fn, &fact) {
+		return fact.Free
+	}
+	return stdlibAllocFree(fn.Pkg().Path(), fn.Name())
+}
+
+// contractSet loads (once) the annotated-interface-method set exported
+// by an imported package.
+func (a *analysis) contractSet(path string) map[string]bool {
+	if set, ok := a.importedContracts[path]; ok {
+		return set
+	}
+	set := make(map[string]bool)
+	var fact ContractsFact
+	if a.pass.ImportPackageFact(path, &fact) {
+		for _, k := range fact.NoAlloc {
+			set[k] = true
+		}
+	}
+	a.importedContracts[path] = set
+	return set
+}
+
+// contractKey returns "Type.Method" for an interface method, or "" if
+// fn is not a method on a named interface type.
+func contractKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name() + "." + fn.Name()
+}
+
+// stdlibAllocFree is the summary table for standard-library leaves the
+// hot paths rely on. Everything not listed is assumed to allocate.
+func stdlibAllocFree(path, name string) bool {
+	switch path {
+	case "math", "math/bits", "sync/atomic", "cmp":
+		return true
+	case "encoding/binary":
+		switch name {
+		case "Uint16", "Uint32", "Uint64",
+			"PutUint16", "PutUint32", "PutUint64":
+			return true
+		}
+	case "sync":
+		switch name {
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock",
+			"Add", "Done", "Wait",
+			"Load", "Store", "Swap", "CompareAndSwap":
+			return true
+		}
+	case "sort":
+		switch name {
+		case "Search", "SearchInts", "SearchStrings", "SearchFloat64s":
+			return true
+		}
+	}
+	return false
+}
+
+// reporter receives one message per allocation site.
+type reporter func(pos token.Pos, msg string)
+
+// walk scans one function body and reports every allocation or escape
+// site to report. It is used both for summary computation (report sets
+// a flag) and for diagnosis (report emits a diagnostic).
+func (a *analysis) walk(d *ast.FuncDecl, report reporter) {
+	info := a.pass.TypesInfo
+
+	// Pre-pass: function literals (for return-statement result-type
+	// resolution) and the set of expressions used as call functions
+	// (so `x.M()` is not also flagged as a bound-method value).
+	var lits []*ast.FuncLit
+	callFun := make(map[ast.Expr]bool)
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+		case *ast.CallExpr:
+			callFun[unparen(n.Fun)] = true
+		}
+		return true
+	})
+	// resultsOf returns the result tuple of the innermost enclosing
+	// function at pos (a nested literal or the declaration itself).
+	resultsOf := func(pos token.Pos) *types.Tuple {
+		var best *ast.FuncLit
+		for _, l := range lits {
+			if l.Body.Pos() <= pos && pos <= l.Body.End() {
+				if best == nil || (best.Body.Pos() <= l.Body.Pos() && l.Body.End() <= best.Body.End()) {
+					best = l
+				}
+			}
+		}
+		if best != nil {
+			if sig, ok := info.Types[best].Type.(*types.Signature); ok {
+				return sig.Results()
+			}
+			return nil
+		}
+		if fn, ok := info.Defs[d.Name].(*types.Func); ok {
+			return fn.Type().(*types.Signature).Results()
+		}
+		return nil
+	}
+
+	handledLit := make(map[*ast.CompositeLit]bool)
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := unparen(n.X).(*ast.CompositeLit); ok {
+					handledLit[cl] = true
+					report(n.Pos(), "takes the address of a composite literal, which escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if handledLit[n] {
+				return true
+			}
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "constructs a slice literal, which allocates its backing array")
+				case *types.Map:
+					report(n.Pos(), "constructs a map literal, which allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if v := capturedVar(info, n); v != "" {
+				report(n.Pos(), fmt.Sprintf("defines a closure capturing %s, which allocates", v))
+			}
+		case *ast.DeferStmt:
+			report(n.Pos(), "uses defer, which may allocate its frame")
+		case *ast.GoStmt:
+			report(n.Pos(), "starts a goroutine, which allocates a stack")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info, n.X) && info.Types[n].Value == nil {
+				report(n.Pos(), "concatenates strings, which allocates")
+			}
+		case *ast.AssignStmt:
+			a.checkAssign(n, resultsOf, report)
+		case *ast.IncDecStmt:
+			if idx, ok := unparen(n.X).(*ast.IndexExpr); ok && isMapIndex(info, idx) {
+				report(n.Pos(), "updates a map entry, which may allocate")
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				dst := info.Types[n.Type].Type
+				for _, v := range n.Values {
+					a.checkBox(dst, v, report)
+				}
+			}
+		case *ast.ReturnStmt:
+			if res := resultsOf(n.Pos()); res != nil && res.Len() == len(n.Results) {
+				for i, r := range n.Results {
+					a.checkBox(res.At(i).Type(), r, report)
+				}
+			}
+		case *ast.CallExpr:
+			a.checkCall(n, report)
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !callFun[n] {
+				report(n.Pos(), fmt.Sprintf("takes the bound method value %s, which allocates", n.Sel.Name))
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign reports map writes, string concat-assign, and interface
+// boxing introduced by an assignment.
+func (a *analysis) checkAssign(n *ast.AssignStmt, resultsOf func(token.Pos) *types.Tuple, report reporter) {
+	_ = resultsOf
+	info := a.pass.TypesInfo
+	for _, lhs := range n.Lhs {
+		if idx, ok := unparen(lhs).(*ast.IndexExpr); ok && isMapIndex(info, idx) {
+			report(lhs.Pos(), "writes a map entry, which may allocate")
+		}
+	}
+	if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info, n.Lhs[0]) {
+		report(n.Pos(), "concatenates strings, which allocates")
+	}
+	if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+		for i, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if tv, ok := info.Types[lhs]; ok {
+				a.checkBox(tv.Type, n.Rhs[i], report)
+			}
+		}
+	}
+}
+
+// checkBox reports when assigning src into a destination of interface
+// type dst would box a non-pointer-shaped value.
+func (a *analysis) checkBox(dst types.Type, src ast.Expr, report reporter) {
+	if dst == nil {
+		return
+	}
+	info := a.pass.TypesInfo
+	if _, ok := dst.(*types.TypeParam); ok {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil {
+		return // constants: small ints are interned, strings share backing
+	}
+	st := tv.Type
+	if _, ok := st.(*types.TypeParam); ok {
+		return
+	}
+	if st == types.Typ[types.UntypedNil] {
+		return
+	}
+	switch st.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map,
+		*types.Signature:
+		return // pointer-shaped: no boxing allocation
+	case *types.Basic:
+		if st.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	report(src.Pos(), fmt.Sprintf("converts %s to an interface, which boxes the value on the heap", types.TypeString(st, types.RelativeTo(a.pass.Pkg))))
+}
+
+// checkCall classifies one call expression.
+func (a *analysis) checkCall(call *ast.CallExpr, report reporter) {
+	info := a.pass.TypesInfo
+	fun := unparen(call.Fun)
+
+	// Conversions.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		dst := tv.Type
+		if len(call.Args) == 1 {
+			src := call.Args[0]
+			stv := info.Types[src]
+			if stv.Value == nil && stv.Type != nil {
+				if isStringByteConv(dst, stv.Type) {
+					report(call.Pos(), "converts between string and byte/rune slice, which allocates")
+					return
+				}
+			}
+			a.checkBox(dst, src, report)
+		}
+		return
+	}
+
+	// Unwrap explicit generic instantiation. rt.fns[i](...) also
+	// parses as IndexExpr; the resolved object below disambiguates.
+	base := fun
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		base = unparen(e.X)
+	case *ast.IndexListExpr:
+		base = unparen(e.X)
+	}
+
+	var obj types.Object
+	switch e := base.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		report(call.Pos(), "calls through a function value, which cannot be proven allocation-free")
+		return
+	}
+
+	switch obj := obj.(type) {
+	case *types.Builtin:
+		a.builtinCall(obj.Name(), call, report)
+		return
+	case *types.Func:
+		if !a.allocFree(obj) {
+			report(call.Pos(), fmt.Sprintf("calls %s, which is not known to be allocation-free", callName(obj)))
+		}
+		a.checkCallArgs(call, report)
+		return
+	case *types.Var:
+		// Function-typed variable (field, parameter, or slice
+		// element): dynamic call with no summary. If the base was an
+		// index into a function slice the same message applies.
+		report(call.Pos(), "calls through a function value, which cannot be proven allocation-free")
+		return
+	case *types.TypeName:
+		// Generic conversion form T[x](v) — treat like a conversion.
+		return
+	}
+	report(call.Pos(), "calls through a function value, which cannot be proven allocation-free")
+}
+
+// checkCallArgs reports interface boxing at the call boundary.
+func (a *analysis) checkCallArgs(call *ast.CallExpr, report reporter) {
+	info := a.pass.TypesInfo
+	tv, ok := info.Types[unparen(call.Fun)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	if sig.Variadic() {
+		if call.Ellipsis != token.NoPos {
+			// f(xs...) reuses the slice.
+			for i, arg := range call.Args {
+				if i >= np-1 {
+					break
+				}
+				a.checkBox(sig.Params().At(i).Type(), arg, report)
+			}
+			return
+		}
+		if len(call.Args) >= np {
+			report(call.Pos(), "calls a variadic function, which allocates the argument slice")
+		}
+		for i, arg := range call.Args {
+			if i < np-1 {
+				a.checkBox(sig.Params().At(i).Type(), arg, report)
+			} else {
+				elem := sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+				a.checkBox(elem, arg, report)
+			}
+		}
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= np {
+			break
+		}
+		a.checkBox(sig.Params().At(i).Type(), arg, report)
+	}
+}
+
+// builtinCall reports allocating builtins.
+func (a *analysis) builtinCall(name string, call *ast.CallExpr, report reporter) {
+	switch name {
+	case "append":
+		report(call.Pos(), "calls append, which may grow the backing array")
+	case "make":
+		report(call.Pos(), "calls make, which allocates")
+	case "new":
+		report(call.Pos(), "calls new, which allocates")
+	case "print", "println":
+		report(call.Pos(), "calls "+name+", which may allocate")
+	case "panic":
+		if len(call.Args) == 1 {
+			a.checkBox(types.NewInterfaceType(nil, nil), call.Args[0], report)
+		}
+	}
+}
+
+// capturedVar returns the name of a variable the literal captures from
+// an enclosing scope, or "".
+func capturedVar(info *types.Info, lit *ast.FuncLit) string {
+	var name string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-scope variable: not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isMapIndex(info *types.Info, idx *ast.IndexExpr) bool {
+	tv, ok := info.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isStringByteConv reports a string<->[]byte/[]rune conversion.
+func isStringByteConv(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// funcDesc renders "F" or "(T).M" for diagnostics.
+func funcDesc(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	name := "?"
+	switch t := t.(type) {
+	case *ast.Ident:
+		name = t.Name
+	case *ast.IndexExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			name = id.Name
+		}
+	}
+	return "(" + name + ")." + d.Name.Name
+}
+
+// callName renders a callee for diagnostics.
+func callName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		return recvTypeName(sig.Recv().Type()) + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

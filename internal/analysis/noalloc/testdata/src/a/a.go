@@ -1,0 +1,165 @@
+// Fixture for the noalloc analyzer: each allocation class an annotated
+// function can hit, the allocation-free shapes the real hot paths rely
+// on, and the suppression forms.
+package a
+
+import (
+	"math/bits"
+	"sort"
+)
+
+type NodeID int32
+
+type Sink interface{ Put(int) }
+
+// ---------------------------------------------------------------------
+// Clean shapes: none of these may produce diagnostics.
+
+//selfstab:noalloc
+func Clean(buf []int, n int) int {
+	sum := 0
+	for i := 0; i < n && i < len(buf); i++ {
+		buf[i] = i
+		sum += buf[i]
+	}
+	sum += bits.OnesCount64(uint64(n))
+	return sum
+}
+
+// helper is not annotated but is allocation-free; Clean2 may call it.
+func helper(x int) int { return x * 2 }
+
+//selfstab:noalloc
+func Clean2(x int) int {
+	return helper(x) + helper(x+1)
+}
+
+// cycleA/cycleB: mutual recursion must converge to allocation-free.
+
+//selfstab:noalloc
+func cycleA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return cycleB(n - 1)
+}
+
+func cycleB(n int) int { return cycleA(n - 1) }
+
+//selfstab:noalloc
+func CleanSearch(xs []int, v int) int {
+	return sort.SearchInts(xs, v)
+}
+
+// Kernel's Tick is an annotated interface contract: calls through it
+// are accepted, implementations are checked at their own declarations.
+type Kernel interface {
+	//selfstab:noalloc
+	Tick(n int) int
+
+	Slow() []int
+}
+
+//selfstab:noalloc
+func Drive(k Kernel, n int) int {
+	return k.Tick(n)
+}
+
+// ---------------------------------------------------------------------
+// Allocating shapes: one want per class.
+
+// alloc is transitively allocating: callers must be flagged.
+func alloc(n int) []int { return make([]int, n) }
+
+//selfstab:noalloc
+func BadCall(n int) int {
+	return len(alloc(n)) // want `BadCall is marked //selfstab:noalloc but calls a.alloc, which is not known to be allocation-free`
+}
+
+//selfstab:noalloc
+func BadAppend(xs []int, v int) []int {
+	return append(xs, v) // want `calls append, which may grow the backing array`
+}
+
+//selfstab:noalloc
+func BadMake(n int) []int {
+	return make([]int, n) // want `calls make, which allocates`
+}
+
+//selfstab:noalloc
+func BadNew() *int {
+	return new(int) // want `calls new, which allocates`
+}
+
+//selfstab:noalloc
+func BadLit(n int) int {
+	xs := []int{n, n + 1} // want `constructs a slice literal, which allocates its backing array`
+	return xs[0]
+}
+
+type pair struct{ a, b int }
+
+//selfstab:noalloc
+func BadEscape(n int) *pair {
+	return &pair{n, n + 1} // want `takes the address of a composite literal, which escapes to the heap`
+}
+
+//selfstab:noalloc
+func BadMap(m map[int]int, k int) {
+	m[k] = k // want `writes a map entry, which may allocate`
+}
+
+//selfstab:noalloc
+func BadBox(s Sink, v int) {
+	var x interface{} = v // want `converts int to an interface, which boxes the value on the heap`
+	_ = x
+}
+
+//selfstab:noalloc
+func BadString(s string) []byte {
+	return []byte(s) // want `converts between string and byte/rune slice, which allocates`
+}
+
+//selfstab:noalloc
+func BadConcat(a, b string) string {
+	return a + b // want `concatenates strings, which allocates`
+}
+
+//selfstab:noalloc
+func BadDefer(x int) {
+	defer helper(x) // want `uses defer, which may allocate its frame`
+}
+
+//selfstab:noalloc
+func BadClosure(n int) func() int {
+	return func() int { return n } // want `defines a closure capturing n, which allocates`
+}
+
+//selfstab:noalloc
+func BadFuncValue(f func(int) int, n int) int {
+	return f(n) // want `calls through a function value, which cannot be proven allocation-free`
+}
+
+//selfstab:noalloc
+func BadInterfaceCall(k Kernel) int {
+	return len(k.Slow()) // want `calls Kernel.Slow, which is not known to be allocation-free`
+}
+
+// ---------------------------------------------------------------------
+// Suppression forms: the driver must silence both the single-analyzer
+// and the multi-analyzer-list spellings.
+
+//selfstab:noalloc
+func Suppressed(xs []int, v int) []int {
+	//lint:ignore noalloc caller guarantees cap(xs) > len(xs)
+	return append(xs, v)
+}
+
+//selfstab:noalloc
+func SuppressedMulti(xs []int, v int) []int {
+	//lint:ignore noalloc,shardsafe caller guarantees capacity
+	return append(xs, v)
+}
+
+// Unannotated functions may allocate freely.
+func Unchecked() []int { return make([]int, 8) }

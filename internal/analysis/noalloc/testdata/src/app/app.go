@@ -1,0 +1,19 @@
+// Fixture dependent package: calls into dep, whose allocation
+// summaries and interface contracts arrive as imported facts — the
+// absence/presence of the diagnostics below proves the round-trip.
+package app
+
+import "dep"
+
+//selfstab:noalloc
+func Hot(xs []int) int {
+	s := dep.Sum(xs)     // imported AllocFact: allocation-free, no diagnostic
+	s = dep.Step(s)      // annotated + free: no diagnostic
+	xs = dep.Grow(xs, s) // want `Hot is marked //selfstab:noalloc but calls dep.Grow, which is not known to be allocation-free`
+	return s + len(xs)
+}
+
+//selfstab:noalloc
+func Drive(k dep.Kernel, n int) int {
+	return k.Tick(n) // imported ContractsFact: sanctioned, no diagnostic
+}

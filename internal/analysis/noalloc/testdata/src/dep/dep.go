@@ -1,0 +1,29 @@
+// Fixture dependency package: allocation-free summaries and annotated
+// interface contracts exported as facts, imported when testdata/src/app
+// is analyzed.
+package dep
+
+// Step is annotated and allocation-free: exports an AllocFact.
+//
+//selfstab:noalloc
+func Step(x int) int { return x + 1 }
+
+// Sum is unannotated but allocation-free: the fact must still flow so
+// downstream annotated callers are accepted.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Grow allocates; downstream annotated callers must be flagged.
+func Grow(xs []int, v int) []int { return append(xs, v) }
+
+// Kernel carries an annotated interface contract exported as a
+// package fact.
+type Kernel interface {
+	//selfstab:noalloc
+	Tick(n int) int
+}

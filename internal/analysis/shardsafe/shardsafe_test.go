@@ -1,0 +1,29 @@
+package shardsafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"selfstab/internal/analysis/linttest"
+	"selfstab/internal/analysis/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", shardsafe.New())
+}
+
+// TestShardsafeAcceptsRepoKernels is the regression pin: the SMM/SMI
+// CommitBatch/MarkBatch implementations the sharded executor actually
+// runs must satisfy the ownership discipline with zero diagnostics. A
+// new diagnostic here means either a kernel gained a real cross-shard
+// access or the analyzer gained a false positive; both need a human
+// before the pin moves.
+func TestShardsafeAcceptsRepoKernels(t *testing.T) {
+	resolve := linttest.ModuleResolver("selfstab", filepath.Join("..", "..", ".."))
+	linttest.RunPackages(t, resolve,
+		[]string{
+			"selfstab/internal/core",
+			"selfstab/internal/sim",
+		},
+		shardsafe.New())
+}

@@ -82,6 +82,10 @@ type Protocol[S comparable] interface {
 // must be safe for concurrent calls over disjoint id sets: the
 // data-parallel executor partitions a round's frontier across workers.
 type BatchEvaluator[S comparable] interface {
+	// MoveBatch is an allocation-free contract: implementations and the
+	// round loops that call it are checked by the noalloc analyzer.
+	//
+	//selfstab:noalloc
 	MoveBatch(ids []graph.NodeID, csr *graph.CSR, states []S, next []S, moved []bool)
 }
 
@@ -97,6 +101,9 @@ type BatchEvaluator[S comparable] interface {
 // what the metamorphic equivalence suite replays for. Unlike MoveBatch,
 // InstallBatch is called from one goroutine only.
 type BatchInstaller[S comparable] interface {
+	// InstallBatch is an allocation-free contract (see noalloc).
+	//
+	//selfstab:noalloc
 	InstallBatch(ids []graph.NodeID, csr *graph.CSR, states []S, next []S, moved []bool, f *graph.Frontier) int
 }
 
@@ -124,10 +131,16 @@ type BatchInstaller[S comparable] interface {
 // distinct frontiers.
 type ShardKernel[S comparable] interface {
 	// CommitBatch installs next[id] into states[id] for every id in ids
-	// and returns the number of ids with moved[id] set.
+	// and returns the number of ids with moved[id] set. Allocation-free
+	// contract (noalloc); write-ownership checked by shardsafe.
+	//
+	//selfstab:noalloc
 	CommitBatch(ids []graph.NodeID, states []S, next []S, moved []bool) int
 	// MarkBatch marks on f every node whose view this shard's movers
-	// changed, reading only post-round states.
+	// changed, reading only post-round states. Allocation-free contract
+	// (noalloc); phase discipline checked by shardsafe.
+	//
+	//selfstab:noalloc
 	MarkBatch(ids []graph.NodeID, csr *graph.CSR, states []S, moved []bool, f *graph.Frontier)
 }
 

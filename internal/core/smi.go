@@ -66,6 +66,8 @@ func (*SMI) Move(v View[bool]) (bool, bool) {
 
 // MoveBatch implements BatchEvaluator: the rules of Move over a direct
 // state vector, one call per round instead of one per node.
+//
+//selfstab:noalloc
 func (*SMI) MoveBatch(ids []graph.NodeID, csr *graph.CSR, states, next []bool, moved []bool) {
 	offs, nbrs := csr.Rows32()
 	for _, id := range ids {
@@ -97,6 +99,8 @@ func (*SMI) MoveBatch(ids []graph.NodeID, csr *graph.CSR, states, next []bool, m
 // InstallBatch implements BatchInstaller. Both rules test only neighbors
 // with bigger IDs, so a state change at id can re-privilege a neighbor w
 // only when w < id — the ascending CSR row makes those a prefix.
+//
+//selfstab:noalloc
 func (*SMI) InstallBatch(ids []graph.NodeID, csr *graph.CSR, states, next []bool, moved []bool, f *graph.Frontier) int {
 	offs, nbrs := csr.Rows32()
 	mv := 0
@@ -126,6 +130,8 @@ func (*SMI) InstallBatch(ids []graph.NodeID, csr *graph.CSR, states, next []bool
 // CommitBatch implements ShardKernel: the commit half of InstallBatch
 // (moved coincides with "the state changed" — SMI flips the bit). Writes
 // touch only ids' slots — safe across shards with disjoint id sets.
+//
+//selfstab:noalloc
 func (*SMI) CommitBatch(ids []graph.NodeID, states, next []bool, moved []bool) int {
 	mv := 0
 	for _, id := range ids {
@@ -142,6 +148,8 @@ func (*SMI) CommitBatch(ids []graph.NodeID, states, next []bool, moved []bool) i
 // prefix from the CSR alone (the InstallBatch comment explains why no
 // self re-mark is needed) — so it is trivially sound under any commit
 // order, including the sharded all-installs-first order.
+//
+//selfstab:noalloc
 func (*SMI) MarkBatch(ids []graph.NodeID, csr *graph.CSR, _ []bool, moved []bool, f *graph.Frontier) {
 	offs, nbrs := csr.Rows32()
 	for _, id := range ids {

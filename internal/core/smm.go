@@ -15,9 +15,13 @@ type Pointer int32
 const Null Pointer = -1
 
 // IsNull reports whether the pointer is Λ.
+//
+//selfstab:noalloc
 func (p Pointer) IsNull() bool { return p == Null }
 
 // Node returns the pointed-at node; it panics on Null.
+//
+//selfstab:noalloc
 func (p Pointer) Node() graph.NodeID {
 	if p == Null {
 		panic("core: Node() on null pointer")
@@ -26,6 +30,8 @@ func (p Pointer) Node() graph.NodeID {
 }
 
 // PointAt returns a pointer at node j.
+//
+//selfstab:noalloc
 func PointAt(j graph.NodeID) Pointer { return Pointer(j) }
 
 // String renders "Λ" or the target ID.
@@ -187,6 +193,8 @@ func (s *SMM) Move(v View[Pointer]) (Pointer, bool) {
 // R2's scans — the first proposer found IS the min-ID accept target, so
 // the sweep returns on it, and the first null-pointer neighbor seen is
 // remembered as the min-ID proposal candidate.
+//
+//selfstab:noalloc
 func (s *SMM) moveDirect(id graph.NodeID, self Pointer, nbrs []graph.NodeID, peers []Pointer) (Pointer, bool) {
 	me := Pointer(id)
 	if self.IsNull() {
@@ -221,6 +229,8 @@ func (s *SMM) moveDirect(id graph.NodeID, self Pointer, nbrs []graph.NodeID, pee
 
 // moveDirectPolicies is the null-pointer case of moveDirect under the
 // non-default ablation policies.
+//
+//selfstab:noalloc
 func (s *SMM) moveDirectPolicies(id graph.NodeID, nbrs []graph.NodeID, peers []Pointer) (Pointer, bool) {
 	me := Pointer(id)
 	best := Null
@@ -265,7 +275,9 @@ func (s *SMM) moveDirectPolicies(id graph.NodeID, nbrs []graph.NodeID, peers []P
 			return first, true
 		}
 	default:
-		panic(fmt.Sprintf("core: unknown proposal policy %d", s.Proposal))
+		// Constant message: formatting the policy would allocate on a
+		// path the noalloc contract covers.
+		panic("core: unknown proposal policy")
 	}
 	return Null, false
 }
@@ -273,6 +285,8 @@ func (s *SMM) moveDirectPolicies(id graph.NodeID, nbrs []graph.NodeID, peers []P
 // MoveBatch implements BatchEvaluator: the rules of Move over a direct
 // state vector, one call per round instead of one per node. The default-
 // policy loop is the synchronous executors' hottest code path.
+//
+//selfstab:noalloc
 func (s *SMM) MoveBatch(ids []graph.NodeID, csr *graph.CSR, states, next []Pointer, moved []bool) {
 	if s.Accept != AcceptMinID || s.Proposal != ProposeMinID {
 		woffs, wnbrs := csr.Rows()
@@ -341,6 +355,8 @@ func (s *SMM) MoveBatch(ids []graph.NodeID, csr *graph.CSR, states, next []Point
 // when w points at id; a null node's rules (R1/R2) scan every neighbor,
 // so it always re-evaluates. This holds for every Accept/Proposal policy
 // — policies change which null-neighbor wins, not which states are read.
+//
+//selfstab:noalloc
 func (s *SMM) InstallBatch(ids []graph.NodeID, csr *graph.CSR, states, next []Pointer, moved []bool, f *graph.Frontier) int {
 	offs, nbrs := csr.Rows32()
 	mv := 0
@@ -380,6 +396,8 @@ func (s *SMM) InstallBatch(ids []graph.NodeID, csr *graph.CSR, states, next []Po
 // SMM is deterministic, so moved coincides exactly with "the state
 // changed". Writes touch only ids' slots — safe across shards with
 // disjoint id sets.
+//
+//selfstab:noalloc
 func (s *SMM) CommitBatch(ids []graph.NodeID, states, next []Pointer, moved []bool) int {
 	mv := 0
 	for _, id := range ids {
@@ -399,6 +417,8 @@ func (s *SMM) CommitBatch(ids []graph.NodeID, states, next []Pointer, moved []bo
 // landed on Null (its own shard's mark phase re-marks it) or points at
 // some k, in which case only a change at k — whose mark phase tests
 // exactly this — can re-enable it.
+//
+//selfstab:noalloc
 func (s *SMM) MarkBatch(ids []graph.NodeID, csr *graph.CSR, states []Pointer, moved []bool, f *graph.Frontier) {
 	offs, nbrs := csr.Rows32()
 	for _, id := range ids {
@@ -421,6 +441,8 @@ func (s *SMM) MarkBatch(ids []graph.NodeID, csr *graph.CSR, states []Pointer, mo
 // lists — the common case in the bounded-degree ad hoc topologies — scan
 // linearly: the predictable branch beats binary search's mispredicted
 // halving well past a cache line of IDs.
+//
+//selfstab:noalloc
 func containsNode(nbrs []graph.NodeID, j graph.NodeID) bool {
 	if len(nbrs) <= 32 {
 		for _, x := range nbrs {
@@ -443,6 +465,8 @@ func containsNode(nbrs []graph.NodeID, j graph.NodeID) bool {
 }
 
 // containsNode32 is containsNode over a narrowed CSR row.
+//
+//selfstab:noalloc
 func containsNode32(nbrs []int32, j int32) bool {
 	if len(nbrs) <= 32 {
 		for _, x := range nbrs {

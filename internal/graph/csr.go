@@ -54,20 +54,28 @@ func (g *Graph) Snapshot() *CSR {
 
 // Fresh reports whether the snapshot still matches g: same node count
 // and no edge mutation since BuildCSR.
+//
+//selfstab:noalloc
 func (c *CSR) Fresh(g *Graph) bool {
 	return c != nil && c.version == g.Version() && len(c.offs) == g.N()+1
 }
 
 // N returns the number of nodes in the snapshot.
+//
+//selfstab:noalloc
 func (c *CSR) N() int { return len(c.offs) - 1 }
 
 // Neighbors returns v's neighbor list in ascending ID order, as a
 // subslice of the shared flat array. Callers must not modify it.
+//
+//selfstab:noalloc
 func (c *CSR) Neighbors(v NodeID) []NodeID {
 	return c.nbrs[c.offs[v]:c.offs[v+1]]
 }
 
 // Degree returns the number of neighbors of v.
+//
+//selfstab:noalloc
 func (c *CSR) Degree(v NodeID) int {
 	return int(c.offs[v+1] - c.offs[v])
 }
@@ -75,6 +83,8 @@ func (c *CSR) Degree(v NodeID) int {
 // Rows exposes the raw arrays for batch kernels that slice neighbor
 // lists inline: the neighbor list of v is nbrs[offs[v]:offs[v+1]]. Both
 // slices are read-only.
+//
+//selfstab:noalloc
 func (c *CSR) Rows() (offs []int32, nbrs []NodeID) {
 	return c.offs, c.nbrs
 }
@@ -84,6 +94,8 @@ func (c *CSR) Rows() (offs []int32, nbrs []NodeID) {
 // where the NodeID-width copy does not fit. Node IDs always fit in int32
 // (the dense ID space is bounded by the node count). Both slices are
 // read-only.
+//
+//selfstab:noalloc
 func (c *CSR) Rows32() (offs []int32, nbrs []int32) {
 	return c.offs, c.nbrs32
 }

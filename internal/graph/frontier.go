@@ -41,6 +41,8 @@ func NewFrontier(n int) *Frontier {
 // duplicates, and stray flags set while the frontier is full are cleared
 // when the full state discharges — this is the hot-path insert of the
 // install phase, so it carries no branches and no read-modify-write.
+//
+//selfstab:noalloc
 func (f *Frontier) Add(v NodeID) {
 	f.flags[v] = 1
 }
@@ -49,6 +51,8 @@ func (f *Frontier) Add(v NodeID) {
 // compiled to an unconditional byte OR rather than a branch. Batch
 // installers use it for per-neighbor dependency tests whose outcomes are
 // too data-dependent for the branch predictor.
+//
+//selfstab:noalloc
 func (f *Frontier) AddMask(v NodeID, mark bool) {
 	var m byte
 	if mark {
@@ -61,6 +65,8 @@ func (f *Frontier) AddMask(v NodeID, mark bool) {
 // footprint the caller cannot (or does not care to) bound, e.g. a
 // topology edit made directly on the Graph rather than through a fault
 // hook.
+//
+//selfstab:noalloc
 func (f *Frontier) AddAll() {
 	f.full = true
 	f.clear()
@@ -68,6 +74,8 @@ func (f *Frontier) AddAll() {
 
 // Len returns the number of dirty nodes, where n is the node count
 // (needed because a full frontier stores no explicit flags).
+//
+//selfstab:noalloc
 func (f *Frontier) Len(n int) int {
 	if f.full {
 		return n
@@ -82,6 +90,8 @@ func (f *Frontier) Len(n int) int {
 }
 
 // Empty reports whether no node is dirty.
+//
+//selfstab:noalloc
 func (f *Frontier) Empty() bool {
 	if f.full {
 		return false
@@ -97,12 +107,15 @@ func (f *Frontier) Empty() bool {
 // Drain appends the dirty set to buf[:0] in ascending ID order, resets
 // the frontier to empty, and returns the slice. n is the node count
 // used to expand a full frontier.
+//
+//selfstab:noalloc
 func (f *Frontier) Drain(buf []NodeID, n int) []NodeID {
 	buf = buf[:0]
 	if f.full {
 		f.full = false
 		f.clear()
 		for v := 0; v < n; v++ {
+			//lint:ignore noalloc the drain contract requires cap(buf) >= the drained range, so append never grows
 			buf = append(buf, NodeID(v))
 		}
 		return buf
@@ -117,6 +130,7 @@ func (f *Frontier) Drain(buf []NodeID, n int) []NodeID {
 		// so walking set bits low to high yields ascending node IDs.
 		for w != 0 {
 			k := bits.TrailingZeros64(w) >> 3
+			//lint:ignore noalloc the drain contract requires cap(buf) >= the drained range, so append never grows
 			buf = append(buf, NodeID(i+k))
 			w &^= 0xff << (uint(k) << 3)
 		}
@@ -128,6 +142,8 @@ func (f *Frontier) Drain(buf []NodeID, n int) []NodeID {
 // discharged. Sharded executors use it where a full frontier would be
 // ambiguous — per-shard frontiers never go full; the executor carries a
 // single "evaluate everyone" flag instead (see internal/sim).
+//
+//selfstab:noalloc
 func (f *Frontier) Reset() {
 	f.full = false
 	f.clear()
@@ -140,6 +156,8 @@ func (f *Frontier) Reset() {
 // edge words touch disjoint bytes). It panics on a full frontier — a
 // full frontier has no materialized flags to scan, and sharded executors
 // expand their full rounds explicitly.
+//
+//selfstab:noalloc
 func (f *Frontier) DrainRange(buf []NodeID, lo, hi int) []NodeID {
 	if f.full {
 		panic("graph: DrainRange on a full frontier")
@@ -153,6 +171,7 @@ func (f *Frontier) DrainRange(buf []NodeID, lo, hi int) []NodeID {
 	for ; i < hi && i%8 != 0; i++ {
 		if f.flags[i] != 0 {
 			f.flags[i] = 0
+			//lint:ignore noalloc the drain contract requires cap(buf) >= the drained range, so append never grows
 			buf = append(buf, NodeID(i))
 		}
 	}
@@ -164,6 +183,7 @@ func (f *Frontier) DrainRange(buf []NodeID, lo, hi int) []NodeID {
 		binary.LittleEndian.PutUint64(f.flags[i:], 0)
 		for w != 0 {
 			k := bits.TrailingZeros64(w) >> 3
+			//lint:ignore noalloc the drain contract requires cap(buf) >= the drained range, so append never grows
 			buf = append(buf, NodeID(i+k))
 			w &^= 0xff << (uint(k) << 3)
 		}
@@ -171,6 +191,7 @@ func (f *Frontier) DrainRange(buf []NodeID, lo, hi int) []NodeID {
 	for ; i < hi; i++ {
 		if f.flags[i] != 0 {
 			f.flags[i] = 0
+			//lint:ignore noalloc the drain contract requires cap(buf) >= the drained range, so append never grows
 			buf = append(buf, NodeID(i))
 		}
 	}
@@ -184,6 +205,8 @@ func (f *Frontier) DrainRange(buf []NodeID, lo, hi int) []NodeID {
 // ranges do not overlap, for the same edge-byte reason as DrainRange.
 // It panics when src is full (a full source has no flags to move; the
 // executor's full flag already covers every range).
+//
+//selfstab:noalloc
 func (f *Frontier) Absorb(src *Frontier, lo, hi int) {
 	if src.full {
 		panic("graph: Absorb from a full frontier")
@@ -209,6 +232,8 @@ func (f *Frontier) Absorb(src *Frontier, lo, hi int) {
 }
 
 // clear zeroes the flags.
+//
+//selfstab:noalloc
 func (f *Frontier) clear() {
 	for i := range f.flags {
 		f.flags[i] = 0

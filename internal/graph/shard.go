@@ -21,7 +21,7 @@ import "sort"
 // between goroutines.
 type Partition struct {
 	csr    *CSR
-	starts []int32  // len K+1; shard s owns nodes [starts[s], starts[s+1])
+	starts []int32 // len K+1; shard s owns nodes [starts[s], starts[s+1])
 	halos  [][]NodeID
 	// spans[s*K+t] is the subrange [lo, hi) of shard t's node range that
 	// shard s's halo covers (zero-length when s has no neighbor in t).
@@ -92,27 +92,47 @@ func buildHalo(c *CSR, lo, hi int) []NodeID {
 }
 
 // K returns the shard count.
+//
+//selfstab:noalloc
 func (p *Partition) K() int { return len(p.starts) - 1 }
 
 // Range returns shard s's owned node range [lo, hi).
+//
+//selfstab:noalloc
 func (p *Partition) Range(s int) (lo, hi NodeID) {
 	return NodeID(p.starts[s]), NodeID(p.starts[s+1])
 }
 
-// Owner returns the shard owning node v.
+// Owner returns the shard owning node v. The binary search is written
+// out (rather than sort.Search with a closure) so the hot path carries
+// no function value and no capture.
+//
+//selfstab:noalloc
 func (p *Partition) Owner(v NodeID) int {
-	k := p.K()
-	return sort.Search(k-1, func(s int) bool { return p.starts[s+1] > int32(v) })
+	lo, hi := 0, p.K()-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.starts[mid+1] > int32(v) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // Halo returns shard s's halo: the sorted non-owned neighbors of its
 // owned nodes. Read-only.
+//
+//selfstab:noalloc
 func (p *Partition) Halo(s int) []NodeID { return p.halos[s] }
 
 // AbsorbSpan returns the subrange [lo, hi) of shard t's node range that
 // shard s's halo covers: the only part of t's range shard s can mark
 // during the install phase, hence the only part t must absorb from s at
 // the round barrier. lo >= hi means no overlap.
+//
+//selfstab:noalloc
 func (p *Partition) AbsorbSpan(s, t int) (lo, hi NodeID) {
 	sp := p.spans[s*p.K()+t]
 	return NodeID(sp[0]), NodeID(sp[1])
@@ -139,6 +159,8 @@ type ShardView struct {
 }
 
 // View returns shard s's window.
+//
+//selfstab:noalloc
 func (p *Partition) View(s int) ShardView {
 	lo, hi := p.starts[s], p.starts[s+1]
 	return ShardView{
@@ -151,6 +173,8 @@ func (p *Partition) View(s int) ShardView {
 }
 
 // Neighbors returns owned node v's neighbor list. v must be in [Lo, Hi).
+//
+//selfstab:noalloc
 func (v ShardView) Neighbors(u NodeID) []NodeID {
 	base := v.Offs[0]
 	return v.Nbrs[v.Offs[u-v.Lo]-base : v.Offs[u-v.Lo+1]-base]

@@ -189,6 +189,8 @@ func (l *Lockstep[S]) DirtyState(v graph.NodeID) {
 
 // dirty marks one node for re-evaluation, routing to the owning shard's
 // frontier on the sharded engine.
+//
+//selfstab:noalloc
 func (l *Lockstep[S]) dirty(v graph.NodeID) {
 	if l.sh != nil {
 		l.sh.mark(v)
@@ -233,7 +235,12 @@ func (l *Lockstep[S]) DirtyEdge(u, v graph.NodeID) {
 // against the current configuration and all resulting states are
 // installed at once. Non-frontier nodes are provably no-ops (their view
 // is unchanged since they last evaluated inactive), so the returned
-// move count equals the full scan's.
+// move count equals the full scan's. Steady-state rounds allocate
+// nothing (pinned by noalloc and the bench gate); the suppressed cold
+// paths below run only on topology resync or for protocols without
+// batch kernels.
+//
+//selfstab:noalloc
 func (l *Lockstep[S]) Step() int {
 	if l.sh != nil {
 		return l.stepSharded()
@@ -241,6 +248,7 @@ func (l *Lockstep[S]) Step() int {
 	if !l.csr.Fresh(l.cfg.G) {
 		// The topology changed behind our back (mobility churn, a test
 		// editing the graph): re-snapshot and re-evaluate everyone.
+		//lint:ignore noalloc cold resync path, runs only when the topology version moved
 		l.csr = l.cfg.G.Snapshot()
 		l.frontier.AddAll()
 	}
@@ -269,6 +277,7 @@ func (l *Lockstep[S]) Step() int {
 			if filtered {
 				l.fv.viewer = id
 			}
+			//lint:ignore noalloc generic fallback for protocols without batch kernels; the kernel path above is the allocation-free one
 			next, m := l.p.Move(core.View[S]{
 				ID:    id,
 				Self:  states[id],

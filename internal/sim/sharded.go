@@ -170,12 +170,16 @@ func (l *Lockstep[S]) Close() {
 }
 
 // mark routes an externally attributed dirty mark to the owning shard.
+//
+//selfstab:noalloc
 func (rt *shardRT[S]) mark(v graph.NodeID) {
 	rt.fronts[rt.part.Owner(v)].Add(v)
 }
 
 // addAll schedules a full round: every node of every shard evaluates.
 // Pending per-shard marks are discharged — the full round subsumes them.
+//
+//selfstab:noalloc
 func (rt *shardRT[S]) addAll() {
 	for _, f := range rt.fronts {
 		f.Reset()
@@ -186,13 +190,17 @@ func (rt *shardRT[S]) addAll() {
 // stepSharded is Step for the sharded engine: the same round shape as
 // Lockstep.Step, with the evaluate and install halves split into
 // barrier-separated shard phases.
+//
+//selfstab:noalloc
 func (l *Lockstep[S]) stepSharded() int {
 	rt := l.sh
 	if !l.csr.Fresh(l.cfg.G) {
 		// Unattributed topology change: re-snapshot, rebuild the halo
 		// index (ranges depend only on (n, k) and stay put), re-dirty
 		// everyone — exactly Lockstep's self-detection response.
+		//lint:ignore noalloc cold resync path, runs only when the topology version moved
 		l.csr = l.cfg.G.Snapshot()
+		//lint:ignore noalloc cold resync path, partition rebuild only on topology change
 		rt.part = graph.NewPartition(l.csr, rt.k)
 		rt.addAll()
 	}
@@ -235,6 +243,8 @@ func (l *Lockstep[S]) stepSharded() int {
 // phase fully completes for all shards before runAll returns — that
 // barrier is what lets the mark phase read post-round states and the
 // absorb phase see every shard's finished marks.
+//
+//selfstab:noalloc
 func (rt *shardRT[S]) runAll(l *Lockstep[S], phase int) {
 	if !rt.parallel {
 		for s := 0; s < rt.k; s++ {
@@ -242,6 +252,7 @@ func (rt *shardRT[S]) runAll(l *Lockstep[S], phase int) {
 		}
 		return
 	}
+	//lint:ignore noalloc one-time lazy pool spawn, amortized over the run
 	rt.ensurePool(l)
 	rt.wg.Add(rt.k)
 	for s := 0; s < rt.k; s++ {
@@ -279,6 +290,8 @@ func (rt *shardRT[S]) close() {
 
 // runPhase executes one phase for shard s. See shardRT for the per-phase
 // read/write footprints that make concurrent execution race-free.
+//
+//selfstab:noalloc
 func (rt *shardRT[S]) runPhase(l *Lockstep[S], phase, s int) {
 	switch phase {
 	case phaseEval:
@@ -296,12 +309,15 @@ func (rt *shardRT[S]) runPhase(l *Lockstep[S], phase, s int) {
 
 // evalShard drains shard s's range and evaluates every drained node
 // against the frozen pre-round state vector.
+//
+//selfstab:noalloc
 func (rt *shardRT[S]) evalShard(l *Lockstep[S], s int) {
 	lo, hi := rt.part.Range(s)
 	var ids []graph.NodeID
 	if rt.roundFull {
 		ids = rt.bufs[s][:0]
 		for v := lo; v < hi; v++ {
+			//lint:ignore noalloc bufs[s] is pre-sized to the range, so append never grows
 			ids = append(ids, v)
 		}
 		// Discharge stray marks routed in since the full round was
@@ -331,6 +347,7 @@ func (rt *shardRT[S]) evalShard(l *Lockstep[S], s int) {
 		if filtered {
 			fv.viewer = id
 		}
+		//lint:ignore noalloc generic fallback for protocols without batch kernels; the kernel path above is the allocation-free one
 		next, m := l.p.Move(core.View[S]{
 			ID:    id,
 			Self:  states[id],
@@ -345,6 +362,8 @@ func (rt *shardRT[S]) evalShard(l *Lockstep[S], s int) {
 
 // commitShard installs shard s's results into the shared state vector —
 // writes land only at owned indices.
+//
+//selfstab:noalloc
 func (rt *shardRT[S]) commitShard(l *Lockstep[S], s int) {
 	ids := rt.bufs[s]
 	states := l.cfg.States
@@ -375,6 +394,8 @@ func (rt *shardRT[S]) commitShard(l *Lockstep[S], s int) {
 // generic path mirrors Lockstep's generic install marking exactly: it
 // reads no neighbor states, only structure, so the commit/mark split
 // cannot change which nodes it marks.
+//
+//selfstab:noalloc
 func (rt *shardRT[S]) markShard(l *Lockstep[S], s int) {
 	ids := rt.bufs[s]
 	f := rt.fronts[s]
@@ -401,6 +422,8 @@ func (rt *shardRT[S]) markShard(l *Lockstep[S], s int) {
 // range into s's frontier, visiting sources in ascending shard order.
 // Marks are commutative ORs, so the merge order cannot affect the
 // drained set — the ascending order is just a fixed convention.
+//
+//selfstab:noalloc
 func (rt *shardRT[S]) absorbShard(s int) {
 	mine := rt.fronts[s]
 	for t := 0; t < rt.k; t++ {
