@@ -29,7 +29,7 @@ BENCH_LABEL ?= dev
 BENCH_GATE_BASE ?= bench-base.json
 BENCH_PIN ?= ^Benchmark(Large|Shard1M)_
 
-.PHONY: all build vet lint lint-sarif lint-diff tools test race cover bench bench-json bench-diff bench-gate experiments experiments-quick soak soak-quick fuzz clean
+.PHONY: all build vet lint lint-sarif lint-diff tools test race cover bench bench-json bench-diff bench-gate bench-trend service-test load-smoke experiments experiments-quick soak soak-quick fuzz clean
 
 all: build vet lint test race
 
@@ -141,6 +141,27 @@ bench-diff:
 bench-gate:
 	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -gate $(BENCH_GATE_BASE) -pin '$(BENCH_PIN)'
 
+# Per-benchmark ns/op + allocs history across every committed baseline
+# file (BENCH_1.json, BENCH_2.json, ...), oldest first.
+bench-trend:
+	$(GO) run ./cmd/benchjson -trend
+
+# The selfstabd resilience tier: daemon, service layer, and load
+# generator under the race detector. This includes the chaos test (fault
+# schedule via the HTTP API with drops/dups/reorders and a kill/restart
+# mid-schedule) and the crash-recovery replay pins.
+service-test:
+	$(GO) test -race -count=1 ./internal/service/... ./cmd/selfstabd/... ./cmd/stabload/...
+
+# Non-blocking load smoke: hammer an in-process daemon with tight
+# per-tenant limits and write the latency/status report. The run fails
+# only if the generator itself fails; CI uploads load-smoke.json as an
+# artifact so p50/p99 and the 429/503 mix are reviewable per commit.
+load-smoke:
+	$(GO) run ./cmd/stabload -duration 5s -workers 8 -tenants 4 -n 64 \
+		-rate 50 -burst 20 -queue 8 -out load-smoke.json
+	@cat load-smoke.json
+
 # Regenerate every reproduction table (EXPERIMENTS.md is this output).
 experiments:
 	$(GO) run ./cmd/experiments -markdown
@@ -167,4 +188,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -rf bin $(SARIF_FRAGMENTS) $(SARIF_REPORT) bench-out.txt $(BENCH_JSON).tmp bench-base.json
+	rm -rf bin $(SARIF_FRAGMENTS) $(SARIF_REPORT) bench-out.txt $(BENCH_JSON).tmp bench-base.json load-smoke.json

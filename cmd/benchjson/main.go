@@ -13,6 +13,8 @@
 //	benchjson -label after -merge BENCH_2.json < bench.txt   # append a run
 //	benchjson -diff BENCH_2.json < bench.txt                 # regression warning
 //	benchjson -gate base.json -pin '^BenchmarkLarge' < bench.txt  # blocking gate
+//	benchjson -trend BENCH_1.json BENCH_2.json               # history report
+//	benchjson -trend                                         # ditto, globbing BENCH_*.json
 //
 // The diff mode compares the fresh run on stdin against the most recent
 // run in the file and exits non-zero when any shared benchmark regressed
@@ -32,6 +34,12 @@
 // CI measures the baseline on the same runner in the same job (bench
 // main, then bench the candidate), so the ratio compares like with
 // like — committed cross-machine baselines stay with -diff.
+//
+// The trend mode reads nothing from stdin: it walks every run of every
+// named baseline file (or all BENCH_*.json in the working directory
+// when no files are named) in order and prints, per benchmark, the
+// full ns/op trajectory with the step-over-step delta plus the B/op
+// and allocs/op history — the long view the pairwise modes cannot give.
 package main
 
 import (
@@ -41,7 +49,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -85,8 +95,12 @@ func run(args []string, in io.Reader, out, errw io.Writer) int {
 	gate := fs.String("gate", "", "JSON baseline to gate the stdin run against (blocking mode: exit 1 on pinned regressions)")
 	pin := fs.String("pin", ".", "regexp of benchmark names the -gate mode enforces; others are informational")
 	threshold := fs.Float64("threshold", 1.25, "ns/op ratio above which a regression is reported (default 1.10 under -gate)")
+	trend := fs.Bool("trend", false, "report the per-benchmark history across the named JSON files (default: all BENCH_*.json)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *trend {
+		return trendRuns(fs.Args(), out, errw)
 	}
 	// The two modes want different default strictness: -diff is a loose
 	// advisory across machines, -gate a tight same-runner block. Apply
@@ -285,6 +299,70 @@ func gateRuns(path string, newRun Run, threshold float64, pin string, out, errw 
 		return 1
 	}
 	fmt.Fprintln(out, "gate passed")
+	return 0
+}
+
+// trendPoint is one observation of one benchmark in the history walk.
+type trendPoint struct {
+	source string // "BENCH_2.json[1] \"after\""
+	bench  Bench
+}
+
+// trendRuns prints the full per-benchmark history across the named
+// baseline files, in file order then run order. With no files it globs
+// BENCH_*.json in the working directory (sorted), so the committed
+// baselines read as a progress report. Exit 2 on unreadable input,
+// 0 otherwise — the trend is a report, never a gate.
+func trendRuns(paths []string, out, errw io.Writer) int {
+	if len(paths) == 0 {
+		matches, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			fmt.Fprintf(errw, "benchjson: %v\n", err)
+			return 2
+		}
+		sort.Strings(matches)
+		paths = matches
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(errw, "benchjson: -trend found no baseline files")
+		return 2
+	}
+	series := map[string][]trendPoint{}
+	var order []string // first-appearance order of benchmark names
+	runs := 0
+	for _, path := range paths {
+		var f File
+		if err := readFile(path, &f); err != nil {
+			fmt.Fprintf(errw, "benchjson: %v\n", err)
+			return 2
+		}
+		for i, r := range f.Runs {
+			runs++
+			src := fmt.Sprintf("%s[%d] %q", filepath.Base(path), i, r.Label)
+			for _, b := range r.Benchmarks {
+				if _, seen := series[b.Name]; !seen {
+					order = append(order, b.Name)
+				}
+				series[b.Name] = append(series[b.Name], trendPoint{source: src, bench: b})
+			}
+		}
+	}
+	fmt.Fprintf(out, "benchjson trend: %d benchmark(s) across %d run(s) in %d file(s)\n",
+		len(order), runs, len(paths))
+	for _, name := range order {
+		pts := series[name]
+		fmt.Fprintf(out, "\n%s\n", name)
+		prev := 0.0
+		for i, pt := range pts {
+			delta := "      -"
+			if i > 0 && prev > 0 {
+				delta = fmt.Sprintf("%+6.1f%%", (pt.bench.NsOp-prev)/prev*100)
+			}
+			fmt.Fprintf(out, "  %-34s %14.0f ns/op %s %10d B/op %6d allocs/op\n",
+				pt.source, pt.bench.NsOp, delta, pt.bench.BOp, pt.bench.AllocsOp)
+			prev = pt.bench.NsOp
+		}
+	}
 	return 0
 }
 

@@ -267,3 +267,82 @@ func TestNoBenchmarksOnStdin(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 }
+
+func TestTrendReport(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-trend", "testdata/trend_1.json", "testdata/trend_2.json"},
+		strings.NewReader(""), &out, os.Stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "3 benchmark(s) across 3 run(s) in 2 file(s)") {
+		t.Fatalf("header wrong:\n%s", got)
+	}
+	// The frontier benchmark spans both files: 1000 -> 800 (-20%) in
+	// trend_1 then 800 -> 1200 (+50%) stepping into trend_2, with the
+	// allocs history carried along.
+	for _, want := range []string{
+		"BenchmarkFrontier_Ring4096",
+		` -20.0%`,
+		` +50.0%`,
+		`trend_2.json[0] "sharded"`,
+		"2 allocs/op",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+	// First observation of a series has no delta.
+	if !strings.Contains(got, "      -") {
+		t.Fatalf("missing delta placeholder for first points:\n%s", got)
+	}
+	// A benchmark appearing only in the later file still gets a series.
+	if !strings.Contains(got, "BenchmarkMillion_Sharded") {
+		t.Fatalf("late-appearing benchmark dropped:\n%s", got)
+	}
+}
+
+func TestTrendGlobsWhenNoArgs(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile("testdata/trend_1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_1.json"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	var out bytes.Buffer
+	if code := run([]string{"-trend"}, strings.NewReader(""), &out, os.Stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "BENCH_1.json[1]") {
+		t.Fatalf("glob did not pick up BENCH_1.json:\n%s", out.String())
+	}
+}
+
+func TestTrendErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-trend", "testdata/nope.json"}, strings.NewReader(""), &out, &errw); code != 2 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	errw.Reset()
+	dir := t.TempDir()
+	cwd, _ := os.Getwd()
+	os.Chdir(dir)
+	defer os.Chdir(cwd)
+	if code := run([]string{"-trend"}, strings.NewReader(""), &out, &errw); code != 2 {
+		t.Fatalf("empty glob: exit %d", code)
+	}
+	if !strings.Contains(errw.String(), "no baseline files") {
+		t.Fatalf("missing empty-glob message: %s", errw.String())
+	}
+}

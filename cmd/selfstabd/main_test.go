@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuf is an io.Writer safe for the daemon goroutine and the test to
+// share.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon runs the daemon in-process on a free port and returns its
+// base URL, the signal channel, and the exit-code channel.
+func startDaemon(t *testing.T, dataDir string, extra ...string) (string, chan os.Signal, chan int, *syncBuf) {
+	t.Helper()
+	out := &syncBuf{}
+	sig := make(chan os.Signal, 2)
+	done := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-data", dataDir}, extra...)
+	go func() { done <- run(args, out, out, sig) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "listening on http://") {
+			line := s[strings.Index(s, "listening on http://")+len("listening on "):]
+			return strings.Fields(line)[0], sig, done, out
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("daemon exited early with code %d: %s", code, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never started listening: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func postJSON(t *testing.T, url string, body, outv any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if outv != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, outv); err != nil {
+			t.Fatalf("POST %s: decode %q: %v", url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestDaemonLifecycle exercises the full binary path: boot, serve a
+// tenant over real TCP, drain on SIGTERM, and recover the tenant on
+// restart from the same data directory.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	base, sig, done, out := startDaemon(t, dir)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	create := map[string]any{
+		"id": "ring", "protocol": "smm", "n": 6, "seed": 11,
+		"edges": [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}},
+	}
+	if code := postJSON(t, base+"/v1/tenants", create, nil); code != http.StatusCreated {
+		t.Fatalf("create tenant: %d", code)
+	}
+	var res struct {
+		Seq       int64 `json:"seq"`
+		Converged bool  `json:"converged"`
+	}
+	mut := map[string]any{"op": "corrupt", "nodes": []int{1, 4}}
+	if code := postJSON(t, base+"/v1/tenants/ring/mutations", mut, &res); code != http.StatusOK || !res.Converged {
+		t.Fatalf("mutation: code %d res %+v", code, res)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exit code %d: %s", code, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("missing drain confirmation: %s", out.String())
+	}
+
+	// Restart from the same directory: the tenant and its sequence
+	// number must come back from the journal.
+	base2, sig2, done2, out2 := startDaemon(t, dir)
+	var st struct {
+		Seq       int64 `json:"seq"`
+		Converged bool  `json:"converged"`
+	}
+	resp2, err := http.Get(base2 + "/v1/tenants/ring")
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	data, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status after restart: %d %s", resp2.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != res.Seq || !st.Converged {
+		t.Fatalf("recovered tenant lost state: %+v (want seq %d)", st, res.Seq)
+	}
+	sig2 <- syscall.SIGTERM
+	select {
+	case code := <-done2:
+		if code != 0 {
+			t.Fatalf("second daemon exit code %d: %s", code, out2.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second daemon did not drain")
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	out := &syncBuf{}
+	if code := run([]string{"-addr", "127.0.0.1:0"}, out, out, make(chan os.Signal)); code != 2 {
+		t.Fatalf("missing -data: exit %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "-data is required") {
+		t.Fatalf("missing usage hint: %s", out.String())
+	}
+	out2 := &syncBuf{}
+	if code := run([]string{"-definitely-not-a-flag"}, out2, out2, make(chan os.Signal)); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestDaemonBadListenAddr(t *testing.T) {
+	out := &syncBuf{}
+	code := run([]string{"-data", t.TempDir(), "-addr", "256.256.256.256:1"}, out, out, make(chan os.Signal))
+	if code != 1 {
+		t.Fatalf("bad addr: exit %d, want 1 (%s)", code, out.String())
+	}
+}
+
+func TestDaemonChaosFlagGates(t *testing.T) {
+	dir := t.TempDir()
+	base, sig, done, _ := startDaemon(t, dir, "-chaos")
+	create := map[string]any{"id": "c", "protocol": "smi", "n": 4, "seed": 1,
+		"edges": [][2]int{{0, 1}, {1, 2}, {2, 3}}}
+	if code := postJSON(t, base+"/v1/tenants", create, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	code := postJSON(t, base+"/v1/tenants/c/mutations", map[string]any{"op": "chaos_panic"}, &errBody)
+	if code != http.StatusServiceUnavailable || !strings.Contains(errBody.Error, "quarantined") {
+		t.Fatalf("chaos_panic with -chaos: code %d body %+v", code, errBody)
+	}
+	sig <- syscall.SIGTERM
+	if exit := <-done; exit != 0 {
+		t.Fatalf("drain with quarantined tenant: exit %d", exit)
+	}
+}

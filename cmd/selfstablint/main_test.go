@@ -39,3 +39,21 @@ func TestSuiteAcceptsSchedulerPackages(t *testing.T) {
 		purity.New(), exhaustive.New(), lockorder.New(),
 		noalloc.New(), shardsafe.New())
 }
+
+// TestSuiteAcceptsServicePackage pins the selfstabd service layer at
+// zero diagnostics under the full bundle. The interesting analyzers
+// here are guarded (every mu-guarded tenant field is only touched by
+// functions that visibly lock — the single-writer event loop makes the
+// lock seams safe, the analyzer makes them auditable), exhaustive
+// (every mutation-op switch handles every Op* constant, so adding an op
+// without wiring validation/apply/replay fails the lint, not a replay),
+// and mapiter (every map that reaches a response or a snapshot is
+// drained in sorted order, keeping the journal byte-replayable).
+func TestSuiteAcceptsServicePackage(t *testing.T) {
+	resolve := linttest.ModuleResolver("selfstab", filepath.Join("..", ".."))
+	linttest.RunPackages(t, resolve,
+		[]string{"selfstab/internal/service"},
+		detrand.New(), mapiter.New(), guarded.New(),
+		purity.New(), exhaustive.New(), lockorder.New(),
+		noalloc.New(), shardsafe.New())
+}

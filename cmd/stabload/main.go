@@ -1,0 +1,286 @@
+// Command stabload is a closed-loop traffic generator for selfstabd.
+// It hammers a daemon with a read-heavy mix (~80% status/membership/
+// snapshot/node reads, ~20% topology mutations and corruptions) from N
+// workers, then reports latency percentiles and the status-code
+// breakdown as JSON.
+//
+//	stabload -addr http://127.0.0.1:8080 -tenants 4 -workers 8 -duration 5s
+//	stabload -duration 2s -rate 50 -burst 10   # self-hosted in-process run
+//
+// With no -addr it boots an in-process service on a throwaway data
+// directory, which is how the CI load-smoke step runs: the point is not
+// absolute numbers but that overload answers with 429/503 plus a
+// Retry-After header instead of collapsing — the report counts any
+// degraded response missing the header so the smoke can assert zero.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"selfstab/internal/service"
+	"selfstab/internal/stats"
+)
+
+// Report is the JSON document stabload emits.
+type Report struct {
+	Requests          int64          `json:"requests"`
+	DurationSec       float64        `json:"duration_sec"`
+	RPS               float64        `json:"rps"`
+	Status            map[string]int `json:"status"`
+	RetryAfterOK      int            `json:"retry_after_ok"`
+	RetryAfterMissing int            `json:"retry_after_missing"`
+	TransportErrors   int            `json:"transport_errors"`
+	LatencyMs         Latency        `json:"latency_ms"`
+}
+
+// Latency is the percentile summary of request latencies.
+type Latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// workerStats is one worker's private tally, merged after the run so
+// the hot loop never contends on a shared lock.
+type workerStats struct {
+	latencies []float64 // milliseconds
+	status    map[int]int
+	retryOK   int
+	retryMiss int
+	errors    int
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("stabload", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	addr := fs.String("addr", "", "daemon base URL; empty boots an in-process service")
+	tenants := fs.Int("tenants", 2, "tenant graphs to create and target")
+	n := fs.Int("n", 32, "nodes per tenant graph")
+	workers := fs.Int("workers", 4, "concurrent closed-loop workers")
+	duration := fs.Duration("duration", 2*time.Second, "how long to generate load")
+	seed := fs.Int64("seed", 1, "rng seed for the traffic mix")
+	rate := fs.Float64("rate", 0, "in-process only: per-tenant rate limit (0 = service default)")
+	burst := fs.Int("burst", 0, "in-process only: per-tenant burst (0 = service default)")
+	queue := fs.Int("queue", 0, "in-process only: per-tenant queue depth (0 = service default)")
+	outPath := fs.String("out", "", "write the JSON report here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *tenants < 1 || *workers < 1 || *n < 2 {
+		fmt.Fprintln(errw, "stabload: need -tenants >= 1, -workers >= 1, -n >= 2")
+		return 2
+	}
+
+	base := *addr
+	if base == "" {
+		dir, err := os.MkdirTemp("", "stabload-*")
+		if err != nil {
+			fmt.Fprintf(errw, "stabload: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		svc, err := service.Open(service.Options{
+			DataDir: dir, RatePerSec: *rate, Burst: *burst, QueueDepth: *queue,
+		})
+		if err != nil {
+			fmt.Fprintf(errw, "stabload: open service: %v\n", err)
+			return 1
+		}
+		defer svc.Kill()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(errw, "stabload: listen: %v\n", err)
+			return 1
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(errw, "stabload: in-process service at %s (data %s)\n", base, dir)
+	}
+
+	ids, err := ensureTenants(base, *tenants, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(errw, "stabload: %v\n", err)
+		return 1
+	}
+
+	rep := generate(base, ids, *n, *workers, *duration, *seed)
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(errw, "stabload: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		fmt.Fprintf(errw, "stabload: report written to %s\n", *outPath)
+	}
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(errw, "stabload: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// ensureTenants creates the target tenants (ring topologies), tolerating
+// ones that already exist from a previous run against the same daemon.
+func ensureTenants(base string, tenants, n int, seed int64) ([]string, error) {
+	protocols := []string{"smm", "smi"}
+	ids := make([]string, 0, tenants)
+	for i := 0; i < tenants; i++ {
+		proto := protocols[i%len(protocols)]
+		id := fmt.Sprintf("load-%s-%d", proto, i)
+		edges := make([][2]int, n)
+		for v := 0; v < n; v++ {
+			edges[v] = [2]int{v, (v + 1) % n}
+		}
+		body, _ := json.Marshal(map[string]any{
+			"id": id, "protocol": proto, "n": n, "seed": seed + int64(i), "edges": edges,
+		})
+		resp, err := http.Post(base+"/v1/tenants", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("create %s: %w", id, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			return nil, fmt.Errorf("create %s: status %d", id, resp.StatusCode)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// generate runs the closed-loop workers and merges their tallies.
+func generate(base string, ids []string, n, workers int, duration time.Duration, seed int64) Report {
+	deadline := time.Now().Add(duration)
+	all := make([]workerStats, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			client := &http.Client{Timeout: 10 * time.Second}
+			ws := &all[w]
+			ws.status = make(map[int]int)
+			for time.Now().Before(deadline) {
+				oneRequest(client, base, ids, n, rng, ws)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := Report{Status: map[string]int{}, DurationSec: elapsed}
+	var lat []float64
+	for i := range all {
+		ws := &all[i]
+		lat = append(lat, ws.latencies...)
+		for code, cnt := range ws.status {
+			rep.Status[fmt.Sprintf("%d", code)] += cnt
+		}
+		rep.RetryAfterOK += ws.retryOK
+		rep.RetryAfterMissing += ws.retryMiss
+		rep.TransportErrors += ws.errors
+		rep.Requests += int64(len(ws.latencies)) + int64(ws.errors)
+	}
+	if elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		rep.LatencyMs = Latency{
+			P50: stats.Percentile(lat, 50),
+			P90: stats.Percentile(lat, 90),
+			P99: stats.Percentile(lat, 99),
+			Max: lat[len(lat)-1],
+		}
+	}
+	return rep
+}
+
+// oneRequest issues one draw from the traffic mix and records it.
+func oneRequest(client *http.Client, base string, ids []string, n int, rng *rand.Rand, ws *workerStats) {
+	id := ids[rng.Intn(len(ids))]
+	var (
+		resp *http.Response
+		err  error
+	)
+	began := time.Now()
+	if rng.Float64() < 0.8 {
+		// Read mix: status, membership, snapshot, single node.
+		var path string
+		switch rng.Intn(4) {
+		case 0:
+			path = "/v1/tenants/" + id
+		case 1:
+			path = "/v1/tenants/" + id + "/membership"
+		case 2:
+			path = "/v1/tenants/" + id + "/snapshot"
+		default:
+			path = fmt.Sprintf("/v1/tenants/%s/nodes/%d", id, rng.Intn(n))
+		}
+		resp, err = client.Get(base + path)
+	} else {
+		// Mutation mix: corruption bursts and link flaps.
+		var m service.Mutation
+		switch rng.Intn(3) {
+		case 0:
+			k := 1 + rng.Intn(3)
+			nodes := make([]int, k)
+			for i := range nodes {
+				nodes[i] = rng.Intn(n)
+			}
+			m = service.Mutation{Op: service.OpCorrupt, Nodes: nodes}
+		case 1:
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				v = (v + 1) % n
+			}
+			m = service.Mutation{Op: service.OpAddEdge, U: &u, V: &v}
+		default:
+			u := rng.Intn(n)
+			v := (u + 1) % n
+			m = service.Mutation{Op: service.OpRemoveEdge, U: &u, V: &v}
+		}
+		body, _ := json.Marshal(m)
+		resp, err = client.Post(base+"/v1/tenants/"+id+"/mutations", "application/json", bytes.NewReader(body))
+	}
+	if err != nil {
+		ws.errors++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ws.latencies = append(ws.latencies, float64(time.Since(began).Microseconds())/1000)
+	ws.status[resp.StatusCode]++
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		if resp.Header.Get("Retry-After") != "" {
+			ws.retryOK++
+		} else {
+			ws.retryMiss++
+		}
+	}
+}

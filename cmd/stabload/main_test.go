@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func runLoad(t *testing.T, args ...string) (Report, int, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	var rep Report
+	if code == 0 {
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+		}
+	}
+	return rep, code, errw.String()
+}
+
+func TestLoadSmokeInProcess(t *testing.T) {
+	rep, code, errs := runLoad(t,
+		"-duration", "300ms", "-workers", "2", "-tenants", "2", "-n", "8", "-seed", "42")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if rep.Requests == 0 || rep.Status["200"] == 0 {
+		t.Fatalf("no successful traffic: %+v", rep)
+	}
+	if rep.LatencyMs.P50 <= 0 || rep.LatencyMs.P99 < rep.LatencyMs.P50 {
+		t.Fatalf("implausible latency summary: %+v", rep.LatencyMs)
+	}
+	if rep.RetryAfterMissing != 0 {
+		t.Fatalf("%d degraded responses lacked Retry-After", rep.RetryAfterMissing)
+	}
+	if rep.TransportErrors != 0 {
+		t.Fatalf("%d transport errors against an in-process server", rep.TransportErrors)
+	}
+}
+
+// TestLoadProvokesBackpressure tightens the limits until the degradation
+// ladder must fire, then checks it degraded politely: 429/503 responses
+// present, every one carrying Retry-After.
+func TestLoadProvokesBackpressure(t *testing.T) {
+	rep, code, errs := runLoad(t,
+		"-duration", "400ms", "-workers", "8", "-tenants", "1", "-n", "8",
+		"-rate", "2", "-burst", "1", "-queue", "1", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	degraded := rep.Status["429"] + rep.Status["503"]
+	if degraded == 0 {
+		t.Fatalf("tight limits provoked no 429/503: %+v", rep.Status)
+	}
+	if rep.RetryAfterMissing != 0 {
+		t.Fatalf("%d degraded responses lacked Retry-After (ok=%d)", rep.RetryAfterMissing, rep.RetryAfterOK)
+	}
+	if rep.RetryAfterOK != degraded {
+		t.Fatalf("Retry-After tally %d does not match degraded count %d", rep.RetryAfterOK, degraded)
+	}
+}
+
+func TestLoadReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.json")
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-duration", "150ms", "-workers", "1", "-tenants", "1", "-n", "4", "-out", path}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("written report is not JSON: %v", err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("written report recorded no requests")
+	}
+}
+
+func TestLoadFlagValidation(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-workers", "0"}, &out, &errw); code != 2 {
+		t.Fatalf("zero workers: exit %d, want 2", code)
+	}
+	if code := run([]string{"-not-a-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+)
+
+// ChaosTransport is an http.RoundTripper that injects network-level
+// faults between a client and the daemon: dropped requests (the send
+// fails before reaching the server), duplicated requests (a stashed
+// copy is re-sent later, arriving out of order), and the reordering
+// that falls out of late duplicate delivery. It exercises the service's
+// idempotency-key dedup end to end: a well-behaved client retries drops
+// with the same key, and the server must absorb the duplicates.
+//
+// The generator is seeded and owned by the transport, so a chaos run is
+// reproducible; serialize requests through one transport per test.
+type ChaosTransport struct {
+	// Base performs the real sends; http.DefaultTransport if nil.
+	Base http.RoundTripper
+	// DropProb is the probability a request is dropped before sending.
+	DropProb float64
+	// DupProb is the probability a request is cloned into the replay
+	// stash after a successful send.
+	DupProb float64
+
+	mu sync.Mutex
+	// guarded by mu
+	rng *rand.Rand
+	// guarded by mu
+	stash []*stashedRequest
+	// guarded by mu
+	drops int
+	// guarded by mu
+	dups int
+	// guarded by mu
+	replays int
+}
+
+type stashedRequest struct {
+	method string
+	url    string
+	header http.Header
+	body   []byte
+}
+
+// NewChaosTransport builds a transport with a deterministic fault
+// stream.
+func NewChaosTransport(base http.RoundTripper, seed int64, dropProb, dupProb float64) *ChaosTransport {
+	return &ChaosTransport{
+		Base:     base,
+		DropProb: dropProb,
+		DupProb:  dupProb,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// errDropped is the injected network failure clients see for a dropped
+// request.
+type errDropped struct{}
+
+func (errDropped) Error() string   { return "chaos: request dropped" }
+func (errDropped) Timeout() bool   { return true }
+func (errDropped) Temporary() bool { return true }
+
+func (c *ChaosTransport) base() http.RoundTripper {
+	if c.Base != nil {
+		return c.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (c *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	body, err := readBody(req)
+	if err != nil {
+		return nil, err
+	}
+	drop, replay := c.decide(req, body)
+	if drop {
+		return nil, errDropped{}
+	}
+	req.Body = io.NopCloser(bytes.NewReader(body))
+	resp, err := c.base().RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	// Deliver a stashed duplicate of an earlier request after this one:
+	// the duplicate arrives late and out of order relative to its
+	// original, which dedup must absorb.
+	if replay != nil {
+		c.deliver(replay)
+	}
+	return resp, nil
+}
+
+// decide rolls the fault dice for one request under the lock and, when
+// duplication hits, stashes a copy for later delivery.
+func (c *ChaosTransport) decide(req *http.Request, body []byte) (drop bool, replay *stashedRequest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Only mutation-bearing requests are faulted: read endpoints carry
+	// no idempotency keys and dropping them tests nothing.
+	if req.Method != http.MethodPost {
+		return false, nil
+	}
+	if c.rng.Float64() < c.DropProb {
+		c.drops++
+		return true, nil
+	}
+	if c.rng.Float64() < c.DupProb {
+		c.dups++
+		c.stash = append(c.stash, &stashedRequest{
+			method: req.Method,
+			url:    req.URL.String(),
+			header: req.Header.Clone(),
+			body:   body,
+		})
+	}
+	if len(c.stash) > 0 && c.rng.Float64() < 0.5 {
+		replay = c.stash[0]
+		c.stash = c.stash[1:]
+		c.replays++
+	}
+	return false, replay
+}
+
+// deliver re-sends a stashed duplicate and discards the response; the
+// original sender already got theirs.
+func (c *ChaosTransport) deliver(sr *stashedRequest) {
+	req, err := http.NewRequest(sr.method, sr.url, bytes.NewReader(sr.body))
+	if err != nil {
+		return
+	}
+	for k, vs := range sr.header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.base().RoundTrip(req)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// Flush re-sends every still-stashed duplicate, so a test can force all
+// pending reordered deliveries before asserting final state.
+func (c *ChaosTransport) Flush() {
+	c.mu.Lock()
+	pending := c.stash
+	c.stash = nil
+	c.replays += len(pending)
+	c.mu.Unlock()
+	for _, sr := range pending {
+		c.deliver(sr)
+	}
+}
+
+// Stats reports the injected fault counts as (drops, dups, replays).
+func (c *ChaosTransport) Stats() (drops, dups, replays int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drops, c.dups, c.replays
+}
+
+func readBody(req *http.Request) ([]byte, error) {
+	if req.Body == nil {
+		return nil, nil
+	}
+	body, err := io.ReadAll(req.Body)
+	req.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: read request body: %w", err)
+	}
+	return body, nil
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestListPagination(t *testing.T) {
+	svc := newTestService(t, Options{})
+	h := svc.Handler()
+	for i := 0; i < 5; i++ {
+		pathTenant(t, h, fmt.Sprintf("p%d", i), ProtocolSMM, 4)
+	}
+	var page struct {
+		Total   int            `json:"total"`
+		Offset  int            `json:"offset"`
+		Tenants []TenantStatus `json:"tenants"`
+	}
+	code, _ := doJSON(t, h, "GET", "/v1/tenants?limit=2&offset=1", nil, &page)
+	if code != http.StatusOK || page.Total != 5 || len(page.Tenants) != 2 {
+		t.Fatalf("pagination: code %d page %+v", code, page)
+	}
+	// Sorted, stable order: offset 1 limit 2 over p0..p4 is p1, p2.
+	if page.Tenants[0].ID != "p1" || page.Tenants[1].ID != "p2" {
+		t.Fatalf("page order: %s, %s", page.Tenants[0].ID, page.Tenants[1].ID)
+	}
+	// Past-the-end offset degrades to an empty page, not an error.
+	code, _ = doJSON(t, h, "GET", "/v1/tenants?limit=10&offset=99", nil, &page)
+	if code != http.StatusOK || len(page.Tenants) != 0 {
+		t.Fatalf("past-end pagination: code %d len %d", code, len(page.Tenants))
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	svc := newTestService(t, Options{})
+	h := svc.Handler()
+	cases := []struct {
+		name string
+		req  createRequest
+	}{
+		{"empty id", createRequest{Protocol: ProtocolSMM, N: 4}},
+		{"bad id chars", createRequest{ID: "a/../b", Protocol: ProtocolSMM, N: 4}},
+		{"unknown protocol", createRequest{ID: "x", Protocol: "tsp", N: 4}},
+		{"zero n", createRequest{ID: "x", Protocol: ProtocolSMM, N: 0}},
+		{"self loop", createRequest{ID: "x", Protocol: ProtocolSMM, N: 4, Edges: [][2]int{{1, 1}}}},
+		{"edge out of range", createRequest{ID: "x", Protocol: ProtocolSMM, N: 4, Edges: [][2]int{{0, 9}}}},
+	}
+	for _, tc := range cases {
+		if code, _ := doJSON(t, h, "POST", "/v1/tenants", tc.req, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+}
+
+func TestMutationValidation(t *testing.T) {
+	svc := newTestService(t, Options{})
+	h := svc.Handler()
+	pathTenant(t, h, "v", ProtocolSMM, 4)
+	cases := []struct {
+		name string
+		m    Mutation
+	}{
+		{"unknown op", Mutation{Op: "unmatch_everything"}},
+		{"missing operands", Mutation{Op: OpAddEdge}},
+		{"self loop", Mutation{Op: OpAddEdge, U: intp(1), V: intp(1)}},
+		{"out of range", Mutation{Op: OpRemoveEdge, U: intp(0), V: intp(7)}},
+		{"empty corrupt", Mutation{Op: OpCorrupt}},
+		{"corrupt out of range", Mutation{Op: OpCorrupt, Nodes: []int{-1}}},
+		{"converge via mutations", Mutation{Op: OpConverge}},
+	}
+	for _, tc := range cases {
+		if code, _ := doJSON(t, h, "POST", "/v1/tenants/v/mutations", tc.m, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+	// Validation failures never consume sequence numbers.
+	var st TenantStatus
+	doJSON(t, h, "GET", "/v1/tenants/v", nil, &st)
+	if st.Seq != 0 {
+		t.Fatalf("failed mutations advanced seq to %d", st.Seq)
+	}
+}
+
+func TestNoOpMutationsJournaled(t *testing.T) {
+	svc := newTestService(t, Options{})
+	h := svc.Handler()
+	pathTenant(t, h, "noop", ProtocolSMM, 4)
+	// Adding an existing edge and removing an absent one both succeed
+	// (idempotent topology ops) and still consume a seq — the journal
+	// records intent, not diffs.
+	var res MutationResult
+	if code, _ := doJSON(t, h, "POST", "/v1/tenants/noop/mutations",
+		Mutation{Op: OpAddEdge, U: intp(0), V: intp(1)}, &res); code != http.StatusOK || res.Seq != 1 {
+		t.Fatalf("re-add existing edge: code %d res %+v", code, res)
+	}
+	if code, _ := doJSON(t, h, "POST", "/v1/tenants/noop/mutations",
+		Mutation{Op: OpRemoveEdge, U: intp(0), V: intp(3)}, &res); code != http.StatusOK || res.Seq != 2 {
+		t.Fatalf("remove absent edge: code %d res %+v", code, res)
+	}
+}
+
+func TestNotFoundRoutes(t *testing.T) {
+	svc := newTestService(t, Options{})
+	h := svc.Handler()
+	pathTenant(t, h, "nf", ProtocolSMM, 4)
+	for _, path := range []string{
+		"/v1/tenants/ghost",
+		"/v1/tenants/ghost/membership",
+		"/v1/tenants/nf/nodes/99",
+	} {
+		if code, _ := doJSON(t, h, "GET", path, nil, nil); code != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, code)
+		}
+	}
+}
+
+func TestHealthAndVarz(t *testing.T) {
+	svc := newTestService(t, Options{})
+	h := svc.Handler()
+	if code, _ := doJSON(t, h, "GET", "/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	pathTenant(t, h, "z", ProtocolSMI, 4)
+	var vz Vars
+	if code, _ := doJSON(t, h, "GET", "/varz", nil, &vz); code != http.StatusOK || vz.Tenants != 1 {
+		t.Fatalf("varz: code %d %+v", code, vz)
+	}
+	if vz.Requests == 0 {
+		t.Fatal("request counter not incremented")
+	}
+}
+
+func TestConvergeEndpointDefaultsToBound(t *testing.T) {
+	svc := newTestService(t, Options{})
+	h := svc.Handler()
+	st := pathTenant(t, h, "cv", ProtocolSMM, 6)
+	var res MutationResult
+	code, _ := doJSON(t, h, "POST", "/v1/tenants/cv/converge", convergeRequest{}, &res)
+	if code != http.StatusOK || !res.Converged || !res.Legit {
+		t.Fatalf("default converge: code %d res %+v", code, res)
+	}
+	if res.Bound != st.Bound {
+		t.Fatalf("bound mismatch: %d vs %d", res.Bound, st.Bound)
+	}
+}

@@ -1,0 +1,284 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// tenantMeta is the immutable identity of a tenant, written once at
+// creation as meta.json. Everything else about the tenant is a pure
+// function of (meta, journal prefix), which is the whole recovery
+// story: replay = snapshot + journal suffix.
+type tenantMeta struct {
+	ID       string   `json:"id"`
+	Protocol string   `json:"protocol"`
+	N        int      `json:"n"`
+	Seed     int64    `json:"seed"`
+	Edges    [][2]int `json:"edges"`
+}
+
+// Mutation is one journaled topology/state event. Exactly the fields a
+// replay needs: the operation, its operands, and the idempotency key
+// clients may attach. Rounds is filled in post-hoc for converge entries
+// (the one op whose effect depends on how many rounds actually ran —
+// a deadline can truncate it, so the journal records the truth).
+type Mutation struct {
+	Seq   int64  `json:"seq"`
+	Op    string `json:"op"`
+	U     *int   `json:"u,omitempty"`
+	V     *int   `json:"v,omitempty"`
+	Nodes []int  `json:"nodes,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+	// Rounds is the active-round budget a converge entry executed
+	// (recorded after the fact); zero for ordinary mutations, whose
+	// budget is always the deterministic per-protocol bound.
+	Rounds int `json:"rounds,omitempty"`
+	// Stable records whether a converge entry reached a fixed point.
+	// Replay re-runs exactly Rounds active rounds, which reproduces the
+	// states but not the stability discovery (that took one extra
+	// zero-move probe round the recorded budget doesn't cover).
+	Stable bool   `json:"stable,omitempty"`
+	Key    string `json:"key,omitempty"`
+}
+
+// Mutation operations accepted by the API and understood by replay.
+const (
+	OpAddEdge    = "add_edge"
+	OpRemoveEdge = "remove_edge"
+	OpAddNode    = "add_node"
+	OpRemoveNode = "remove_node"
+	OpCorrupt    = "corrupt"
+	OpConverge   = "converge"
+	// OpChaosPanic deliberately crashes the tenant event loop (chaos
+	// testing only; never journaled — replaying a panic would make
+	// recovery re-crash forever).
+	OpChaosPanic = "chaos_panic"
+)
+
+// tenantSnapshot is a deterministic checkpoint: full state vector plus
+// every counter a restarted tenant must resume with. Written at
+// mutation-sequence boundaries only, so (snapshot, journal entries with
+// seq > Snapshot.Seq) replays to the exact live state.
+type tenantSnapshot struct {
+	Seq            int64           `json:"seq"`
+	Rounds         int             `json:"rounds"`
+	Moves          int             `json:"moves"`
+	Converged      bool            `json:"converged"`
+	EpochsOverBound int            `json:"epochs_over_bound"`
+	MaxEpochRounds int             `json:"max_epoch_rounds"`
+	Edges          [][2]int        `json:"edges"`
+	States         json.RawMessage `json:"states"`
+	// DedupKeys persists the idempotency window (ascending seq) so a
+	// recovered tenant still rejects duplicates of pre-crash requests.
+	DedupKeys []dedupEntry `json:"dedup_keys,omitempty"`
+}
+
+type dedupEntry struct {
+	Key string `json:"key"`
+	Seq int64  `json:"seq"`
+}
+
+// journal is the append-only write-ahead log for one tenant. Entries
+// are JSON lines, fsynced before the mutation is applied, so every
+// applied mutation is durable and a torn final line (crash mid-write)
+// is detected and discarded on open.
+type journal struct {
+	f *os.File
+}
+
+func openJournal(path string) (*journal, []Mutation, error) {
+	entries, good, err := readJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drop any torn tail so the next append starts on a clean line.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{f: f}, entries, nil
+}
+
+// readJournal parses the journal, returning the decoded entries and the
+// byte offset of the end of the last complete, well-formed line.
+func readJournal(path string) ([]Mutation, int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var (
+		entries []Mutation
+		good    int64
+	)
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// A final fragment without a newline is a torn write from a
+			// crash: the mutation was never acknowledged, drop it.
+			break
+		}
+		var m Mutation
+		if jerr := json.Unmarshal(line, &m); jerr != nil {
+			// A complete but corrupt line also ends the valid prefix.
+			break
+		}
+		good += int64(len(line))
+		entries = append(entries, m)
+	}
+	return entries, good, nil
+}
+
+// append durably writes one entry: the line is written and fsynced
+// before the caller applies the mutation.
+func (j *journal) append(m Mutation) error {
+	line, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+func tenantDir(dataDir, id string) string {
+	return filepath.Join(dataDir, "tenants", id)
+}
+
+func writeMeta(dir string, meta tenantMeta) error {
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, "meta.json"), raw)
+}
+
+func readMeta(dir string) (tenantMeta, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return tenantMeta{}, err
+	}
+	var meta tenantMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return tenantMeta{}, fmt.Errorf("meta.json: %w", err)
+	}
+	return meta, nil
+}
+
+func snapshotPath(dir string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%012d.json", seq))
+}
+
+func writeSnapshot(dir string, snap tenantSnapshot) error {
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(snapshotPath(dir, snap.Seq), raw); err != nil {
+		return err
+	}
+	// Retire older checkpoints; the newest is self-sufficient.
+	names, err := snapshotSeqs(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range names {
+		if s < snap.Seq {
+			os.Remove(snapshotPath(dir, s))
+		}
+	}
+	return nil
+}
+
+// latestSnapshot loads the newest complete checkpoint, or ok=false when
+// the tenant has never snapshotted (replay then starts from meta).
+func latestSnapshot(dir string) (tenantSnapshot, bool, error) {
+	seqs, err := snapshotSeqs(dir)
+	if err != nil || len(seqs) == 0 {
+		return tenantSnapshot{}, false, err
+	}
+	// Newest first; fall back on a corrupt file (a crash can interleave
+	// with retirement of the previous snapshot only after the new one is
+	// fully on disk, but stay defensive).
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, s := range seqs {
+		raw, err := os.ReadFile(snapshotPath(dir, s))
+		if err != nil {
+			continue
+		}
+		var snap tenantSnapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			continue
+		}
+		return snap, true, nil
+	}
+	return tenantSnapshot{}, false, nil
+}
+
+func snapshotSeqs(dir string) ([]int64, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int64
+	for _, de := range des {
+		name := de.Name()
+		if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		s, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".json"), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, s)
+	}
+	return seqs, nil
+}
+
+// atomicWrite lands content via rename so readers (and crash recovery)
+// never observe a half-written file.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic refill-on-demand rate limiter with an
+// injectable clock so tests (and the deterministic replay tier) can
+// drive it without wall-clock sleeps. Package detrand exempts
+// internal/service: the daemon is the one layer that legitimately
+// consumes real time, and every use is behind the Options.Now seam.
+type tokenBucket struct {
+	mu sync.Mutex
+	// guarded by mu
+	tokens float64
+	// guarded by mu
+	last time.Time
+
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	return &tokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		now:    now,
+		tokens: float64(burst),
+		last:   now(),
+	}
+}
+
+// allow consumes one token if available. When the bucket is empty it
+// returns false plus the wait until a token accrues, which the HTTP
+// layer surfaces as Retry-After.
+func (b *tokenBucket) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	wait := time.Duration(deficit / b.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}

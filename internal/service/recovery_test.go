@@ -1,0 +1,275 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// mutationScript is a fixed, representative burst: edge churn, node
+// crash/resurrect, state corruption, explicit converge.
+func mutationScript(n int) []Mutation {
+	return []Mutation{
+		{Op: OpAddEdge, U: intp(0), V: intp(n - 1), Key: "s1"},
+		{Op: OpCorrupt, Nodes: []int{1, 2, 3}, Key: "s2"},
+		{Op: OpRemoveNode, U: intp(n / 2), Key: "s3"},
+		{Op: OpRemoveEdge, U: intp(0), V: intp(1), Key: "s4"},
+		{Op: OpAddNode, U: intp(n / 2), Nodes: []int{n/2 - 1, n/2 + 1}, Key: "s5"},
+		{Op: OpCorrupt, Nodes: []int{0, n - 1}, Key: "s6"},
+		{Op: OpAddEdge, U: intp(1), V: intp(3), Key: "s7"},
+		{Op: OpCorrupt, Nodes: []int{4}, Key: "s8"},
+	}
+}
+
+func applyScript(t *testing.T, h http.Handler, id string, script []Mutation) []MutationResult {
+	t.Helper()
+	results := make([]MutationResult, 0, len(script))
+	for i, m := range script {
+		var res MutationResult
+		code, _ := doJSON(t, h, "POST", "/v1/tenants/"+id+"/mutations", m, &res)
+		if code != http.StatusOK {
+			t.Fatalf("script step %d (%s): status %d", i, m.Op, code)
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+func snapshotJSON(t *testing.T, h http.Handler, id string) []byte {
+	t.Helper()
+	var view SnapshotView
+	if code, _ := doJSON(t, h, "GET", "/v1/tenants/"+id+"/snapshot", nil, &view); code != http.StatusOK {
+		t.Fatalf("snapshot read: status %d", code)
+	}
+	raw, err := json.Marshal(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestKillRecoveryByteIdentical is the crash-recovery acceptance pin:
+// after an abrupt Kill, reopening from the data dir replays
+// snapshot + journal suffix to the exact acknowledged pre-crash state —
+// byte-identical both to the pre-crash view and to an uninterrupted
+// twin service that ran the same script.
+func TestKillRecoveryByteIdentical(t *testing.T) {
+	for _, proto := range []string{ProtocolSMM, ProtocolSMI} {
+		t.Run(proto, func(t *testing.T) {
+			const n = 12
+			script := mutationScript(n)
+
+			// Twin A: runs the script, gets killed, reopens.
+			dirA := t.TempDir()
+			// SnapshotEvery 3 exercises the snapshot+suffix path (the
+			// last snapshot covers a strict prefix of the journal).
+			svcA, err := Open(Options{DataDir: dirA, SnapshotEvery: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hA := svcA.Handler()
+			pathTenant(t, hA, "x", proto, n)
+			applyScript(t, hA, "x", script)
+			preCrash := snapshotJSON(t, hA, "x")
+			svcA.Kill()
+
+			// Twin B: same script, clean shutdown, never crashes.
+			dirB := t.TempDir()
+			svcB := newTestService(t, Options{DataDir: dirB, SnapshotEvery: 3})
+			hB := svcB.Handler()
+			pathTenant(t, hB, "x", proto, n)
+			applyScript(t, hB, "x", script)
+			uninterrupted := snapshotJSON(t, hB, "x")
+
+			if string(preCrash) != string(uninterrupted) {
+				t.Fatalf("pre-crash state diverged from uninterrupted twin:\nA: %s\nB: %s", preCrash, uninterrupted)
+			}
+
+			// Reopen A from its data dir: recovery must land exactly on
+			// the acknowledged pre-crash state.
+			svcA2 := newTestService(t, Options{DataDir: dirA, SnapshotEvery: 3})
+			hA2 := svcA2.Handler()
+			recovered := snapshotJSON(t, hA2, "x")
+			if string(recovered) != string(preCrash) {
+				t.Fatalf("recovered state != pre-crash state:\npre:  %s\npost: %s", preCrash, recovered)
+			}
+
+			// The recovered tenant still rejects duplicates of pre-crash
+			// requests (dedup window survives via snapshot + journal).
+			var res MutationResult
+			code, _ := doJSON(t, hA2, "POST", "/v1/tenants/x/mutations", script[len(script)-1], &res)
+			if code != http.StatusOK || !res.Duplicate {
+				t.Fatalf("pre-crash idempotency key not honored after recovery: code %d res %+v", code, res)
+			}
+
+			// And it keeps serving: one more mutation converges in bound.
+			var st TenantStatus
+			doJSON(t, hA2, "GET", "/v1/tenants/x", nil, &st)
+			code, _ = doJSON(t, hA2, "POST", "/v1/tenants/x/mutations",
+				Mutation{Op: OpCorrupt, Nodes: []int{2}}, &res)
+			if code != http.StatusOK || !res.Converged || res.Rounds > st.Bound {
+				t.Fatalf("post-recovery mutation: code %d res %+v bound %d", code, res, st.Bound)
+			}
+		})
+	}
+}
+
+// TestTornJournalLineDiscarded pins crash-mid-append behavior: a torn
+// final journal line (never acknowledged) is dropped on open and the
+// tenant recovers to the last complete entry.
+func TestTornJournalLineDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+	pathTenant(t, h, "torn", ProtocolSMM, 8)
+	applyScript(t, h, "torn", mutationScript(8)[:3])
+	want := snapshotJSON(t, h, "torn")
+	svc.Kill()
+
+	jp := filepath.Join(tenantDir(dir, "torn"), "journal.jsonl")
+	f, err := os.OpenFile(jp, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append leaves a partial line with no newline.
+	if _, err := f.WriteString(`{"seq":99,"op":"add_ed`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	svc2 := newTestService(t, Options{DataDir: dir})
+	h2 := svc2.Handler()
+	got := snapshotJSON(t, h2, "torn")
+	if string(got) != string(want) {
+		t.Fatalf("torn journal changed recovered state:\nwant %s\ngot  %s", want, got)
+	}
+	var st TenantStatus
+	doJSON(t, h2, "GET", "/v1/tenants/torn", nil, &st)
+	if st.Seq != 3 {
+		t.Fatalf("recovered seq = %d, want 3", st.Seq)
+	}
+	// The truncated journal must accept appends again.
+	var res MutationResult
+	if code, _ := doJSON(t, h2, "POST", "/v1/tenants/torn/mutations",
+		Mutation{Op: OpAddEdge, U: intp(0), V: intp(4)}, &res); code != http.StatusOK || res.Seq != 4 {
+		t.Fatalf("append after truncation: code %d res %+v", code, res)
+	}
+}
+
+// TestRecoveryAcrossManyTenants pins deterministic multi-tenant
+// startup: several tenants with different protocols all recover.
+func TestRecoveryAcrossManyTenants(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(Options{DataDir: dir, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+	views := map[string][]byte{}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("m%d", i)
+		proto := ProtocolSMM
+		if i%2 == 1 {
+			proto = ProtocolSMI
+		}
+		pathTenant(t, h, id, proto, 6+i)
+		applyScript(t, h, id, mutationScript(6+i)[:4])
+		views[id] = snapshotJSON(t, h, id)
+	}
+	svc.Kill()
+
+	svc2 := newTestService(t, Options{DataDir: dir, SnapshotEvery: 2})
+	h2 := svc2.Handler()
+	ids := svc2.TenantIDs()
+	if len(ids) != 4 {
+		t.Fatalf("recovered %d tenants, want 4: %v", len(ids), ids)
+	}
+	for id, want := range views {
+		got := snapshotJSON(t, h2, id)
+		if string(got) != string(want) {
+			t.Fatalf("tenant %s diverged after recovery:\nwant %s\ngot  %s", id, want, got)
+		}
+	}
+}
+
+// TestConvergeEndpointJournaledTruncation pins the post-hoc journaling
+// of converge epochs: a converge with a tiny round budget lands in the
+// journal with the rounds it actually ran, and replay reproduces the
+// truncated state exactly.
+func TestConvergeEndpointJournaledTruncation(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+	pathTenant(t, h, "c", ProtocolSMM, 10)
+
+	// Corrupt widely, then converge with a budget of 1 round — far too
+	// small, leaving the tenant mid-trajectory.
+	var res MutationResult
+	doJSON(t, h, "POST", "/v1/tenants/c/mutations",
+		Mutation{Op: OpCorrupt, Nodes: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}, &res)
+
+	code, _ := doJSON(t, h, "POST", "/v1/tenants/c/converge", convergeRequest{Rounds: 1}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("converge: status %d", code)
+	}
+	want := snapshotJSON(t, h, "c")
+	svc.Kill()
+
+	svc2 := newTestService(t, Options{DataDir: dir})
+	got := snapshotJSON(t, svc2.Handler(), "c")
+	if string(got) != string(want) {
+		t.Fatalf("truncated converge not reproduced by replay:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestCloseDrainsQueuedWork pins graceful-shutdown semantics: commands
+// already queued when Close begins are processed, journaled, and
+// answered before the loops exit.
+func TestCloseDrainsQueuedWork(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+	pathTenant(t, h, "drain", ProtocolSMM, 6)
+	tn, err := svc.Tenant("drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue directly so the command is provably pending when Close runs.
+	cmd := &command{mut: Mutation{Op: OpAddEdge, U: intp(0), V: intp(3)}, reply: make(chan cmdResult, 1)}
+	tn.cmds <- cmd
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case res := <-cmd.reply:
+		if res.Err != nil || !res.Converged {
+			t.Fatalf("drained command result: %+v", res)
+		}
+	default:
+		t.Fatal("queued command was not drained before shutdown")
+	}
+
+	// The drained mutation is durable: reopening shows it.
+	svc2 := newTestService(t, Options{DataDir: dir})
+	var st TenantStatus
+	doJSON(t, svc2.Handler(), "GET", "/v1/tenants/drain", nil, &st)
+	if st.Seq != 1 {
+		t.Fatalf("drained mutation lost: seq %d, want 1", st.Seq)
+	}
+}

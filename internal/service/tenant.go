@@ -1,0 +1,707 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"selfstab/internal/graph"
+)
+
+// dedupWindow bounds the idempotency-key memory per tenant: the oldest
+// keys are evicted in arrival order once the window fills, matching the
+// at-most-once guarantee clients get for retries within the window.
+const dedupWindow = 4096
+
+var (
+	errQuarantined = errors.New("tenant quarantined")
+	errClosed      = errors.New("tenant closed")
+)
+
+// command is one unit of work for a tenant's event loop. The reply
+// channel is buffered (capacity 1) so the loop never blocks on a
+// handler that gave up waiting.
+type command struct {
+	mut Mutation
+	// ctx is the request context; it bounds OpConverge execution only.
+	// Ordinary mutations always run their full deterministic epoch —
+	// a client deadline must not change where the state lands.
+	ctx   context.Context
+	reply chan cmdResult
+}
+
+type cmdResult struct {
+	Seq       int64
+	Duplicate bool
+	Rounds    int
+	Converged bool
+	Legit     bool
+	CheckErr  string
+	Err       error
+}
+
+// TenantStatus is the read model served by GET /v1/tenants/{id}.
+type TenantStatus struct {
+	ID              string `json:"id"`
+	Protocol        string `json:"protocol"`
+	N               int    `json:"n"`
+	M               int    `json:"m"`
+	Seq             int64  `json:"seq"`
+	Rounds          int    `json:"rounds"`
+	Moves           int    `json:"moves"`
+	Converged       bool   `json:"converged"`
+	Legit           bool   `json:"legit"`
+	CheckError      string `json:"check_error,omitempty"`
+	Bound           int    `json:"bound"`
+	LastEpochRounds int    `json:"last_epoch_rounds"`
+	MaxEpochRounds  int    `json:"max_epoch_rounds"`
+	EpochsOverBound int    `json:"epochs_over_bound"`
+	Quarantined     string `json:"quarantined,omitempty"`
+	QueueLen        int    `json:"queue_len"`
+	QueueCap        int    `json:"queue_cap"`
+}
+
+// SnapshotView is the read model served by GET .../snapshot: the same
+// deterministic content a checkpoint file holds, read at a consistent
+// point under the tenant lock.
+type SnapshotView struct {
+	ID              string          `json:"id"`
+	Protocol        string          `json:"protocol"`
+	Seq             int64           `json:"seq"`
+	Converged       bool            `json:"converged"`
+	Edges           [][2]int        `json:"edges"`
+	States          json.RawMessage `json:"states"`
+	Rounds          int             `json:"rounds"`
+	Moves           int             `json:"moves"`
+	MaxEpochRounds  int             `json:"max_epoch_rounds"`
+	EpochsOverBound int             `json:"epochs_over_bound"`
+}
+
+// tenant hosts one graph instance behind a single-writer event loop:
+// the loop goroutine is the only writer of engine state and the
+// journal, handlers are readers via mu, and the bounded cmds channel is
+// the backpressure boundary the HTTP layer surfaces as 503.
+type tenant struct {
+	id        string
+	meta      tenantMeta
+	dir       string
+	bound     int
+	slice     int
+	snapEvery int64
+
+	limiter *tokenBucket
+
+	cmds     chan *command
+	quit     chan struct{}
+	quitOnce sync.Once
+	// dead is closed when the event loop has exited (gracefully or by
+	// quarantine); handlers select on it to fail fast instead of waiting
+	// for a reply that will never come.
+	dead chan struct{}
+
+	// svcCtx is the service's kill context: canceling it stops
+	// convergence between rounds and makes the loop exit without
+	// flushing, simulating a crash for the recovery tier.
+	svcCtx context.Context
+
+	mu sync.RWMutex
+	// guarded by mu
+	eng tenantEngine
+	// guarded by mu
+	jr *journal
+	// guarded by mu
+	seq int64
+	// guarded by mu
+	roundsTotal int
+	// guarded by mu
+	movesTotal int
+	// guarded by mu
+	converged bool
+	// guarded by mu
+	legit bool
+	// guarded by mu
+	checkErr string
+	// guarded by mu
+	lastEpochRounds int
+	// guarded by mu
+	maxEpochRounds int
+	// guarded by mu
+	epochsOverBound int
+	// guarded by mu
+	quarantined string
+	// guarded by mu
+	dedup map[string]int64
+	// guarded by mu
+	dedupQ []dedupEntry
+}
+
+type tenantOptions struct {
+	queueDepth int
+	slice      int
+	snapEvery  int64
+	shards     int
+	ratePerSec float64
+	burst      int
+	now        func() time.Time
+}
+
+// newTenant builds (or recovers) a tenant from its directory and starts
+// its event loop. Recovery is replay: engine from meta, then either the
+// latest snapshot or the deterministic init epoch, then every journal
+// entry past the snapshot — each with its full deterministic
+// convergence budget, landing byte-identical to the uninterrupted run.
+func newTenant(svcCtx context.Context, dir string, meta tenantMeta, opts tenantOptions) (*tenant, error) {
+	eng, err := newEngine(meta.Protocol, meta.N, meta.Edges, opts.shards)
+	if err != nil {
+		return nil, err
+	}
+	jr, entries, err := openJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		eng.close()
+		return nil, err
+	}
+	t := &tenant{
+		id:        meta.ID,
+		meta:      meta,
+		dir:       dir,
+		bound:     protocolBound(meta.Protocol, meta.N),
+		slice:     opts.slice,
+		snapEvery: opts.snapEvery,
+		limiter:   newTokenBucket(opts.ratePerSec, opts.burst, opts.now),
+		cmds:      make(chan *command, opts.queueDepth),
+		quit:      make(chan struct{}),
+		dead:      make(chan struct{}),
+		svcCtx:    svcCtx,
+		eng:       eng,
+		jr:        jr,
+		dedup:     make(map[string]int64),
+	}
+	if err := t.recoverFrom(entries); err != nil {
+		t.closeResources()
+		return nil, err
+	}
+	go t.loop()
+	return t, nil
+}
+
+// recoverFrom replays the tenant to its last acknowledged state. It
+// runs before the event loop starts, so there is no contention; the
+// helpers it calls still lock, keeping the guarded-field discipline
+// uniform.
+func (t *tenant) recoverFrom(entries []Mutation) error {
+	snap, haveSnap, err := latestSnapshot(t.dir)
+	if err != nil {
+		return err
+	}
+	var last int64
+	if haveSnap {
+		if err := t.restore(snap); err != nil {
+			return fmt.Errorf("restore snapshot seq %d: %w", snap.Seq, err)
+		}
+		last = snap.Seq
+	} else {
+		// Init epoch: converge the clean starting configuration. This is
+		// seq 0 of the deterministic derivation, so it runs the same
+		// bounded budget mutations do.
+		rounds, moves, stable, err := t.runEpoch(t.svcCtx, t.bound+1)
+		if err != nil {
+			return err
+		}
+		t.noteEpoch(rounds, moves, stable, true)
+	}
+	for _, m := range entries {
+		if m.Seq <= last {
+			continue
+		}
+		last = m.Seq
+		if err := t.replayEntry(m); err != nil {
+			return fmt.Errorf("replay seq %d: %w", m.Seq, err)
+		}
+		budget, counted := t.bound+1, true
+		if m.Op == OpConverge {
+			budget, counted = m.Rounds, false
+		}
+		rounds, moves, stable, err := t.runEpoch(t.svcCtx, budget)
+		if err != nil {
+			return fmt.Errorf("replay seq %d: %w", m.Seq, err)
+		}
+		if m.Op == OpConverge {
+			// The journaled outcome is authoritative: replay executes the
+			// recorded rounds and reproduces the states, but cannot see
+			// the stability probe the original run performed.
+			stable = m.Stable
+		}
+		t.noteEpoch(rounds, moves, stable, counted)
+	}
+	return nil
+}
+
+// restore reconciles the engine (built from meta's topology and clean
+// states) to a checkpoint.
+func (t *tenant) restore(snap tenantSnapshot) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	want := make(map[[2]int]bool, len(snap.Edges))
+	for _, e := range snap.Edges {
+		want[e] = true
+	}
+	for _, e := range t.eng.edges() {
+		if !want[e] {
+			t.eng.setLink(graph.NewEdge(graph.NodeID(e[0]), graph.NodeID(e[1])), false)
+		}
+	}
+	for _, e := range snap.Edges {
+		t.eng.setLink(graph.NewEdge(graph.NodeID(e[0]), graph.NodeID(e[1])), true)
+	}
+	if err := t.eng.decodeStates(snap.States); err != nil {
+		return err
+	}
+	t.seq = snap.Seq
+	t.roundsTotal = snap.Rounds
+	t.movesTotal = snap.Moves
+	t.converged = snap.Converged
+	t.maxEpochRounds = snap.MaxEpochRounds
+	t.epochsOverBound = snap.EpochsOverBound
+	for _, de := range snap.DedupKeys {
+		t.dedupQ = remember(t.dedup, t.dedupQ, de.Key, de.Seq)
+	}
+	if snap.Converged {
+		if err := t.eng.check(); err != nil {
+			t.checkErr = err.Error()
+		} else {
+			t.legit = true
+		}
+	}
+	return nil
+}
+
+// replayEntry re-applies one journaled mutation during recovery: seq,
+// idempotency key, and the topology/state change (convergence follows
+// in recoverFrom).
+func (t *tenant) replayEntry(m Mutation) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq = m.Seq
+	if m.Key != "" {
+		t.dedupQ = remember(t.dedup, t.dedupQ, m.Key, m.Seq)
+	}
+	return applyMutation(t.eng, m)
+}
+
+// loop is the single writer. It exits on graceful quit (drain queue,
+// flush a final checkpoint), service kill (immediately, no flush — the
+// journal is already durable), or quarantine after a panic.
+func (t *tenant) loop() {
+	defer close(t.dead)
+	defer t.closeResources()
+	for {
+		select {
+		case <-t.svcCtx.Done():
+			return
+		case <-t.quit:
+			for {
+				select {
+				case cmd := <-t.cmds:
+					if !t.handle(cmd) {
+						return
+					}
+				default:
+					t.flush()
+					return
+				}
+			}
+		case cmd := <-t.cmds:
+			if !t.handle(cmd) {
+				return
+			}
+		}
+	}
+}
+
+// handle processes one command. A panic anywhere in the pipeline
+// quarantines the tenant: the panic value is recorded, the waiting
+// client gets an error, and the loop exits — the daemon keeps serving
+// every other tenant.
+func (t *tenant) handle(cmd *command) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.setQuarantined(fmt.Sprintf("%v", r))
+			cmd.reply <- cmdResult{Err: fmt.Errorf("%w: %v", errQuarantined, r)}
+			ok = false
+		}
+	}()
+	m := cmd.mut
+	if m.Op == OpChaosPanic {
+		// Deliberate crash for the chaos tier. Never journaled: a replay
+		// must recover the tenant, not re-crash it.
+		panic("chaos: injected panic via API")
+	}
+	res, done := t.begin(&m)
+	if done {
+		cmd.reply <- res
+		return true
+	}
+
+	ctx := t.svcCtx
+	budget := t.bound + 1
+	counted := true
+	if m.Op == OpConverge {
+		budget = m.Rounds
+		counted = false
+		if cmd.ctx != nil {
+			// A converge request honors its deadline (unlike mutations):
+			// truncation is journaled with the rounds actually executed,
+			// so replay reproduces it.
+			mctx, cancel := context.WithCancel(cmd.ctx)
+			defer cancel()
+			stop := context.AfterFunc(t.svcCtx, cancel)
+			defer stop()
+			ctx = mctx
+		}
+	}
+	rounds, moves, stable, cerr := t.runEpoch(ctx, budget)
+	if t.svcCtx.Err() != nil {
+		// Killed mid-epoch: the in-memory state is off the deterministic
+		// trajectory and will be discarded; recovery replays the
+		// journal. Do not journal, do not checkpoint.
+		cmd.reply <- cmdResult{Seq: m.Seq, Err: t.svcCtx.Err()}
+		return false
+	}
+	cmd.reply <- t.finish(m, rounds, moves, stable, counted, cerr)
+	return true
+}
+
+// begin assigns the sequence number, journals the mutation (write-ahead:
+// durable before applied), and applies its topology/state change.
+func (t *tenant) begin(m *Mutation) (cmdResult, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m.Key != "" {
+		if s, dup := t.dedup[m.Key]; dup {
+			return cmdResult{Seq: s, Duplicate: true, Converged: t.converged, Legit: t.legit, CheckErr: t.checkErr}, true
+		}
+	}
+	if err := validateMutation(*m, t.eng.n()); err != nil {
+		return cmdResult{Err: err}, true
+	}
+	t.seq++
+	m.Seq = t.seq
+	if m.Op == OpCorrupt {
+		// Per-mutation corruption stream: a function of (tenant seed,
+		// seq), so replaying the journal redraws identical states.
+		m.Seed = deriveSeed(t.meta.Seed, "mutation", int(m.Seq))
+	}
+	if m.Op != OpConverge {
+		if err := t.jr.append(*m); err != nil {
+			t.seq--
+			return cmdResult{Err: err}, true
+		}
+	}
+	if m.Key != "" {
+		t.dedupQ = remember(t.dedup, t.dedupQ, m.Key, m.Seq)
+	}
+	if err := applyMutation(t.eng, *m); err != nil {
+		// Validation runs first, so this is unreachable for live
+		// traffic; surface it rather than hide a journal/apply split.
+		return cmdResult{Seq: m.Seq, Err: err}, true
+	}
+	return cmdResult{Seq: m.Seq}, false
+}
+
+// runEpoch drives convergence in short slices, releasing the lock
+// between slices so reads stay responsive during long epochs. The
+// sliced trajectory is pinned byte-identical to a one-shot run by
+// TestConvergeCtxChunkedMatchesOneShot in internal/sim.
+func (t *tenant) runEpoch(ctx context.Context, budget int) (rounds, moves int, stable bool, err error) {
+	for rounds < budget {
+		sl := t.slice
+		if sl > budget-rounds {
+			sl = budget - rounds
+		}
+		t.mu.Lock()
+		r, mv, st, cerr := t.eng.converge(ctx, sl)
+		t.mu.Unlock()
+		rounds += r
+		moves += mv
+		if st {
+			return rounds, moves, true, nil
+		}
+		if cerr != nil {
+			return rounds, moves, false, cerr
+		}
+	}
+	return rounds, moves, false, nil
+}
+
+// finish updates epoch accounting, journals a completed converge entry
+// post-hoc with the rounds it actually executed, and checkpoints at the
+// snapshot cadence. Only the event-loop goroutine calls it, so the
+// lock/unlock seams between the steps admit readers but never writers.
+func (t *tenant) finish(m Mutation, rounds, moves int, stable, counted bool, cerr error) cmdResult {
+	if m.Op == OpConverge {
+		m.Rounds, m.Stable = rounds, stable
+		if err := t.journalAppend(m); err != nil {
+			return cmdResult{Seq: m.Seq, Err: err}
+		}
+	}
+	t.noteEpoch(rounds, moves, stable, counted)
+	res := t.epochResult(m.Seq, rounds)
+	if cerr != nil {
+		res.Err = cerr
+		return res
+	}
+	if t.snapEvery > 0 && m.Seq%t.snapEvery == 0 {
+		if err := t.checkpoint(); err != nil {
+			res.Err = err
+		}
+	}
+	return res
+}
+
+func (t *tenant) journalAppend(m Mutation) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.jr.append(m)
+}
+
+// noteEpoch folds one epoch's outcome into the tenant counters.
+// counted=false for explicit converge requests, whose budget is
+// client-chosen and therefore says nothing about the paper's bound.
+func (t *tenant) noteEpoch(rounds, moves int, stable, counted bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roundsTotal += rounds
+	t.movesTotal += moves
+	t.lastEpochRounds = rounds
+	t.converged = stable
+	if counted {
+		if rounds > t.maxEpochRounds {
+			t.maxEpochRounds = rounds
+		}
+		if !stable {
+			t.epochsOverBound++
+		}
+	}
+	t.legit = false
+	t.checkErr = ""
+	if stable {
+		if err := t.eng.check(); err != nil {
+			t.checkErr = err.Error()
+		} else {
+			t.legit = true
+		}
+	}
+}
+
+func (t *tenant) epochResult(seq int64, rounds int) cmdResult {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return cmdResult{Seq: seq, Rounds: rounds, Converged: t.converged, Legit: t.legit, CheckErr: t.checkErr}
+}
+
+// checkpoint writes a deterministic snapshot of the current
+// (mutation-boundary) state.
+func (t *tenant) checkpoint() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.quarantined != "" {
+		return nil
+	}
+	// dedupQ is already in ascending seq order: live inserts follow seq
+	// assignment, snapshots persist it in that order, and restore
+	// re-inserts in stored order.
+	keys := append([]dedupEntry(nil), t.dedupQ...)
+	return writeSnapshot(t.dir, tenantSnapshot{
+		Seq:             t.seq,
+		Rounds:          t.roundsTotal,
+		Moves:           t.movesTotal,
+		Converged:       t.converged,
+		EpochsOverBound: t.epochsOverBound,
+		MaxEpochRounds:  t.maxEpochRounds,
+		Edges:           t.eng.edges(),
+		States:          t.eng.encodeStates(),
+		DedupKeys:       keys,
+	})
+}
+
+// flush writes a final checkpoint on graceful shutdown, unless a kill
+// raced in (a killed tenant's state is mid-epoch and must not be
+// checkpointed; the journal already has everything).
+func (t *tenant) flush() {
+	if t.svcCtx.Err() != nil {
+		return
+	}
+	t.checkpoint()
+}
+
+func (t *tenant) closeResources() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.jr.close()
+	t.eng.close()
+}
+
+func (t *tenant) setQuarantined(reason string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.quarantined = reason
+}
+
+// close asks the event loop to drain and exit; safe to call repeatedly.
+func (t *tenant) close() {
+	t.quitOnce.Do(func() { close(t.quit) })
+}
+
+// --- reads (any goroutine) ---
+
+func (t *tenant) status() TenantStatus {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return TenantStatus{
+		ID:              t.id,
+		Protocol:        t.eng.protocol(),
+		N:               t.eng.n(),
+		M:               t.eng.m(),
+		Seq:             t.seq,
+		Rounds:          t.roundsTotal,
+		Moves:           t.movesTotal,
+		Converged:       t.converged,
+		Legit:           t.legit,
+		CheckError:      t.checkErr,
+		Bound:           t.bound,
+		LastEpochRounds: t.lastEpochRounds,
+		MaxEpochRounds:  t.maxEpochRounds,
+		EpochsOverBound: t.epochsOverBound,
+		Quarantined:     t.quarantined,
+		QueueLen:        len(t.cmds),
+		QueueCap:        cap(t.cmds),
+	}
+}
+
+func (t *tenant) snapshotView() SnapshotView {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return SnapshotView{
+		ID:              t.id,
+		Protocol:        t.eng.protocol(),
+		Seq:             t.seq,
+		Converged:       t.converged,
+		Edges:           t.eng.edges(),
+		States:          t.eng.encodeStates(),
+		Rounds:          t.roundsTotal,
+		Moves:           t.movesTotal,
+		MaxEpochRounds:  t.maxEpochRounds,
+		EpochsOverBound: t.epochsOverBound,
+	}
+}
+
+func (t *tenant) membershipView() json.RawMessage {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.eng.membership()
+}
+
+func (t *tenant) node(v int) (NodeInfo, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if v < 0 || v >= t.eng.n() {
+		return NodeInfo{}, fmt.Errorf("node %d out of range [0, %d)", v, t.eng.n())
+	}
+	return t.eng.nodeInfo(graph.NodeID(v)), nil
+}
+
+// --- mutation mechanics shared by the live path and replay ---
+
+// remember records key→seq in the dedup window, evicting the oldest
+// entry when full. The caller owns the lock guarding both structures
+// and stores the returned queue back.
+func remember(dedup map[string]int64, q []dedupEntry, key string, seq int64) []dedupEntry {
+	if len(q) >= dedupWindow {
+		delete(dedup, q[0].Key)
+		q = q[1:]
+	}
+	dedup[key] = seq
+	return append(q, dedupEntry{Key: key, Seq: seq})
+}
+
+func validateMutation(m Mutation, n int) error {
+	inRange := func(v *int) bool { return v != nil && *v >= 0 && *v < n }
+	switch m.Op {
+	case OpAddEdge, OpRemoveEdge:
+		if !inRange(m.U) || !inRange(m.V) || *m.U == *m.V {
+			return fmt.Errorf("%s needs distinct u, v in [0, %d)", m.Op, n)
+		}
+	case OpAddNode:
+		if !inRange(m.U) {
+			return fmt.Errorf("%s needs u in [0, %d)", m.Op, n)
+		}
+		for _, w := range m.Nodes {
+			if w < 0 || w >= n || w == *m.U {
+				return fmt.Errorf("%s neighbor %d out of range", m.Op, w)
+			}
+		}
+	case OpRemoveNode:
+		if !inRange(m.U) {
+			return fmt.Errorf("%s needs u in [0, %d)", m.Op, n)
+		}
+	case OpCorrupt:
+		if len(m.Nodes) == 0 {
+			return fmt.Errorf("%s needs a non-empty node list", m.Op)
+		}
+		for _, w := range m.Nodes {
+			if w < 0 || w >= n {
+				return fmt.Errorf("%s node %d out of range [0, %d)", m.Op, w, n)
+			}
+		}
+	case OpConverge:
+		if m.Rounds < 0 {
+			return fmt.Errorf("%s rounds must be >= 0", m.Op)
+		}
+	case OpChaosPanic:
+		// handled before begin; listed for exhaustiveness
+	default:
+		return fmt.Errorf("unknown op %q", m.Op)
+	}
+	return nil
+}
+
+// applyMutation performs the topology/state change for one journal
+// entry. Node removal in the fixed-universe graph model means cutting
+// every incident link (the node keeps evaluating but sees no
+// neighbors); addition re-attaches explicit links.
+func applyMutation(eng tenantEngine, m Mutation) error {
+	switch m.Op {
+	case OpAddEdge:
+		eng.setLink(graph.NewEdge(graph.NodeID(*m.U), graph.NodeID(*m.V)), true)
+	case OpRemoveEdge:
+		eng.setLink(graph.NewEdge(graph.NodeID(*m.U), graph.NodeID(*m.V)), false)
+	case OpAddNode:
+		u := graph.NodeID(*m.U)
+		for _, w := range m.Nodes {
+			eng.setLink(graph.NewEdge(u, graph.NodeID(w)), true)
+		}
+	case OpRemoveNode:
+		u := graph.NodeID(*m.U)
+		nbrs := append([]graph.NodeID(nil), eng.neighbors(u)...)
+		for _, w := range nbrs {
+			eng.setLink(graph.NewEdge(u, w), false)
+		}
+	case OpCorrupt:
+		nodes := make([]graph.NodeID, len(m.Nodes))
+		for i, w := range m.Nodes {
+			nodes[i] = graph.NodeID(w)
+		}
+		eng.corrupt(nodes, m.Seed)
+	case OpConverge:
+		// no topology/state change; the epoch itself is the effect
+	case OpChaosPanic:
+		// never journaled, never applied; listed for exhaustiveness
+	default:
+		return fmt.Errorf("unknown op %q", m.Op)
+	}
+	return nil
+}

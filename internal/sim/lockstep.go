@@ -19,6 +19,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"selfstab/internal/core"
@@ -331,29 +332,83 @@ func (l *Lockstep[S]) Run(maxRounds int) Result {
 // had at least one move, receiving the 1-based round index and the
 // post-round configuration. The hook must not mutate the configuration.
 func (l *Lockstep[S]) RunHook(maxRounds int, hook func(round int, cfg core.Config[S])) Result {
+	res, _ := l.runLoop(context.Background(), maxRounds, true, true, hook)
+	return res
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// once per round, between rounds, so a cancelled or deadline-expired ctx
+// stops the loop at the next round boundary — states are always left at
+// a consistent round cut, never mid-install. The returned error is nil
+// on normal completion and ctx.Err() when the run was cut short; the
+// Result then carries the rounds and moves executed so far with Stable
+// false. Before RunCtx existed a Run on a non-stabilizing execution
+// (e.g. the paper's four-cycle counterexample under the successor
+// policy) was unstoppable from the caller short of killing the process.
+func (l *Lockstep[S]) RunCtx(ctx context.Context, maxRounds int) (Result, error) {
+	return l.runLoop(ctx, maxRounds, true, true, nil)
+}
+
+// ConvergeCtx is RunCtx without the full re-dirty at entry: it trusts
+// the frontier to already cover every node whose view changed, which
+// holds exactly when all mutations since the last run were reported
+// through DirtyState/DirtyEdge/DirtyView (the fault adapters and the
+// service layer do this). It also skips the final quiescence probe —
+// hitting the round limit reports Stable false, and a subsequent call
+// resumes where this one stopped, drains an empty frontier, and reports
+// Stable true at the cost of one cheap zero-move round. This makes it
+// the natural seam for chunked convergence: run a slice of rounds,
+// release locks to serve reads, resume. Chunking cannot change the
+// trajectory — each round is a deterministic function of the states, so
+// any slicing of the same round sequence lands on the same fixed point.
+func (l *Lockstep[S]) ConvergeCtx(ctx context.Context, maxRounds int) (Result, error) {
+	return l.runLoop(ctx, maxRounds, false, false, nil)
+}
+
+// runLoop is the shared round loop. redirty re-enqueues every node at
+// entry (the Run contract); probe runs the O(n) quiescence check when
+// the round limit is reached. The ctx check is a nil-channel test plus a
+// non-blocking select per round — nothing on the hot path, and
+// context.Background() keeps the legacy paths literally free (Done()
+// returns nil).
+func (l *Lockstep[S]) runLoop(ctx context.Context, maxRounds int, redirty, probe bool, hook func(round int, cfg core.Config[S])) (Result, error) {
 	// Re-dirty everything at entry: Run is the boundary at which callers
 	// legitimately hand back a configuration they edited freely (e.g.
 	// stabilize → churn + normalize states → Run again), so no incremental
 	// knowledge survives it. Within the run the frontier shrinks as the
 	// execution quiesces — which is where the paper's own convergence
 	// analysis says nearly all the full-scan work is wasted.
-	if l.sh != nil {
-		l.sh.addAll()
-	} else {
-		l.frontier.AddAll()
+	if redirty {
+		if l.sh != nil {
+			l.sh.addAll()
+		} else {
+			l.frontier.AddAll()
+		}
 	}
+	done := ctx.Done()
 	start := l.rounds
 	for l.rounds-start < maxRounds {
+		if done != nil {
+			select {
+			case <-done:
+				return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: false}, ctx.Err()
+			default:
+			}
+		}
 		if l.Step() == 0 {
-			return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: true}
+			return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: true}, nil
 		}
 		if hook != nil {
 			hook(l.rounds-start, l.cfg)
 		}
 	}
-	// One more probe: the limit-th round may have reached the fixed point.
-	stable := l.quiescent()
-	return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: stable}
+	stable := false
+	if probe {
+		// One more probe: the limit-th round may have reached the fixed
+		// point.
+		stable = l.quiescent()
+	}
+	return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: stable}, nil
 }
 
 // quiescent reports whether no node is privileged, without mutating state.

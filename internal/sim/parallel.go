@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -149,13 +150,30 @@ func (l *Parallel[S]) Step() int {
 
 // Run implements Instance.
 func (l *Parallel[S]) Run(maxRounds int) Result {
+	res, _ := l.RunCtx(context.Background(), maxRounds)
+	return res
+}
+
+// RunCtx is Run with cooperative cancellation, checked once per round
+// between the install barrier and the next evaluation fan-out (see
+// Lockstep.RunCtx). Workers never observe the cancellation mid-round:
+// the round they are in completes, so states stay at a round boundary.
+func (l *Parallel[S]) RunCtx(ctx context.Context, maxRounds int) (Result, error) {
 	// Re-dirty everything at entry — Run is the boundary at which callers
 	// may have edited the configuration directly (see Lockstep.RunHook).
 	l.frontier.AddAll()
+	done := ctx.Done()
 	start := l.rounds
 	for l.rounds-start < maxRounds {
+		if done != nil {
+			select {
+			case <-done:
+				return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: false}, ctx.Err()
+			default:
+			}
+		}
 		if l.Step() == 0 {
-			return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: true}
+			return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: true}, nil
 		}
 	}
 	stable := true
@@ -165,7 +183,7 @@ func (l *Parallel[S]) Run(maxRounds int) Result {
 			break
 		}
 	}
-	return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: stable}
+	return Result{Rounds: l.rounds - start, Moves: l.moves, Stable: stable}, nil
 }
 
 var _ Instance = (*Parallel[bool])(nil)
