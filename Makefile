@@ -29,7 +29,7 @@ BENCH_LABEL ?= dev
 BENCH_GATE_BASE ?= bench-base.json
 BENCH_PIN ?= ^Benchmark(Large|Shard1M)_
 
-.PHONY: all build vet lint lint-sarif lint-diff tools test race cover bench bench-json bench-diff bench-gate bench-trend service-test load-smoke experiments experiments-quick soak soak-quick fuzz clean
+.PHONY: all build vet lint lint-sarif lint-diff lint-service tools test race cover bench bench-json bench-diff bench-gate bench-trend service-test load-smoke experiments experiments-quick soak soak-quick fuzz clean
 
 all: build vet lint test race
 
@@ -41,15 +41,17 @@ vet:
 
 # lint runs the repo's custom determinism/concurrency analyzers
 # (detrand, mapiter, guarded, plus the dataflow tier: purity,
-# exhaustive, lockorder, and the allocation/shard-isolation tier:
-# noalloc, shardsafe — see docs/STATIC_ANALYSIS.md) through the
+# exhaustive, lockorder, the allocation/shard-isolation tier:
+# noalloc, shardsafe, and the service-invariant tier: walorder,
+# singlewriter, ctxflow — see docs/STATIC_ANALYSIS.md) through the
 # standard `go vet -vettool` protocol, then staticcheck and govulncheck
 # when installed. The custom suite is mandatory; the external tools are
 # skipped with a notice if absent so offline checkouts still lint.
 # Cross-package facts (purity summaries, lock-order edges, noalloc
-# allocation summaries and interface contracts) ride the go
-# command's vet fact files, so they are cached in GOCACHE with the rest
-# of the vet results.
+# allocation summaries and interface contracts, walorder durable-field
+# and journal-role sets, singlewriter owner sets, ctxflow durability
+# obligations) ride the go command's vet fact files, so they are cached
+# in GOCACHE with the rest of the vet results.
 lint:
 	$(GO) build -o $(LINTBIN) ./cmd/selfstablint
 	$(GO) vet -vettool=$(CURDIR)/$(LINTBIN) ./...
@@ -98,6 +100,16 @@ lint-diff:
 	done; \
 	if [ -n "$$new" ]; then printf "$$new"; exit 1; \
 	else echo "lint-diff: no new diagnostics vs origin/main"; fi
+
+# lint-service runs the full analyzer suite scoped to the crash-recovery
+# surface — the service layer plus the binaries on top of it. This is
+# the fast inner loop while editing internal/service: the
+# service-invariant tier (walorder, singlewriter, ctxflow) gets its
+# dependencies' facts built by the go command on demand, so the run
+# stays a few seconds instead of the whole-repo sweep.
+lint-service:
+	$(GO) build -o $(LINTBIN) ./cmd/selfstablint
+	$(GO) vet -vettool=$(CURDIR)/$(LINTBIN) ./internal/service/... ./cmd/selfstabd/... ./cmd/stabload/...
 
 # tools installs the pinned external linters (see tools.go for why the
 # versions live here rather than in go.mod).
@@ -185,6 +197,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzSMMMove -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzSMIMove -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzShardPartition -fuzztime=30s ./internal/graph/
+	$(GO) test -fuzz=FuzzJournalRecover -fuzztime=30s ./internal/service/
 
 clean:
 	$(GO) clean ./...

@@ -347,6 +347,10 @@ func trendRuns(paths []string, out, errw io.Writer) int {
 			}
 		}
 	}
+	if runs == 0 {
+		fmt.Fprintf(errw, "benchjson: -trend: %d file(s) hold no runs\n", len(paths))
+		return 0
+	}
 	fmt.Fprintf(out, "benchjson trend: %d benchmark(s) across %d run(s) in %d file(s)\n",
 		len(order), runs, len(paths))
 	for _, name := range order {

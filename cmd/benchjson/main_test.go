@@ -329,6 +329,72 @@ func TestTrendGlobsWhenNoArgs(t *testing.T) {
 	}
 }
 
+// TestTrendEmptyHistory pins the zero-runs edge: files that parse but
+// record no runs produce a notice instead of a misleading
+// "0 benchmark(s) across 0 run(s)" report, and still exit 0 — the
+// trend is a report, never a gate.
+func TestTrendEmptyHistory(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "BENCH_empty.json")
+	if err := os.WriteFile(empty, []byte(`{"runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-trend", empty}, strings.NewReader(""), &out, &errw); code != 0 {
+		t.Fatalf("empty history: exit %d\n%s", code, errw.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty history wrote a report:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "1 file(s) hold no runs") {
+		t.Fatalf("missing empty-history notice: %s", errw.String())
+	}
+}
+
+// TestTrendSingleEntry pins the one-observation edge: a single run
+// yields a series with the "-" delta placeholder and no Δ% row, and a
+// zero-ns/op predecessor never divides (the next delta stays "-").
+func TestTrendSingleEntry(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "BENCH_single.json")
+	body := `{"runs":[{"label":"only","benchmarks":[
+		{"name":"BenchmarkOne","ns_op":1000,"b_op":0,"allocs_op":0},
+		{"name":"BenchmarkZero","ns_op":0,"b_op":0,"allocs_op":0}]}]}`
+	if err := os.WriteFile(single, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-trend", single}, strings.NewReader(""), &out, os.Stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "2 benchmark(s) across 1 run(s) in 1 file(s)") {
+		t.Fatalf("header wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "      -") {
+		t.Fatalf("missing delta placeholder:\n%s", got)
+	}
+	if strings.Contains(got, "%") {
+		t.Fatalf("single entry grew a spurious delta row:\n%s", got)
+	}
+
+	// A second run whose predecessor recorded 0 ns/op must not divide:
+	// BenchmarkZero's second point keeps the placeholder.
+	followup := `{"runs":[
+		{"label":"only","benchmarks":[{"name":"BenchmarkZero","ns_op":0,"b_op":0,"allocs_op":0}]},
+		{"label":"next","benchmarks":[{"name":"BenchmarkZero","ns_op":500,"b_op":0,"allocs_op":0}]}]}`
+	if err := os.WriteFile(single, []byte(followup), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-trend", single}, strings.NewReader(""), &out, os.Stderr); code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "%") {
+		t.Fatalf("zero-ns/op predecessor produced a delta:\n%s", out.String())
+	}
+}
+
 func TestTrendErrors(t *testing.T) {
 	var out, errw bytes.Buffer
 	if code := run([]string{"-trend", "testdata/nope.json"}, strings.NewReader(""), &out, &errw); code != 2 {

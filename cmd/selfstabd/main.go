@@ -40,6 +40,11 @@ func main() {
 
 // run is the daemon body, factored out of main so tests can drive the
 // full lifecycle — flags, listen, serve, signal, drain — in-process.
+//
+// It is the process entry point in all but name, so it owns the drain
+// context's root.
+//
+//selfstab:ctx-root
 func run(args []string, out, errw io.Writer, sig <-chan os.Signal) int {
 	fs := flag.NewFlagSet("selfstabd", flag.ContinueOnError)
 	fs.SetOutput(errw)

@@ -4,16 +4,32 @@ import (
 	"path/filepath"
 	"testing"
 
+	"selfstab/internal/analysis/ctxflow"
 	"selfstab/internal/analysis/detrand"
 	"selfstab/internal/analysis/exhaustive"
 	"selfstab/internal/analysis/guarded"
+	"selfstab/internal/analysis/lint"
 	"selfstab/internal/analysis/linttest"
 	"selfstab/internal/analysis/lockorder"
 	"selfstab/internal/analysis/mapiter"
 	"selfstab/internal/analysis/noalloc"
 	"selfstab/internal/analysis/purity"
 	"selfstab/internal/analysis/shardsafe"
+	"selfstab/internal/analysis/singlewriter"
+	"selfstab/internal/analysis/walorder"
 )
+
+// suite returns the full analyzer bundle this command ships, matching
+// main.go's unit.Main registration.
+func suite(t *testing.T) []*lint.Analyzer {
+	t.Helper()
+	return []*lint.Analyzer{
+		detrand.New(), mapiter.New(), guarded.New(),
+		purity.New(), exhaustive.New(), lockorder.New(),
+		noalloc.New(), shardsafe.New(),
+		walorder.New(), singlewriter.New(), ctxflow.New(),
+	}
+}
 
 // TestSuiteAcceptsSchedulerPackages is the regression pin for the
 // frontier scheduler and the sharded executor built on it: the full
@@ -35,9 +51,7 @@ func TestSuiteAcceptsSchedulerPackages(t *testing.T) {
 			"selfstab/internal/beacon",
 			"selfstab/internal/runtime",
 		},
-		detrand.New(), mapiter.New(), guarded.New(),
-		purity.New(), exhaustive.New(), lockorder.New(),
-		noalloc.New(), shardsafe.New())
+		suite(t)...)
 }
 
 // TestSuiteAcceptsServicePackage pins the selfstabd service layer at
@@ -47,13 +61,33 @@ func TestSuiteAcceptsSchedulerPackages(t *testing.T) {
 // lock seams safe, the analyzer makes them auditable), exhaustive
 // (every mutation-op switch handles every Op* constant, so adding an op
 // without wiring validation/apply/replay fails the lint, not a replay),
-// and mapiter (every map that reaches a response or a snapshot is
-// drained in sorted order, keeping the journal byte-replayable).
+// mapiter (every map that reaches a response or a snapshot is drained
+// in sorted order, keeping the journal byte-replayable), and the
+// service-invariant tier: walorder (the //selfstab:durable fields seq
+// and dedupQ are journal-dominated everywhere outside the three
+// reasoned //lint:ignore seams in begin), singlewriter (the
+// //selfstab:owner fields are written only from tenant.loop's call
+// graph), and ctxflow (ctx threads through, durability errors are
+// consumed). A new diagnostic here means the crash-recovery discipline
+// changed; the pin moves only with a reasoned suppression or a fix.
 func TestSuiteAcceptsServicePackage(t *testing.T) {
 	resolve := linttest.ModuleResolver("selfstab", filepath.Join("..", ".."))
 	linttest.RunPackages(t, resolve,
 		[]string{"selfstab/internal/service"},
-		detrand.New(), mapiter.New(), guarded.New(),
-		purity.New(), exhaustive.New(), lockorder.New(),
-		noalloc.New(), shardsafe.New())
+		suite(t)...)
+}
+
+// TestSuiteAcceptsCommandPackages pins the binaries that sit on top of
+// the service and executor layers: the daemon (a ctxflow scope target —
+// its drain context roots at the annotated run function) and the load
+// harness. These packages marshal responses and aggregate results from
+// maps, so mapiter and detrand are the historical risks here.
+func TestSuiteAcceptsCommandPackages(t *testing.T) {
+	resolve := linttest.ModuleResolver("selfstab", filepath.Join("..", ".."))
+	linttest.RunPackages(t, resolve,
+		[]string{
+			"selfstab/cmd/selfstabd",
+			"selfstab/cmd/stabload",
+		},
+		suite(t)...)
 }

@@ -1,0 +1,663 @@
+// Package ctxflow enforces the context-propagation and
+// durability-error discipline on the service's request paths and round
+// loops:
+//
+//   - C1: context.Background() and context.TODO() are banned inside the
+//     scoped packages, except in main functions, tests, and functions
+//     annotated //selfstab:ctx-root — the explicit places where a
+//     context tree legitimately starts. Everywhere else the caller's
+//     ctx must be threaded, or cancellation and drain deadlines
+//     silently stop propagating.
+//   - C2: inside a function that takes a context.Context parameter, a
+//     context value proven (on every path) to derive from
+//     Background/TODO rather than the incoming parameter must not be
+//     passed to a call — the laundering variant of C1, caught by a
+//     forward must-dataflow over the CFG.
+//   - C3: the error results of durability primitives — os.Rename,
+//     (*os.File).Sync, (*os.File).Truncate, and any function annotated
+//     //selfstab:journal — must be consumed. A dropped fsync or append
+//     error turns a full disk into silent state divergence after the
+//     next crash. C3 applies to the whole scoped package, ctx-roots
+//     included.
+//
+// The scope is set by -ctxflow.pkgs (comma-separated package-path
+// prefixes, 'all' for every package) and defaults to the service layer,
+// the executors, and the daemon/load-generator mains. //selfstab:journal
+// annotations cross package boundaries as a DurabilityFact object fact,
+// so dropping an imported journal append's error is caught too.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"selfstab/internal/analysis/cfg"
+	"selfstab/internal/analysis/lint"
+)
+
+// Directives recognized on function doc comments. DirJournal is shared
+// grammar with the walorder analyzer: one annotation feeds both.
+const (
+	DirCtxRoot = "//selfstab:ctx-root"
+	DirJournal = "//selfstab:journal"
+)
+
+// defaultPackages scopes the discipline to the packages with request
+// paths and round loops: the service layer and executors (blocking
+// calls must honor drain deadlines) and the daemon and load-generator
+// mains.
+const defaultPackages = "selfstab/internal/service,selfstab/internal/sim," +
+	"selfstab/cmd/selfstabd,selfstab/cmd/stabload"
+
+// DurabilityFact marks a function annotated //selfstab:journal: its
+// error result must be consumed by every caller.
+type DurabilityFact struct{}
+
+// AFact marks DurabilityFact as a serializable analysis fact.
+func (*DurabilityFact) AFact() {}
+
+// New returns the ctxflow analyzer.
+func New() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "ctxflow",
+		Doc: "enforce context threading and durability-error handling on request paths\n\n" +
+			"Bans context.Background/TODO outside main/test///selfstab:ctx-root\n" +
+			"functions, flags contexts provably not derived from the incoming ctx\n" +
+			"parameter, and requires the error results of fsync/rename/journal-append\n" +
+			"durability calls to be consumed, inside the packages named by\n" +
+			"-ctxflow.pkgs.",
+	}
+	pkgs := a.Flags.String("pkgs", defaultPackages,
+		"comma-separated package-path prefixes the contract applies to ('all' = every package)")
+	a.Run = func(pass *lint.Pass) (any, error) {
+		run(pass, *pkgs)
+		return nil, nil
+	}
+	return a
+}
+
+// Dataflow bits for C2. Must-analysis: a bit is set only when the
+// provenance holds on every path.
+const (
+	bCtx uint8 = 1 << iota // derived from the incoming ctx parameter
+	bBad                   // derived from context.Background/TODO
+)
+
+type analysis struct {
+	pass *lint.Pass
+
+	// journal marks locally annotated durability functions; order
+	// preserves declaration order for deterministic fact export.
+	journal      map[*types.Func]bool
+	journalOrder []*types.Func
+}
+
+func run(pass *lint.Pass, pkgs string) {
+	if !appliesTo(pass.Pkg.Path(), pkgs) {
+		return
+	}
+	a := &analysis{pass: pass, journal: make(map[*types.Func]bool)}
+
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if lint.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func); fn != nil {
+					if hasDirective(d.Doc, DirJournal) {
+						a.markJournal(fn)
+					}
+					if d.Body != nil {
+						decls = append(decls, d)
+					}
+				}
+			case *ast.GenDecl:
+				a.collectInterfaces(d)
+			}
+		}
+	}
+	for _, fn := range a.journalOrder {
+		pass.ExportObjectFact(fn, &DurabilityFact{})
+	}
+
+	for _, d := range decls {
+		root := hasDirective(d.Doc, DirCtxRoot) ||
+			(pass.Pkg.Name() == "main" && d.Recv == nil && d.Name.Name == "main")
+		if !root {
+			a.checkBackground(d)
+			a.checkThreading(d)
+		}
+		a.checkDurabilityErrors(d)
+	}
+}
+
+// --- C1: Background/TODO ban ---
+
+// checkBackground reports every context.Background/TODO call anywhere
+// in the declaration, closures included: a closure inherits its
+// declaring function's entitlement, not a fresh one.
+func (a *analysis) checkBackground(d *ast.FuncDecl) {
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := a.backgroundName(call); ok {
+			a.pass.Reportf(call.Pos(),
+				"calls context.%s outside main, tests, or a %s function; thread the caller's ctx instead",
+				name, DirCtxRoot)
+		}
+		return true
+	})
+}
+
+// backgroundName reports whether call is context.Background or
+// context.TODO, and which.
+func (a *analysis) backgroundName(call *ast.CallExpr) (string, bool) {
+	fn := a.callee(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// --- C2: ctx threading dataflow ---
+
+// state maps local variables to provenance bits.
+type state map[*types.Var]uint8
+
+func cloneState(s state) state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func equalState(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func joinState(a, b state) state {
+	out := make(state)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if m := va & vb; m != 0 {
+				out[k] = m
+			}
+		}
+	}
+	return out
+}
+
+type ctxChecker struct {
+	a    *analysis
+	init state
+}
+
+type ctxProblem struct{ c *ctxChecker }
+
+func (p ctxProblem) Init() state           { return cloneState(p.c.init) }
+func (p ctxProblem) Join(a, b state) state { return joinState(a, b) }
+func (p ctxProblem) Equal(a, b state) bool { return equalState(a, b) }
+func (p ctxProblem) Transfer(b *cfg.Block, in state) state {
+	st := cloneState(in)
+	for _, n := range b.Nodes {
+		p.c.step(n, st, false)
+	}
+	return st
+}
+
+// checkThreading runs the C2 must-dataflow over one declaration with a
+// context.Context parameter. Closure bodies are skipped: a captured
+// context's provenance is not visible to this per-function analysis.
+func (a *analysis) checkThreading(d *ast.FuncDecl) {
+	init := make(state)
+	for _, field := range d.Type.Params.List {
+		if t := a.pass.TypesInfo.Types[field.Type].Type; t == nil || !isCtxType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := a.pass.TypesInfo.Defs[name].(*types.Var); ok {
+				init[v] = bCtx
+			}
+		}
+	}
+	if len(init) == 0 {
+		return
+	}
+	c := &ctxChecker{a: a, init: init}
+	g := cfg.New(d.Body)
+	ins := cfg.Solve[state](g, ctxProblem{c})
+	for i, b := range g.Blocks {
+		st := cloneState(ins[i])
+		for _, n := range b.Nodes {
+			c.step(n, st, true)
+		}
+	}
+}
+
+// step applies one CFG node: check context-typed call arguments, then
+// update bindings.
+func (c *ctxChecker) step(n ast.Node, st state, report bool) {
+	if report {
+		c.checkCalls(n, st)
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		c.assign(n, st)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						bits := uint8(0)
+						if i < len(vs.Values) {
+							bits = c.class(st, vs.Values[i])
+						}
+						c.bind(name, bits, st)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := unparen(n.Key).(*ast.Ident); ok && n.Key != nil {
+			c.bind(id, 0, st)
+		}
+		if id, ok := unparen(n.Value).(*ast.Ident); ok && n.Value != nil {
+			c.bind(id, 0, st)
+		}
+	}
+}
+
+func (c *ctxChecker) assign(n *ast.AssignStmt, st state) {
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, lhs := range n.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				c.bind(id, c.class(st, n.Rhs[i]), st)
+			}
+		}
+		return
+	}
+	// Multi-value RHS: context.With* constructors return (ctx, cancel);
+	// the first result inherits the parent's provenance.
+	bits := uint8(0)
+	if len(n.Rhs) == 1 {
+		if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok && c.a.isCtxDerive(call) {
+			if len(call.Args) > 0 {
+				bits = c.class(st, call.Args[0])
+			}
+		}
+	}
+	for i, lhs := range n.Lhs {
+		if id, ok := unparen(lhs).(*ast.Ident); ok {
+			if i == 0 {
+				c.bind(id, bits, st)
+			} else {
+				c.bind(id, 0, st)
+			}
+		}
+	}
+}
+
+func (c *ctxChecker) bind(id *ast.Ident, bits uint8, st state) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	v, ok := c.a.pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok {
+		return
+	}
+	if bits == 0 {
+		delete(st, v)
+		return
+	}
+	st[v] = bits
+}
+
+// class computes the provenance bits of a context-valued expression.
+func (c *ctxChecker) class(st state, e ast.Expr) uint8 {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := c.a.pass.TypesInfo.ObjectOf(e).(*types.Var); ok {
+			return st[v]
+		}
+	case *ast.CallExpr:
+		if _, ok := c.a.backgroundName(e); ok {
+			return bBad
+		}
+		if c.a.isCtxDerive(e) && len(e.Args) > 0 {
+			return c.class(st, e.Args[0])
+		}
+	case *ast.SelectorExpr:
+		// A context stored in a struct field is trusted wiring: the
+		// field's writer is accountable for its provenance.
+		if s, ok := c.a.pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal && isCtxType(s.Obj().Type()) {
+			return bCtx
+		}
+	}
+	return 0
+}
+
+// checkCalls flags context-typed arguments proven to derive from
+// Background/TODO and not from the incoming ctx.
+func (c *ctxChecker) checkCalls(n ast.Node, st state) {
+	inspectNoLit(n, func(x ast.Node) {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		// Deriving a child context is how threading works; C2 judges the
+		// derived value where it is used.
+		if fn := c.a.callee(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			return
+		}
+		for _, arg := range call.Args {
+			t := c.a.pass.TypesInfo.Types[arg].Type
+			if t == nil || !isCtxType(t) {
+				continue
+			}
+			// A literal Background()/TODO() argument is C1's report.
+			if inner, ok := unparen(arg).(*ast.CallExpr); ok {
+				if _, isBg := c.a.backgroundName(inner); isBg {
+					continue
+				}
+			}
+			cls := c.class(st, arg)
+			if cls&bBad != 0 && cls&bCtx == 0 {
+				c.a.pass.Reportf(arg.Pos(),
+					"passes a context derived from context.Background/TODO instead of the incoming ctx parameter")
+			}
+		}
+	})
+}
+
+// isCtxDerive reports whether call is a context.With* constructor.
+func (a *analysis) isCtxDerive(call *ast.CallExpr) bool {
+	fn := a.callee(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		strings.HasPrefix(fn.Name(), "With")
+}
+
+// --- C3: durability errors ---
+
+// checkDurabilityErrors reports discarded error results of durability
+// calls anywhere in the declaration, closures included.
+func (a *analysis) checkDurabilityErrors(d *ast.FuncDecl) {
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok && a.isDurabilityCall(call) {
+					if idx := errResultIndex(a.pass.TypesInfo, call); idx >= 0 && idx < len(n.Lhs) {
+						a.checkErrConsumed(d, call, unparen(n.Lhs[idx]))
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := unparen(n.X).(*ast.CallExpr); ok && a.isDurabilityCall(call) {
+				if errResultIndex(a.pass.TypesInfo, call) >= 0 {
+					a.checkErrConsumed(d, call, nil)
+				}
+			}
+		case *ast.GoStmt:
+			if a.isDurabilityCall(n.Call) {
+				a.pass.Reportf(n.Call.Pos(),
+					"spawns durability call %s with go, discarding its error", a.calleeName(n.Call))
+			}
+		case *ast.DeferStmt:
+			if a.isDurabilityCall(n.Call) {
+				a.pass.Reportf(n.Call.Pos(),
+					"defers durability call %s, discarding its error", a.calleeName(n.Call))
+			}
+		}
+		return true
+	})
+}
+
+// checkErrConsumed reports an error result that is dropped, blanked, or
+// bound to a variable that is never read again.
+func (a *analysis) checkErrConsumed(d *ast.FuncDecl, call *ast.CallExpr, errExpr ast.Expr) {
+	name := a.calleeName(call)
+	switch e := errExpr.(type) {
+	case nil:
+		a.pass.Reportf(call.Pos(),
+			"discards the error from %s; a dropped durability error corrupts crash recovery", name)
+	case *ast.Ident:
+		if e.Name == "_" {
+			a.pass.Reportf(e.Pos(),
+				"blanks the error from %s; a dropped durability error corrupts crash recovery", name)
+			return
+		}
+		obj := a.pass.TypesInfo.ObjectOf(e)
+		if obj != nil && !identUsedElsewhere(d.Body, a.pass.TypesInfo, obj, e) {
+			a.pass.Reportf(e.Pos(),
+				"error from %s is assigned to %s but never checked", name, e.Name)
+		}
+	}
+}
+
+// isDurabilityCall reports whether call invokes a durability primitive:
+// os.Rename, (*os.File).Sync/Truncate, or a //selfstab:journal
+// function (local or via fact).
+func (a *analysis) isDurabilityCall(call *ast.CallExpr) bool {
+	fn := a.callee(call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+		if fn.Name() == "Rename" {
+			return true
+		}
+		if (fn.Name() == "Sync" || fn.Name() == "Truncate") && recvNamed(fn) == "File" {
+			return true
+		}
+	}
+	orig := fn.Origin()
+	if a.journal[orig] {
+		return true
+	}
+	if orig.Pkg() != nil && orig.Pkg() != a.pass.Pkg {
+		var fact DurabilityFact
+		return a.pass.ImportObjectFact(orig, &fact)
+	}
+	return false
+}
+
+// markJournal records a locally annotated durability function, once.
+func (a *analysis) markJournal(fn *types.Func) {
+	if !a.journal[fn] {
+		a.journal[fn] = true
+		a.journalOrder = append(a.journalOrder, fn)
+	}
+}
+
+// collectInterfaces picks up //selfstab:journal on interface methods,
+// so calls through the interface carry the obligation too.
+func (a *analysis) collectInterfaces(d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		it, ok := ts.Type.(*ast.InterfaceType)
+		if !ok {
+			continue
+		}
+		for _, m := range it.Methods.List {
+			if len(m.Names) != 1 {
+				continue
+			}
+			if !hasDirective(m.Doc, DirJournal) && !hasDirective(m.Comment, DirJournal) {
+				continue
+			}
+			if fn, ok := a.pass.TypesInfo.Defs[m.Names[0]].(*types.Func); ok {
+				a.markJournal(fn)
+			}
+		}
+	}
+}
+
+// --- shared helpers ---
+
+func appliesTo(path, pkgs string) bool {
+	if pkgs == "all" {
+		return true
+	}
+	for _, p := range strings.Split(pkgs, ",") {
+		if p == "" {
+			continue
+		}
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDirective(cg *ast.CommentGroup, dir string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == dir || strings.HasPrefix(text, dir+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// callee resolves the static *types.Func a call invokes, or nil.
+func (a *analysis) callee(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := a.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := a.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeName renders a call's target for diagnostics.
+func (a *analysis) calleeName(call *ast.CallExpr) string {
+	fn := a.callee(call)
+	if fn == nil {
+		return "the call"
+	}
+	if r := recvNamed(fn); r != "" {
+		return r + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// recvNamed returns the named receiver type of a method, or "".
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// errResultIndex returns the index of the call's trailing error result,
+// or -1 when it has none.
+func errResultIndex(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	if isErrorType(tv.Type) {
+		return 0
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok && tup.Len() > 0 {
+		if isErrorType(tup.At(tup.Len() - 1).Type()) {
+			return tup.Len() - 1
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// identUsedElsewhere reports whether obj is referenced in body at any
+// identifier other than def.
+func identUsedElsewhere(body *ast.BlockStmt, info *types.Info, obj types.Object, def *ast.Ident) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def {
+			return true
+		}
+		if info.ObjectOf(id) == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// inspectNoLit walks n without descending into function literals.
+func inspectNoLit(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			f(x)
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

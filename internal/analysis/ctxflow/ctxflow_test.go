@@ -1,0 +1,40 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"selfstab/internal/analysis/ctxflow"
+	"selfstab/internal/analysis/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	a := ctxflow.New()
+	if err := a.Flags.Set("pkgs", "all"); err != nil {
+		t.Fatal(err)
+	}
+	linttest.Run(t, filepath.Join("testdata", "src", "a"), a)
+}
+
+// TestCtxflowFacts round-trips the //selfstab:journal durability
+// obligation across a package boundary: ctxapp's obligation comes
+// entirely from ctxdep's exported fact.
+func TestCtxflowFacts(t *testing.T) {
+	a := ctxflow.New()
+	if err := a.Flags.Set("pkgs", "all"); err != nil {
+		t.Fatal(err)
+	}
+	resolve := linttest.DirResolver(filepath.Join("testdata", "src"))
+	linttest.RunPackages(t, resolve, []string{"ctxapp"}, a)
+}
+
+// TestCtxflowScope pins the scoping flag: outside the configured
+// packages the analyzer is silent.
+func TestCtxflowScope(t *testing.T) {
+	a := ctxflow.New()
+	if err := a.Flags.Set("pkgs", "selfstab/internal/service"); err != nil {
+		t.Fatal(err)
+	}
+	resolve := linttest.DirResolver(filepath.Join("testdata", "src", "scoped"))
+	linttest.RunPackages(t, resolve, []string{"b"}, a)
+}

@@ -1,0 +1,71 @@
+// Fixture for the ctxflow context-threading and durability-error
+// rules.
+package a
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+func wait(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func good(ctx context.Context, d time.Duration) {
+	c, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	wait(c)
+}
+
+func bad(ctx context.Context) {
+	wait(context.Background()) // want `calls context.Background outside main, tests, or a //selfstab:ctx-root function`
+}
+
+func todo(ctx context.Context) {
+	wait(context.TODO()) // want `calls context.TODO outside main, tests, or a //selfstab:ctx-root function`
+}
+
+func laundered(ctx context.Context, d time.Duration) {
+	c, cancel := context.WithTimeout(context.Background(), d) // want `calls context.Background outside main, tests, or a //selfstab:ctx-root function`
+	defer cancel()
+	wait(c) // want `passes a context derived from context.Background/TODO instead of the incoming ctx parameter`
+}
+
+func rebound(ctx context.Context, k, v any) {
+	ctx = context.WithValue(ctx, k, v)
+	wait(ctx)
+}
+
+//selfstab:ctx-root
+func root(d time.Duration) {
+	c, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	wait(c)
+}
+
+type saver struct{ f *os.File }
+
+//selfstab:journal
+func (s *saver) append(rec []byte) error {
+	if _, err := s.f.Write(rec); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+func (s *saver) dropSync() {
+	s.f.Sync() // want `discards the error from File.Sync`
+}
+
+func (s *saver) blankAppend(rec []byte) {
+	_ = s.append(rec) // want `blanks the error from saver.append`
+}
+
+func dropRename(a, b string) {
+	os.Rename(a, b) // want `discards the error from os.Rename`
+}
+
+func okRename(a, b string) error {
+	return os.Rename(a, b)
+}

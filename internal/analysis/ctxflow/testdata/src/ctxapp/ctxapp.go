@@ -1,0 +1,13 @@
+// Fixture dependent package: the durability obligation arrives as a
+// fact from ctxdep.
+package ctxapp
+
+import "ctxdep"
+
+func Bad(j *ctxdep.Journal, rec []byte) {
+	j.Append(rec) // want `discards the error from Journal.Append`
+}
+
+func Good(j *ctxdep.Journal, rec []byte) error {
+	return j.Append(rec)
+}

@@ -1,0 +1,15 @@
+// Fixture dependency package: exports a //selfstab:journal durability
+// function for the cross-package fact round-trip.
+package ctxdep
+
+import "os"
+
+type Journal struct{ f *os.File }
+
+//selfstab:journal
+func (j *Journal) Append(rec []byte) error {
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}

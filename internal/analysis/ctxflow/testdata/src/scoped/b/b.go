@@ -1,0 +1,21 @@
+// Out-of-scope fixture: the same violations as package a, with no want
+// expectations — the -ctxflow.pkgs scope must keep the analyzer silent
+// here.
+package b
+
+import (
+	"context"
+	"os"
+)
+
+func wait(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func bad(ctx context.Context) {
+	wait(context.Background())
+}
+
+func dropRename(a, b string) {
+	os.Rename(a, b)
+}

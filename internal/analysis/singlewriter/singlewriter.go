@@ -1,0 +1,616 @@
+// Package singlewriter checks the goroutine-ownership discipline the
+// service layer's per-tenant event loops rely on: fields annotated
+//
+//	//selfstab:owner <loop>
+//
+// may be touched only from the owning event-loop's call graph. A
+// `// guarded by mu` comment documents the mutex discipline for
+// lock-holding readers, but the event-loop writer deliberately mutates
+// some fields lock-free between coarse critical sections — safe only
+// while every mutation really does happen on the loop goroutine. This
+// analyzer closes that gap statically.
+//
+// Ownership is computed as a greatest fixpoint over the package's call
+// graph. For each annotated type T with loop method L, a function is
+// owned by T.L when it is:
+//
+//   - the loop method L itself (the root), or
+//   - annotated //selfstab:ownedby T.L — a trusted assertion for
+//     pre-spawn code such as constructors and recovery that run before
+//     `go t.L()` starts the loop, or
+//   - an unexported function whose every call site is inside an owned
+//     function, is not a `go` statement (a spawn starts a new
+//     goroutine), and whose identifier never escapes as a value, or
+//   - a function literal declared inside an owned function and not
+//     launched with `go`.
+//
+// In non-owned code, a write to an owner field is reported, and a read
+// is reported unless the function visibly locks a mutex field of the
+// same struct (the sanctioned cross-goroutine snapshot path) — so
+// lock-free reads outside the loop cannot slip in behind the comment.
+// Fields of sync/atomic types are exempt: atomics are the sanctioned
+// lock-free channel. Owner sets cross package boundaries as a package
+// fact, so a dependent package mutating an imported owner field is held
+// to the same rule.
+package singlewriter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"selfstab/internal/analysis/lint"
+)
+
+// Directives recognized on field and function doc comments.
+const (
+	DirOwner   = "//selfstab:owner"
+	DirOwnedBy = "//selfstab:ownedby"
+)
+
+// OwnersFact is the package fact mapping "Type.field" to the owning
+// loop method name, so dependent packages inherit the ownership rule
+// for imported fields.
+type OwnersFact struct {
+	Owners map[string]string
+}
+
+// AFact marks OwnersFact as a serializable analysis fact.
+func (*OwnersFact) AFact() {}
+
+// New returns the singlewriter analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "singlewriter",
+		Doc:  "check that //selfstab:owner fields are touched only from the owning event-loop's call graph",
+		Run:  run,
+	}
+}
+
+// fnNode is one analyzed function: a declaration or a function literal.
+type fnNode struct {
+	decl       *ast.FuncDecl // nil for literals
+	lit        *ast.FuncLit  // nil for declarations
+	fn         *types.Func   // declarations only
+	recv       string        // receiver type name, "" for functions
+	enclosing  *fnNode       // literals only
+	goLaunched bool          // literal spawned directly with go
+	exported   bool
+
+	ownedBy string // resolved "Type.loop" from //selfstab:ownedby, or ""
+
+	locked   map[string]bool // struct type names whose mutex field is locked here
+	accesses []access
+}
+
+// access is one touch of an owner field inside a function body.
+type access struct {
+	pos      token.Pos
+	fieldKey string // "Type.field"
+	ownerKey string // "Type.loop"
+	typeName string
+	loop     string
+	write    bool
+}
+
+// callSite is one same-package call edge, caller side.
+type callSite struct {
+	caller *fnNode
+	isGo   bool
+}
+
+type analysis struct {
+	pass *lint.Pass
+
+	nodes   []*fnNode
+	declFor map[*types.Func]*fnNode
+
+	// owners maps locally annotated fields to their loop name;
+	// ownerList keeps "Type.field" keys in declaration order.
+	owners    map[*types.Var]ownerField
+	ownerList []ownerField
+
+	callers map[*types.Func][]callSite
+	escaped map[*types.Func]bool
+
+	// importedOwners caches OwnersFact lookups per package path.
+	importedOwners map[string]map[string]string
+}
+
+type ownerField struct {
+	pos      token.Pos
+	typeName string
+	field    string
+	loop     string
+}
+
+func run(pass *lint.Pass) (any, error) {
+	a := &analysis{
+		pass:           pass,
+		declFor:        make(map[*types.Func]*fnNode),
+		owners:         make(map[*types.Var]ownerField),
+		callers:        make(map[*types.Func][]callSite),
+		escaped:        make(map[*types.Func]bool),
+		importedOwners: make(map[string]map[string]string),
+	}
+
+	// Pass 1: owner-field annotations and function declarations.
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if lint.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				a.collectOwners(d)
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					decls = append(decls, d)
+				}
+			}
+		}
+	}
+	if len(a.ownerList) > 0 {
+		fact := &OwnersFact{Owners: make(map[string]string, len(a.ownerList))}
+		for _, of := range a.ownerList {
+			fact.Owners[of.typeName+"."+of.field] = of.loop
+		}
+		pass.ExportPackageFact(fact)
+	}
+
+	// Pass 2: build fn nodes, call edges, escapes, and accesses.
+	for _, d := range decls {
+		fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		n := &fnNode{
+			decl:     d,
+			fn:       fn,
+			recv:     recvName(d),
+			exported: ast.IsExported(d.Name.Name),
+			locked:   make(map[string]bool),
+		}
+		n.ownedBy = a.resolveOwnedBy(d.Doc, n.recv, d.Pos())
+		a.nodes = append(a.nodes, n)
+		a.declFor[fn] = n
+	}
+	for _, n := range a.nodes {
+		if n.decl != nil {
+			a.scanBody(n, n.decl.Body)
+		}
+	}
+
+	// Validate that every annotated loop method exists.
+	for _, of := range a.ownerList {
+		if !a.hasMethod(of.typeName, of.loop) {
+			pass.Reportf(of.pos, "%s names loop %q but type %s has no method %s",
+				DirOwner, of.loop, of.typeName, of.loop)
+		}
+	}
+
+	// Pass 3: per-owner-key fixpoint, then report non-owned accesses.
+	for _, key := range a.ownerKeys() {
+		owned := a.solveOwned(key)
+		for _, n := range a.nodes {
+			if owned[n] {
+				continue
+			}
+			for _, acc := range n.accesses {
+				if acc.ownerKey != key {
+					continue
+				}
+				if acc.write {
+					pass.Reportf(acc.pos,
+						"write to owner field %s from outside its event loop %s; route the mutation through the loop or annotate the function %s %s",
+						acc.fieldKey, acc.ownerKey, DirOwnedBy, acc.ownerKey)
+				} else if !n.locked[acc.typeName] {
+					pass.Reportf(acc.pos,
+						"lock-free read of owner field %s from outside its event loop %s; hold the guarding lock or take a snapshot copy inside the loop",
+						acc.fieldKey, acc.ownerKey)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// ownerKeys returns every distinct "Type.loop" key seen in annotations
+// or accesses, in first-appearance order.
+func (a *analysis) ownerKeys() []string {
+	var keys []string
+	seen := make(map[string]bool)
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, of := range a.ownerList {
+		add(of.typeName + "." + of.loop)
+	}
+	for _, n := range a.nodes {
+		for _, acc := range n.accesses {
+			add(acc.ownerKey)
+		}
+	}
+	return keys
+}
+
+// solveOwned computes the owned set for one "Type.loop" key as a
+// greatest fixpoint: start from every plausible node and remove nodes
+// whose ownership evidence fails until stable.
+func (a *analysis) solveOwned(key string) map[*fnNode]bool {
+	typeName, loop, _ := strings.Cut(key, ".")
+	pinned := make(map[*fnNode]bool) // roots and annotated: never removed
+	owned := make(map[*fnNode]bool)
+	for _, n := range a.nodes {
+		switch {
+		case n.decl != nil && n.recv == typeName && n.decl.Name.Name == loop:
+			pinned[n] = true
+			owned[n] = true
+		case n.ownedBy == key:
+			pinned[n] = true
+			owned[n] = true
+		case n.decl != nil:
+			if !n.exported && !a.escaped[n.fn] && len(a.callers[n.fn]) > 0 {
+				owned[n] = true
+			}
+		case n.lit != nil && !n.goLaunched:
+			owned[n] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range a.nodes {
+			if !owned[n] || pinned[n] {
+				continue
+			}
+			if n.lit != nil {
+				if !owned[n.enclosing] {
+					delete(owned, n)
+					changed = true
+				}
+				continue
+			}
+			for _, site := range a.callers[n.fn] {
+				if !owned[site.caller] || site.isGo {
+					delete(owned, n)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return owned
+}
+
+// --- collection ---
+
+// collectOwners records //selfstab:owner annotations on struct fields,
+// skipping fields of sync/atomic types (the sanctioned lock-free path).
+func (a *analysis) collectOwners(d *ast.GenDecl) {
+	if d.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, f := range st.Fields.List {
+			loop, ok := directiveArg(f.Doc, DirOwner)
+			if !ok {
+				loop, ok = directiveArg(f.Comment, DirOwner)
+			}
+			if !ok {
+				continue
+			}
+			if loop == "" {
+				a.pass.Reportf(f.Pos(), "%s needs the owning loop method name", DirOwner)
+				continue
+			}
+			for _, name := range f.Names {
+				v, ok := a.pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if isAtomicType(v.Type()) {
+					continue
+				}
+				of := ownerField{pos: name.Pos(), typeName: ts.Name.Name, field: name.Name, loop: loop}
+				a.owners[v] = of
+				a.ownerList = append(a.ownerList, of)
+			}
+		}
+	}
+}
+
+// resolveOwnedBy parses //selfstab:ownedby into a "Type.loop" key,
+// inferring the type from the receiver for the bare-loop form.
+func (a *analysis) resolveOwnedBy(doc *ast.CommentGroup, recv string, pos token.Pos) string {
+	arg, ok := directiveArg(doc, DirOwnedBy)
+	if !ok {
+		return ""
+	}
+	switch {
+	case arg == "":
+		a.pass.Reportf(pos, "%s needs a loop name (Type.loop, or the bare method name on a method)", DirOwnedBy)
+		return ""
+	case strings.Contains(arg, "."):
+		return arg
+	case recv != "":
+		return recv + "." + arg
+	default:
+		a.pass.Reportf(pos, "%s %s on a function without a receiver must qualify the type as Type.%s", DirOwnedBy, arg, arg)
+		return ""
+	}
+}
+
+// scanBody walks one function body, recording call edges, escaping
+// function values, visible lock acquisitions, and owner-field accesses.
+// Function literals become nodes of their own and are scanned in their
+// own context.
+func (a *analysis) scanBody(n *fnNode, body *ast.BlockStmt) {
+	goCall := make(map[*ast.CallExpr]bool)
+	goLit := make(map[*ast.FuncLit]bool)
+	asCallee := make(map[*ast.Ident]bool)
+	writeSel := make(map[ast.Expr]bool)
+
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			child := &fnNode{
+				lit:        x,
+				enclosing:  n,
+				goLaunched: goLit[x],
+				locked:     make(map[string]bool),
+			}
+			a.nodes = append(a.nodes, child)
+			a.scanBody(child, x.Body)
+			return false
+		case *ast.GoStmt:
+			goCall[x.Call] = true
+			if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				goLit[lit] = true
+			}
+		case *ast.CallExpr:
+			a.recordCall(n, x, goCall[x], asCallee)
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if sel := writeTarget(lhs); sel != nil {
+					writeSel[sel] = true
+					a.recordAccess(n, sel, true)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel := writeTarget(x.X); sel != nil {
+				writeSel[sel] = true
+				a.recordAccess(n, sel, true)
+			}
+		case *ast.UnaryExpr:
+			// Taking a field's address hands out a mutable alias.
+			if x.Op == token.AND {
+				if sel := writeTarget(x.X); sel != nil {
+					writeSel[sel] = true
+					a.recordAccess(n, sel, true)
+				}
+			}
+		case *ast.SelectorExpr:
+			if !writeSel[x] {
+				a.recordAccess(n, x, false)
+			}
+		case *ast.Ident:
+			// A same-package function identifier outside call position
+			// escapes as a value: its call sites are no longer visible.
+			if asCallee[x] {
+				return true
+			}
+			if fn, ok := a.pass.TypesInfo.Uses[x].(*types.Func); ok {
+				if _, local := a.declFor[fn.Origin()]; local {
+					a.escaped[fn.Origin()] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordCall resolves one call's static callee, recording same-package
+// call edges and visible Lock/RLock acquisitions.
+func (a *analysis) recordCall(n *fnNode, call *ast.CallExpr, isGo bool, asCallee map[*ast.Ident]bool) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		asCallee[fun] = true
+		if fn, ok := a.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			a.addEdge(n, fn.Origin(), isGo)
+		}
+	case *ast.SelectorExpr:
+		asCallee[fun.Sel] = true
+		if fn, ok := a.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			a.addEdge(n, fn.Origin(), isGo)
+		}
+		// t.mu.Lock() / t.mu.RLock(): sanction reads of t's fields here.
+		if fun.Sel.Name == "Lock" || fun.Sel.Name == "RLock" {
+			if inner, ok := unparen(fun.X).(*ast.SelectorExpr); ok {
+				if s, ok := a.pass.TypesInfo.Selections[inner]; ok && s.Kind() == types.FieldVal {
+					n.locked[recvTypeName(s.Recv())] = true
+				}
+			}
+		}
+	}
+}
+
+func (a *analysis) addEdge(caller *fnNode, fn *types.Func, isGo bool) {
+	if _, local := a.declFor[fn]; local {
+		a.callers[fn] = append(a.callers[fn], callSite{caller: caller, isGo: isGo})
+	}
+}
+
+// recordAccess records sel as an owner-field access if its field is
+// annotated locally or in the defining package's OwnersFact.
+func (a *analysis) recordAccess(n *fnNode, sel *ast.SelectorExpr, write bool) {
+	s, ok := a.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	typeName := recvTypeName(s.Recv())
+	var loop string
+	if of, ok := a.owners[field]; ok {
+		loop = of.loop
+		typeName = of.typeName
+	} else if field.Pkg() != nil && field.Pkg() != a.pass.Pkg {
+		loop = a.foreignOwners(field.Pkg().Path())[typeName+"."+field.Name()]
+	}
+	if loop == "" {
+		return
+	}
+	n.accesses = append(n.accesses, access{
+		pos:      sel.Pos(),
+		fieldKey: typeName + "." + field.Name(),
+		ownerKey: typeName + "." + loop,
+		typeName: typeName,
+		loop:     loop,
+		write:    write,
+	})
+}
+
+// foreignOwners returns the imported owner map of one package.
+func (a *analysis) foreignOwners(path string) map[string]string {
+	if m, ok := a.importedOwners[path]; ok {
+		return m
+	}
+	m := map[string]string{}
+	var fact OwnersFact
+	if a.pass.ImportPackageFact(path, &fact) && fact.Owners != nil {
+		m = fact.Owners
+	}
+	a.importedOwners[path] = m
+	return m
+}
+
+// hasMethod reports whether the named local type has a method (any
+// receiver form) with the given name.
+func (a *analysis) hasMethod(typeName, method string) bool {
+	obj := a.pass.Pkg.Scope().Lookup(typeName)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return false
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == method {
+			return true
+		}
+	}
+	return false
+}
+
+// --- small helpers ---
+
+// writeTarget peels an assignment target down to the field selector
+// being written: t.f, t.f[k], *t.f, (t.f).
+func writeTarget(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// directiveArg extracts a directive's argument from a comment group:
+// ("", false) when absent, (arg, true) when present.
+func directiveArg(cg *ast.CommentGroup, dir string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == dir {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, dir+" "); ok {
+			arg, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			return arg, true
+		}
+	}
+	return "", false
+}
+
+// isAtomicType reports whether t names a sync/atomic type.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+func recvName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+func recvTypeName(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,21 @@
+package singlewriter_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"selfstab/internal/analysis/linttest"
+	"selfstab/internal/analysis/singlewriter"
+)
+
+func TestSinglewriter(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "a"), singlewriter.New())
+}
+
+// TestSinglewriterFacts round-trips the owner set across a package
+// boundary: swapp's obligations come entirely from swdep's package
+// fact.
+func TestSinglewriterFacts(t *testing.T) {
+	resolve := linttest.DirResolver(filepath.Join("testdata", "src"))
+	linttest.RunPackages(t, resolve, []string{"swapp"}, singlewriter.New())
+}

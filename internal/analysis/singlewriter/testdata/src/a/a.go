@@ -1,0 +1,89 @@
+// Fixture for the singlewriter goroutine-ownership rules.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type loopT struct {
+	mu sync.RWMutex
+
+	//selfstab:owner loop
+	seq int
+	//selfstab:owner loop
+	moves int
+
+	//selfstab:owner loop
+	hits atomic.Int64 // atomic: sanctioned lock-free, never reported
+
+	quit chan struct{}
+	c    chan int
+}
+
+//selfstab:ownedby loopT.loop
+func newLoopT() *loopT {
+	t := &loopT{quit: make(chan struct{}), c: make(chan int)}
+	t.seq = 1
+	go t.loop()
+	return t
+}
+
+func (t *loopT) loop() {
+	for {
+		select {
+		case v := <-t.c:
+			t.step(v)
+		case <-t.quit:
+			return
+		}
+	}
+}
+
+// step is unexported and called only from the loop: owned by inference.
+func (t *loopT) step(v int) {
+	t.seq++
+	t.moves += v
+	t.hits.Add(1)
+	t.flush()
+}
+
+func (t *loopT) flush() {
+	defer func() {
+		t.seq++ // deferred closure stays on the owning goroutine
+	}()
+	go func() {
+		t.moves++ // want `write to owner field loopT.moves from outside its event loop loopT.loop`
+	}()
+}
+
+// Poke is exported: callable from any goroutine.
+func (t *loopT) Poke() {
+	t.seq++ // want `write to owner field loopT.seq from outside its event loop loopT.loop`
+}
+
+// Peek reads lock-free from outside the loop's call graph.
+func (t *loopT) Peek() int {
+	return t.seq // want `lock-free read of owner field loopT.seq from outside its event loop loopT.loop`
+}
+
+// PeekLocked holds the sibling mutex: the sanctioned snapshot path.
+func (t *loopT) PeekLocked() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.seq + t.moves
+}
+
+// spin is unexported but go-launched: it runs on a fresh goroutine.
+func (t *loopT) spin() {
+	t.moves++ // want `write to owner field loopT.moves from outside its event loop loopT.loop`
+}
+
+func (t *loopT) Start() {
+	go t.spin()
+}
+
+type badT struct {
+	//selfstab:owner run
+	x int // want `//selfstab:owner names loop "run" but type badT has no method run`
+}

@@ -1,0 +1,26 @@
+// Fixture dependent package: the owner set arrives as a fact from
+// swdep.
+package swapp
+
+import "swdep"
+
+func Bad(w *swdep.Worker) {
+	w.State = 1 // want `write to owner field Worker.State from outside its event loop Worker.Run`
+}
+
+func BadRead(w *swdep.Worker) int {
+	return w.State // want `lock-free read of owner field Worker.State from outside its event loop Worker.Run`
+}
+
+func GoodRead(w *swdep.Worker) int {
+	w.Mu.RLock()
+	defer w.Mu.RUnlock()
+	return w.State
+}
+
+// Init runs before the worker's loop goroutine is spawned.
+//
+//selfstab:ownedby Worker.Run
+func Init(w *swdep.Worker) {
+	w.State = 0
+}

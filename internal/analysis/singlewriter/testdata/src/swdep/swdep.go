@@ -1,0 +1,16 @@
+// Fixture dependency package: exports an owner-annotated field for the
+// cross-package fact round-trip.
+package swdep
+
+import "sync"
+
+type Worker struct {
+	Mu sync.RWMutex
+
+	//selfstab:owner Run
+	State int
+}
+
+func (w *Worker) Run() {
+	w.State++
+}

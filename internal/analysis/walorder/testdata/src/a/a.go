@@ -1,0 +1,146 @@
+// Fixture for the walorder journal-before-apply, snapshot-atomicity,
+// and torn-tail rules.
+package a
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+)
+
+type journal struct{ f *os.File }
+
+//selfstab:journal
+func (j *journal) Append(rec []byte) error {
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+type box struct {
+	jr *journal
+
+	//selfstab:durable
+	seq int
+	//selfstab:durable
+	applied int
+}
+
+func (b *box) good(rec []byte) error {
+	if err := b.jr.Append(rec); err != nil {
+		return err
+	}
+	b.seq++
+	return nil
+}
+
+func (b *box) bad() {
+	b.seq++ // want `write to durable field box.seq is not dominated by a journal append`
+}
+
+func (b *box) branchy(rec []byte, fast bool) {
+	if !fast {
+		_ = b.jr.Append(rec)
+	}
+	b.applied = 1 // want `write to durable field box.applied is not dominated by a journal append`
+}
+
+func (b *box) deferred(rec []byte) error {
+	if err := b.jr.Append(rec); err != nil {
+		return err
+	}
+	// The spawning path's append does not dominate a closure body.
+	defer func() {
+		b.applied = 2 // want `write to durable field box.applied is not dominated by a journal append`
+	}()
+	b.seq++
+	return nil
+}
+
+//selfstab:replay
+func (b *box) restore(seq int) {
+	b.seq = seq
+}
+
+//selfstab:applies
+func (b *box) apply(v int) {
+	b.applied = v
+}
+
+func (b *box) callsApply() {
+	b.apply(1) // want `call to applier box.apply is not dominated by a journal append`
+}
+
+func (b *box) callsApplyGood(rec []byte) error {
+	if err := b.jr.Append(rec); err != nil {
+		return err
+	}
+	b.apply(2)
+	return nil
+}
+
+//selfstab:snapshot
+func writeAtomic(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+//selfstab:snapshot
+func writeTorn(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Close()
+	return os.Rename(path+".tmp", path) // want `os.Rename is not dominated by an fsync`
+}
+
+func writeDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600) // want `os.WriteFile bypasses the write-temp`
+}
+
+//selfstab:journal-read
+func parse(r *bufio.Reader) [][]byte {
+	var out [][]byte
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			break
+		}
+		var v map[string]int
+		if jerr := json.Unmarshal(line, &v); jerr != nil {
+			break
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+//selfstab:journal-read
+func parseSloppy(r *bufio.Reader) []byte {
+	line, _ := r.ReadBytes('\n') // want `blanks the error from Reader.ReadBytes`
+	var v map[string]int
+	json.Unmarshal(line, &v) // want `discards the error from json.Unmarshal`
+	return line
+}
+
+//selfstab:journal-read
+func parseInto(data []byte, err error) int {
+	var v map[string]int
+	err = json.Unmarshal(data, &v) // want `error from json.Unmarshal is assigned to err but never checked`
+	return len(v)
+}

@@ -1,0 +1,19 @@
+// Fixture dependent package: the journal roles and durable-field set
+// arrive as facts from waldep.
+package walapp
+
+import "waldep"
+
+func Bad(s *waldep.Store) {
+	s.Seq = 1          // want `write to durable field Store.Seq is not dominated by a journal append`
+	waldep.Apply(s, 2) // want `call to applier waldep.Apply is not dominated by a journal append`
+}
+
+func Good(j *waldep.Journal, s *waldep.Store, rec []byte) error {
+	if err := j.Append(rec); err != nil {
+		return err
+	}
+	s.Seq = 3
+	waldep.Apply(s, 4)
+	return nil
+}

@@ -1,0 +1,25 @@
+// Fixture dependency package: exports journal/applies roles and a
+// durable field for the cross-package fact round-trip.
+package waldep
+
+import "os"
+
+type Journal struct{ f *os.File }
+
+//selfstab:journal
+func (j *Journal) Append(rec []byte) error {
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+type Store struct {
+	//selfstab:durable
+	Seq int
+}
+
+//selfstab:applies
+func Apply(s *Store, v int) {
+	s.Seq = v
+}

@@ -1,0 +1,668 @@
+// Package walorder proves the write-ahead ordering that makes the
+// service layer's crash recovery sound: tenant state at sequence k must
+// be a pure function of the creation record and journal entries 1..k,
+// which holds only if every durable mutation hits the journal before it
+// hits memory, every snapshot lands atomically, and no reader trusts a
+// journal byte it has not validated.
+//
+// Three rules, driven by doc-comment directives:
+//
+//   - W1 (journal-before-apply). Every write to a struct field annotated
+//     //selfstab:durable — and every call to a function or interface
+//     method annotated //selfstab:applies — must be dominated on all CFG
+//     paths by a call to a //selfstab:journal append primitive, unless
+//     the enclosing function is part of the replay path
+//     (//selfstab:replay) or is itself a journal/applies primitive (the
+//     obligation then belongs to its callers).
+//   - W2 (snapshot atomicity). In a function annotated
+//     //selfstab:snapshot, os.Rename must be dominated on all paths by
+//     an (*os.File).Sync — the write-temp→fsync→rename idiom. Anywhere
+//     in a package that carries walorder annotations, os.WriteFile is
+//     flagged: it renames nothing and syncs nothing.
+//   - W3 (torn-tail discipline). In a function annotated
+//     //selfstab:journal-read, the error results of the parsing calls
+//     that detect torn or corrupt tails — bufio ReadBytes/ReadString,
+//     json.Unmarshal, (*json.Decoder).Decode, os.ReadFile — must be
+//     consumed, not discarded: a dropped error turns a torn tail into
+//     silently replayed garbage.
+//
+// The domination analysis is a forward must-dataflow over
+// internal/analysis/cfg graphs (join = AND): a write is accepted only
+// when a journal append provably executed on every path reaching it.
+// Function literals are analyzed as separate functions starting from an
+// un-journaled state — a deferred or spawned closure cannot inherit a
+// domination established on the spawning path.
+//
+// Annotated roles cross package boundaries as object facts
+// (//selfstab:journal and //selfstab:applies export a WalFact), and the
+// durable-field set rides a package fact, so writes to an imported
+// durable field and calls to an imported applier carry the same
+// obligations.
+package walorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"selfstab/internal/analysis/cfg"
+	"selfstab/internal/analysis/lint"
+)
+
+// Directives recognized on field and function doc comments.
+const (
+	DirDurable     = "//selfstab:durable"
+	DirJournal     = "//selfstab:journal"
+	DirApplies     = "//selfstab:applies"
+	DirReplay      = "//selfstab:replay"
+	DirSnapshot    = "//selfstab:snapshot"
+	DirJournalRead = "//selfstab:journal-read"
+)
+
+// WalFact is exported for every function or interface method annotated
+// with a walorder role, so call sites in dependent packages carry the
+// same obligations (journal, applies) or grants (replay).
+type WalFact struct {
+	Role string
+}
+
+// AFact marks WalFact as a serializable analysis fact.
+func (*WalFact) AFact() {}
+
+// DurablesFact is the package fact listing //selfstab:durable fields,
+// keyed "Type.field", so writes to an imported durable field are held
+// to the journal-domination rule too.
+type DurablesFact struct {
+	Fields []string
+}
+
+// AFact marks DurablesFact as a serializable analysis fact.
+func (*DurablesFact) AFact() {}
+
+// New returns the walorder analyzer.
+func New() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "walorder",
+		Doc:  "check that //selfstab:durable mutations are journal-dominated and snapshots are atomic",
+		Run:  run,
+	}
+}
+
+// Dataflow bits. Must-analysis: a bit is set only when the event
+// provably happened on every path to the program point.
+const (
+	bJournaled uint8 = 1 << iota // a journal append executed
+	bSynced                      // an fsync (or journal append) executed
+)
+
+type analysis struct {
+	pass *lint.Pass
+
+	// durables maps locally annotated fields; durableKeys is the same
+	// set as "Type.field" strings for the package fact.
+	durables    map[*types.Var]string // field → display "Type.field"
+	durableKeys []string
+
+	// roles maps locally annotated functions and interface methods to
+	// their directive role; roleOrder preserves declaration order so the
+	// fact export is deterministic.
+	roles     map[*types.Func]string
+	roleOrder []*types.Func
+
+	// importedDurables caches DurablesFact sets per package path.
+	importedDurables map[string]map[string]bool
+}
+
+func run(pass *lint.Pass) (any, error) {
+	a := &analysis{
+		pass:             pass,
+		durables:         make(map[*types.Var]string),
+		roles:            make(map[*types.Func]string),
+		importedDurables: make(map[string]map[string]bool),
+	}
+
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if lint.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				if fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func); fn != nil {
+					if role := directiveRole(d.Doc); role != "" {
+						a.setRole(fn, role)
+					}
+					if d.Body != nil {
+						decls = append(decls, d)
+					}
+				}
+			case *ast.GenDecl:
+				a.collectTypes(d)
+			}
+		}
+	}
+
+	// Export the annotation surface for dependent packages, in
+	// declaration order so fact files are deterministic.
+	for _, fn := range a.roleOrder {
+		pass.ExportObjectFact(fn, &WalFact{Role: a.roles[fn]})
+	}
+	if len(a.durableKeys) > 0 {
+		sort.Strings(a.durableKeys)
+		pass.ExportPackageFact(&DurablesFact{Fields: a.durableKeys})
+	}
+
+	durablePkg := len(a.durables) > 0 || len(a.roles) > 0
+
+	for _, d := range decls {
+		fn := pass.TypesInfo.Defs[d.Name].(*types.Func)
+		role := a.roles[fn]
+		exemptW1 := role == "journal" || role == "applies" || role == "replay"
+		a.checkBody(d.Body, checkOpts{
+			exemptW1:   exemptW1,
+			snapshot:   role == "snapshot",
+			durablePkg: durablePkg,
+		})
+		if role == "journal-read" {
+			a.checkJournalRead(d)
+		}
+		// Closures start from an un-journaled state of their own: the
+		// spawning path's appends do not dominate a deferred body.
+		for _, lit := range funcLits(d.Body) {
+			a.checkBody(lit.Body, checkOpts{
+				exemptW1:   exemptW1,
+				snapshot:   role == "snapshot",
+				durablePkg: durablePkg,
+			})
+		}
+	}
+	return nil, nil
+}
+
+type checkOpts struct {
+	exemptW1   bool // enclosing function is journal/applies/replay
+	snapshot   bool // enclosing function is an annotated snapshot writer
+	durablePkg bool // package carries walorder annotations
+}
+
+// walProblem adapts the bit lattice to the cfg solver.
+type walProblem struct{ a *analysis }
+
+func (p walProblem) Init() uint8           { return 0 }
+func (p walProblem) Join(x, y uint8) uint8 { return x & y }
+func (p walProblem) Equal(x, y uint8) bool { return x == y }
+func (p walProblem) Transfer(b *cfg.Block, in uint8) uint8 {
+	bits := in
+	for _, n := range b.Nodes {
+		bits |= p.a.producedBits(n)
+	}
+	return bits
+}
+
+// checkBody solves the domination problem over one body and replays
+// each block with diagnostics on. Obligations inside a node are checked
+// against the bits holding at the node's entry — conservative when a
+// single statement both appends and writes, exact everywhere else.
+func (a *analysis) checkBody(body *ast.BlockStmt, opts checkOpts) {
+	g := cfg.New(body)
+	ins := cfg.Solve[uint8](g, walProblem{a})
+	for i, b := range g.Blocks {
+		bits := ins[i]
+		for _, n := range b.Nodes {
+			a.checkNode(n, bits, opts)
+			bits |= a.producedBits(n)
+		}
+	}
+}
+
+// producedBits scans one CFG node (stopping at nested function
+// literals) for calls that establish domination facts.
+func (a *analysis) producedBits(n ast.Node) uint8 {
+	var bits uint8
+	inspectNoLit(n, func(x ast.Node) {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := a.callee(call)
+		if fn == nil {
+			return
+		}
+		switch {
+		case a.roleOf(fn) == "journal":
+			bits |= bJournaled | bSynced
+		case isOSFileMethod(fn, "Sync"):
+			bits |= bSynced
+		}
+	})
+	return bits
+}
+
+// checkNode reports every W1/W2 obligation in one CFG node that the
+// current bits do not discharge.
+func (a *analysis) checkNode(n ast.Node, bits uint8, opts checkOpts) {
+	// W1: durable field writes.
+	if !opts.exemptW1 {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				a.checkDurableWrite(lhs, bits)
+			}
+		case *ast.IncDecStmt:
+			a.checkDurableWrite(s.X, bits)
+		}
+	}
+	inspectNoLit(n, func(x ast.Node) {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := a.callee(call)
+		if fn == nil {
+			return
+		}
+		// W1: calls to appliers carry the same obligation as the writes
+		// they hide.
+		if !opts.exemptW1 && a.roleOf(fn) == "applies" && bits&bJournaled == 0 {
+			a.pass.Reportf(call.Pos(),
+				"call to applier %s is not dominated by a journal append on every path; journal first or mark the caller %s",
+				calleeName(fn), DirReplay)
+		}
+		// W2: rename-after-fsync inside snapshot writers; no WriteFile
+		// shortcuts anywhere in a durable package.
+		if isPkgFunc(fn, "os", "Rename") && opts.snapshot && bits&bSynced == 0 {
+			a.pass.Reportf(call.Pos(),
+				"os.Rename is not dominated by an fsync on every path; the snapshot idiom is write-temp, Sync, then Rename")
+		}
+		if isPkgFunc(fn, "os", "WriteFile") && opts.durablePkg {
+			a.pass.Reportf(call.Pos(),
+				"os.WriteFile bypasses the write-temp→fsync→rename idiom; route durable writes through a %s function", DirSnapshot)
+		}
+	})
+}
+
+// checkDurableWrite reports a write to a durable field that the current
+// bits do not prove journaled.
+func (a *analysis) checkDurableWrite(lhs ast.Expr, bits uint8) {
+	sel, ok := unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field := a.fieldOf(sel)
+	if field == nil {
+		return
+	}
+	name, durable := a.durableName(field, sel)
+	if !durable || bits&bJournaled != 0 {
+		return
+	}
+	a.pass.Reportf(lhs.Pos(),
+		"write to durable field %s is not dominated by a journal append on every path; journal first or mark the function %s",
+		name, DirReplay)
+}
+
+// checkJournalRead enforces W3 over one annotated reader body: the
+// error results of tail-validating parse calls must be consumed.
+func (a *analysis) checkJournalRead(d *ast.FuncDecl) {
+	handled := make(map[*ast.CallExpr]bool)
+	check := func(call *ast.CallExpr, errExpr ast.Expr) {
+		fn := a.callee(call)
+		if fn == nil || !isTailParser(fn) {
+			return
+		}
+		handled[call] = true
+		switch e := errExpr.(type) {
+		case nil:
+			a.pass.Reportf(call.Pos(),
+				"discards the error from %s; torn-tail validation requires checking it", calleeName(fn))
+		case *ast.Ident:
+			if e.Name == "_" {
+				a.pass.Reportf(e.Pos(),
+					"blanks the error from %s; torn-tail validation requires checking it", calleeName(fn))
+				return
+			}
+			obj := a.pass.TypesInfo.ObjectOf(e)
+			if obj != nil && !identUsedElsewhere(d.Body, a.pass.TypesInfo, obj, e) {
+				a.pass.Reportf(e.Pos(),
+					"error from %s is assigned to %s but never checked", calleeName(fn), e.Name)
+			}
+		}
+	}
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if idx := errResultIndex(a.pass.TypesInfo, call); idx >= 0 && idx < len(n.Lhs) {
+						check(call, unparen(n.Lhs[idx]))
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+				if errResultIndex(a.pass.TypesInfo, call) >= 0 {
+					check(call, nil)
+				}
+			}
+		}
+		return true
+	})
+	// Calls embedded in larger expressions (if conditions, returns,
+	// arguments) hand their error to the surrounding code: consumed.
+	_ = handled
+}
+
+// --- annotation collection ---
+
+// collectTypes records durable fields and annotated interface methods
+// from one type declaration group.
+func (a *analysis) collectTypes(d *ast.GenDecl) {
+	if d.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		switch t := ts.Type.(type) {
+		case *ast.StructType:
+			for _, f := range t.Fields.List {
+				if !hasDirective(f.Doc, DirDurable) && !hasDirective(f.Comment, DirDurable) {
+					continue
+				}
+				for _, name := range f.Names {
+					v, ok := a.pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					key := ts.Name.Name + "." + name.Name
+					a.durables[v] = key
+					a.durableKeys = append(a.durableKeys, key)
+				}
+			}
+		case *ast.InterfaceType:
+			for _, m := range t.Methods.List {
+				if len(m.Names) != 1 {
+					continue // embedded interface
+				}
+				role := directiveRole(m.Doc)
+				if role == "" {
+					role = directiveRole(m.Comment)
+				}
+				if role == "" {
+					continue
+				}
+				if fn, ok := a.pass.TypesInfo.Defs[m.Names[0]].(*types.Func); ok {
+					a.setRole(fn, role)
+				}
+			}
+		}
+	}
+}
+
+// directiveRole extracts the walorder role from a doc comment group.
+func directiveRole(cg *ast.CommentGroup) string {
+	switch {
+	case hasDirective(cg, DirJournalRead):
+		return "journal-read"
+	case hasDirective(cg, DirJournal):
+		return "journal"
+	case hasDirective(cg, DirApplies):
+		return "applies"
+	case hasDirective(cg, DirReplay):
+		return "replay"
+	case hasDirective(cg, DirSnapshot):
+		return "snapshot"
+	}
+	return ""
+}
+
+func hasDirective(cg *ast.CommentGroup, dir string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == dir || strings.HasPrefix(text, dir+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// setRole records a locally annotated function's role, once.
+func (a *analysis) setRole(fn *types.Func, role string) {
+	if _, ok := a.roles[fn]; !ok {
+		a.roleOrder = append(a.roleOrder, fn)
+	}
+	a.roles[fn] = role
+}
+
+// --- resolution helpers ---
+
+// roleOf resolves a callee's walorder role: local annotation first, then
+// the exported fact of its defining package.
+func (a *analysis) roleOf(fn *types.Func) string {
+	fn = fn.Origin()
+	if role, ok := a.roles[fn]; ok {
+		return role
+	}
+	if fn.Pkg() == nil || fn.Pkg() == a.pass.Pkg {
+		return ""
+	}
+	var fact WalFact
+	if a.pass.ImportObjectFact(fn, &fact) {
+		return fact.Role
+	}
+	return ""
+}
+
+// durableName reports whether field is durable (locally annotated, or
+// listed in its package's DurablesFact) and its display name.
+func (a *analysis) durableName(field *types.Var, sel *ast.SelectorExpr) (string, bool) {
+	if name, ok := a.durables[field]; ok {
+		return name, true
+	}
+	if field.Pkg() == nil || field.Pkg() == a.pass.Pkg {
+		return "", false
+	}
+	recv := recvTypeName(a.recvType(sel))
+	key := recv + "." + field.Name()
+	set, ok := a.importedDurables[field.Pkg().Path()]
+	if !ok {
+		set = make(map[string]bool)
+		var fact DurablesFact
+		if a.pass.ImportPackageFact(field.Pkg().Path(), &fact) {
+			for _, k := range fact.Fields {
+				set[k] = true
+			}
+		}
+		a.importedDurables[field.Pkg().Path()] = set
+	}
+	return key, set[key]
+}
+
+// fieldOf returns the struct field a selector resolves to, or nil.
+func (a *analysis) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := a.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// recvType returns the receiver type of a field selection, for naming
+// imported durable fields.
+func (a *analysis) recvType(sel *ast.SelectorExpr) types.Type {
+	if s, ok := a.pass.TypesInfo.Selections[sel]; ok {
+		return s.Recv()
+	}
+	return nil
+}
+
+// callee resolves the static *types.Func a call invokes, or nil for
+// builtins, conversions, and function values.
+func (a *analysis) callee(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := a.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := a.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr:
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := a.pass.TypesInfo.Uses[id].(*types.Func)
+			return fn
+		}
+	case *ast.IndexListExpr:
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := a.pass.TypesInfo.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// isTailParser reports whether fn is one of the parse calls whose error
+// result is the torn-tail signal.
+func isTailParser(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "ReadFile"
+	case "encoding/json":
+		return fn.Name() == "Unmarshal" || fn.Name() == "Decode"
+	case "bufio":
+		switch fn.Name() {
+		case "ReadBytes", "ReadString", "ReadSlice":
+			return true
+		}
+	}
+	return false
+}
+
+// errResultIndex returns the index of fn's trailing error result in the
+// call's result tuple, or -1.
+func errResultIndex(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	if isErrorType(tv.Type) {
+		return 0
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok && tup.Len() > 0 {
+		if isErrorType(tup.At(tup.Len() - 1).Type()) {
+			return tup.Len() - 1
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// identUsedElsewhere reports whether obj is referenced in body at a
+// position other than def (the assignment that bound the error).
+func identUsedElsewhere(body *ast.BlockStmt, info *types.Info, obj types.Object, def *ast.Ident) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def {
+			return true
+		}
+		if info.ObjectOf(id) == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// isOSFileMethod reports whether fn is (*os.File).<name>.
+func isOSFileMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && recvTypeName(sig.Recv().Type()) == "File"
+}
+
+func isPkgFunc(fn *types.Func, pkg, name string) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkg && fn.Name() == name &&
+		func() bool { sig, ok := fn.Type().(*types.Signature); return ok && sig.Recv() == nil }()
+}
+
+// funcLits collects every function literal in body, at any depth.
+func funcLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+// inspectNoLit walks n without descending into function literals, which
+// are analyzed as functions of their own.
+func inspectNoLit(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if x != nil {
+			f(x)
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeName renders a callee for diagnostics.
+func calleeName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return recvTypeName(sig.Recv().Type()) + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func recvTypeName(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return fmt.Sprint(t)
+}

@@ -1,0 +1,21 @@
+package walorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"selfstab/internal/analysis/linttest"
+	"selfstab/internal/analysis/walorder"
+)
+
+func TestWalorder(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "src", "a"), walorder.New())
+}
+
+// TestWalorderFacts round-trips the journal/applies roles and the
+// durable-field set across a package boundary: walapp's obligations come
+// entirely from waldep's exported facts.
+func TestWalorderFacts(t *testing.T) {
+	resolve := linttest.DirResolver(filepath.Join("testdata", "src"))
+	linttest.RunPackages(t, resolve, []string{"walapp"}, walorder.New())
+}

@@ -44,9 +44,13 @@ type tenantEngine interface {
 	m() int
 	// setLink makes edge e present or absent, with dangling-reference
 	// repair on removal, and dirties exactly the affected neighborhoods.
+	//
+	//selfstab:applies
 	setLink(e graph.Edge, present bool)
 	// corrupt overwrites the targeted nodes with arbitrary states drawn
 	// from per-node streams derived from seed.
+	//
+	//selfstab:applies
 	corrupt(nodes []graph.NodeID, seed int64)
 	// converge drives the frontier engine until a fixed point, maxRounds
 	// active rounds, or ctx cancellation, and returns the active rounds

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// FuzzJournalRecover is the torn-tail recovery property: however the
+// journal's tail is mangled — truncated mid-line, bit-flipped, or
+// extended with forged bytes — recovering from the damaged file must
+// behave exactly like recovering from its validated prefix (the bytes
+// readJournal accepts). Either both recoveries fail with the same
+// error, or both succeed and land on the same snapshot view. A
+// divergence means readJournal's prefix validation and recoverFrom's
+// replay disagree about what the journal says, which is precisely the
+// bug class crash recovery must not have.
+//
+// The fuzzer shapes the damage: cut is the keep-length of the valid
+// journal, flip XORs the last kept byte (zero leaves it intact), and
+// tail is appended verbatim. A flip or tail can turn the cut into a
+// complete, well-formed JSON line that the live path would have
+// rejected — which is why replayEntry re-validates (see the comment
+// there) and why this fuzz drives that seam.
+func FuzzJournalRecover(f *testing.F) {
+	f.Add(int64(1<<30), byte(0), []byte{})                                                     // untouched journal
+	f.Add(int64(37), byte(0), []byte(`{"seq":`))                                               // torn mid-line
+	f.Add(int64(0), byte(0), []byte("\x00\xff\x00"))                                           // garbage from byte zero
+	f.Add(int64(120), byte(1), []byte{})                                                       // bit-flip inside the log
+	f.Add(int64(1<<30), byte(0), []byte("{\"seq\":99,\"op\":\"add_edge\",\"u\":0,\"v\":3}\n")) // forged entry
+	f.Add(int64(1<<30), byte(0), []byte("{\"seq\":99,\"op\":\"add_edge\"}\n"))                 // forged entry, nil operands
+
+	f.Fuzz(func(t *testing.T, cut int64, flip byte, tail []byte) {
+		const n = 8
+		meta := tenantMeta{ID: "fuzz", Protocol: ProtocolSMM, N: n, Seed: 42}
+		var buf bytes.Buffer
+		for i, m := range mutationScript(n) {
+			m.Seq = int64(i + 1)
+			line, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		data := buf.Bytes()
+		if cut < 0 {
+			cut = ^cut
+		}
+		if cut > int64(len(data)) {
+			cut = int64(len(data))
+		}
+		damaged := append([]byte(nil), data[:cut]...)
+		if flip != 0 && len(damaged) > 0 {
+			damaged[len(damaged)-1] ^= flip
+		}
+		damaged = append(damaged, tail...)
+
+		// The validated prefix is whatever readJournal accepts from the
+		// damaged bytes.
+		scratch := filepath.Join(t.TempDir(), "journal.jsonl")
+		if err := os.WriteFile(scratch, damaged, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, good, err := readJournal(scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if good < 0 || good > int64(len(damaged)) {
+			t.Fatalf("validated prefix %d outside [0, %d]", good, len(damaged))
+		}
+
+		recover := func(journal []byte) (SnapshotView, error) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"), journal, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// slice must be positive: runEpoch converges in slice-sized
+			// chunks and a zero slice makes no progress.
+			tn, err := newTenant(context.Background(), dir, meta, tenantOptions{slice: 64, now: time.Now})
+			if err != nil {
+				return SnapshotView{}, err
+			}
+			view := tn.snapshotView()
+			tn.close()
+			<-tn.dead
+			return view, nil
+		}
+
+		viewDamaged, errDamaged := recover(damaged)
+		viewPrefix, errPrefix := recover(damaged[:good])
+		switch {
+		case errDamaged == nil && errPrefix == nil:
+			rawDamaged, err := json.Marshal(viewDamaged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rawPrefix, err := json.Marshal(viewPrefix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rawDamaged, rawPrefix) {
+				t.Fatalf("damaged journal and validated prefix recover differently:\n%s\nvs\n%s", rawDamaged, rawPrefix)
+			}
+		case errDamaged != nil && errPrefix != nil:
+			if errDamaged.Error() != errPrefix.Error() {
+				t.Fatalf("recovery errors diverge: %v vs %v", errDamaged, errPrefix)
+			}
+		default:
+			t.Fatalf("recovery outcomes diverge: damaged err=%v, prefix err=%v", errDamaged, errPrefix)
+		}
+	})
+}

@@ -116,6 +116,8 @@ func openJournal(path string) (*journal, []Mutation, error) {
 
 // readJournal parses the journal, returning the decoded entries and the
 // byte offset of the end of the last complete, well-formed line.
+//
+//selfstab:journal-read
 func readJournal(path string) ([]Mutation, int64, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -150,6 +152,8 @@ func readJournal(path string) ([]Mutation, int64, error) {
 
 // append durably writes one entry: the line is written and fsynced
 // before the caller applies the mutation.
+//
+//selfstab:journal
 func (j *journal) append(m Mutation) error {
 	line, err := json.Marshal(m)
 	if err != nil {
@@ -176,6 +180,7 @@ func writeMeta(dir string, meta tenantMeta) error {
 	return atomicWrite(filepath.Join(dir, "meta.json"), raw)
 }
 
+//selfstab:journal-read
 func readMeta(dir string) (tenantMeta, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
 	if err != nil {
@@ -215,6 +220,8 @@ func writeSnapshot(dir string, snap tenantSnapshot) error {
 
 // latestSnapshot loads the newest complete checkpoint, or ok=false when
 // the tenant has never snapshotted (replay then starts from meta).
+//
+//selfstab:journal-read
 func latestSnapshot(dir string) (tenantSnapshot, bool, error) {
 	seqs, err := snapshotSeqs(dir)
 	if err != nil || len(seqs) == 0 {
@@ -260,6 +267,8 @@ func snapshotSeqs(dir string) ([]int64, error) {
 
 // atomicWrite lands content via rename so readers (and crash recovery)
 // never observe a half-written file.
+//
+//selfstab:snapshot
 func atomicWrite(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)

@@ -109,6 +109,11 @@ type Service struct {
 // Open starts a service over dataDir, recovering every tenant directory
 // found there: each is replayed from its latest snapshot plus journal
 // suffix to exactly its last acknowledged state.
+//
+// Open is the process-lifetime context root: killCtx outlives every
+// request and is cancelled only by Kill/Close.
+//
+//selfstab:ctx-root
 func Open(opts Options) (*Service, error) {
 	opts = opts.withDefaults()
 	if opts.DataDir == "" {

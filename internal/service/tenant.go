@@ -114,28 +114,43 @@ type tenant struct {
 	// guarded by mu
 	jr *journal
 	// guarded by mu
+	//selfstab:durable
+	//selfstab:owner loop
 	seq int64
 	// guarded by mu
+	//selfstab:owner loop
 	roundsTotal int
 	// guarded by mu
+	//selfstab:owner loop
 	movesTotal int
 	// guarded by mu
+	//selfstab:owner loop
 	converged bool
 	// guarded by mu
+	//selfstab:owner loop
 	legit bool
 	// guarded by mu
+	//selfstab:owner loop
 	checkErr string
 	// guarded by mu
+	//selfstab:owner loop
 	lastEpochRounds int
 	// guarded by mu
+	//selfstab:owner loop
 	maxEpochRounds int
 	// guarded by mu
+	//selfstab:owner loop
 	epochsOverBound int
 	// guarded by mu
+	//selfstab:owner loop
 	quarantined string
 	// guarded by mu
+	//selfstab:durable
+	//selfstab:owner loop
 	dedup map[string]int64
 	// guarded by mu
+	//selfstab:durable
+	//selfstab:owner loop
 	dedupQ []dedupEntry
 }
 
@@ -154,6 +169,11 @@ type tenantOptions struct {
 // latest snapshot or the deterministic init epoch, then every journal
 // entry past the snapshot — each with its full deterministic
 // convergence budget, landing byte-identical to the uninterrupted run.
+//
+// Runs strictly before `go t.loop()` spawns the event loop, so it (and
+// the recovery helpers it calls) owns the loop's fields pre-spawn.
+//
+//selfstab:ownedby tenant.loop
 func newTenant(svcCtx context.Context, dir string, meta tenantMeta, opts tenantOptions) (*tenant, error) {
 	eng, err := newEngine(meta.Protocol, meta.N, meta.Edges, opts.shards)
 	if err != nil {
@@ -242,6 +262,8 @@ func (t *tenant) recoverFrom(entries []Mutation) error {
 
 // restore reconciles the engine (built from meta's topology and clean
 // states) to a checkpoint.
+//
+//selfstab:replay
 func (t *tenant) restore(snap tenantSnapshot) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -282,9 +304,19 @@ func (t *tenant) restore(snap tenantSnapshot) error {
 // replayEntry re-applies one journaled mutation during recovery: seq,
 // idempotency key, and the topology/state change (convergence follows
 // in recoverFrom).
+//
+//selfstab:replay
 func (t *tenant) replayEntry(m Mutation) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// A journal line can be complete, well-formed JSON and still encode a
+	// mutation the live path would have rejected — a corrupted byte can
+	// land inside a JSON string or number without breaking the line
+	// framing. Re-validate so a poisoned entry fails recovery with an
+	// error instead of panicking mid-replay.
+	if err := validateMutation(m, t.eng.n()); err != nil {
+		return err
+	}
 	t.seq = m.Seq
 	if m.Key != "" {
 		t.dedupQ = remember(t.dedup, t.dedupQ, m.Key, m.Seq)
@@ -388,6 +420,7 @@ func (t *tenant) begin(m *Mutation) (cmdResult, bool) {
 	if err := validateMutation(*m, t.eng.n()); err != nil {
 		return cmdResult{Err: err}, true
 	}
+	//lint:ignore walorder seq is assigned before the append so the entry carries it; the append-failure path rolls it back
 	t.seq++
 	m.Seq = t.seq
 	if m.Op == OpCorrupt {
@@ -402,8 +435,10 @@ func (t *tenant) begin(m *Mutation) (cmdResult, bool) {
 		}
 	}
 	if m.Key != "" {
+		//lint:ignore walorder the OpConverge path skips the write-ahead append on purpose; converge entries are journaled post-hoc in finish with the rounds actually executed
 		t.dedupQ = remember(t.dedup, t.dedupQ, m.Key, m.Seq)
 	}
+	//lint:ignore walorder the OpConverge path skips the write-ahead append on purpose; OpConverge applies no topology/state change and is journaled post-hoc in finish
 	if err := applyMutation(t.eng, *m); err != nil {
 		// Validation runs first, so this is unreachable for live
 		// traffic; surface it rather than hide a journal/apply split.
@@ -462,6 +497,10 @@ func (t *tenant) finish(m Mutation, rounds, moves int, stable, counted bool, cer
 	return res
 }
 
+// journalAppend is the locked append seam for post-hoc (OpConverge)
+// journal entries.
+//
+//selfstab:journal
 func (t *tenant) journalAppend(m Mutation) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -673,6 +712,8 @@ func validateMutation(m Mutation, n int) error {
 // entry. Node removal in the fixed-universe graph model means cutting
 // every incident link (the node keeps evaluating but sees no
 // neighbors); addition re-attaches explicit links.
+//
+//selfstab:applies
 func applyMutation(eng tenantEngine, m Mutation) error {
 	switch m.Op {
 	case OpAddEdge:

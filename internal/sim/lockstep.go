@@ -331,6 +331,11 @@ func (l *Lockstep[S]) Run(maxRounds int) Result {
 // RunHook is Run with an observation hook invoked after every round that
 // had at least one move, receiving the 1-based round index and the
 // post-round configuration. The hook must not mutate the configuration.
+//
+// Legacy uncancellable entry point: the Background context keeps
+// Done() nil so the per-round check costs nothing (see runLoop).
+//
+//selfstab:ctx-root
 func (l *Lockstep[S]) RunHook(maxRounds int, hook func(round int, cfg core.Config[S])) Result {
 	res, _ := l.runLoop(context.Background(), maxRounds, true, true, hook)
 	return res

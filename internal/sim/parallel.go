@@ -148,7 +148,10 @@ func (l *Parallel[S]) Step() int {
 	return moved
 }
 
-// Run implements Instance.
+// Run implements Instance. Legacy uncancellable entry point (see
+// Lockstep.RunHook).
+//
+//selfstab:ctx-root
 func (l *Parallel[S]) Run(maxRounds int) Result {
 	res, _ := l.RunCtx(context.Background(), maxRounds)
 	return res
