@@ -14,20 +14,23 @@ LINTBIN := bin/selfstablint
 SARIF_FRAGMENTS := lint-sarif-out
 SARIF_REPORT := selfstablint.sarif
 
-# Benchmark baseline: BENCH_2.json holds labeled runs of the large-n and
-# million-node sharded benchmarks (parsed metrics + raw benchfmt lines,
-# benchstat-compatible; see cmd/benchjson). BENCH_1.json is the frozen
-# pre-sharding baseline, kept for history. bench-json appends a fresh
-# labeled run; bench-diff compares a fresh run against the last recorded
-# one and exits non-zero past the threshold (cross-machine, so advisory
-# only); bench-gate is the blocking variant — it compares against a
-# baseline measured on the same runner minutes earlier, so CI can fail
-# the check on a >10% ns/op regression in a pinned benchmark.
-BENCH_JSON := BENCH_2.json
-BENCH_PATTERN ?= BenchmarkLarge|BenchmarkShard
+# Benchmark baseline: BENCH_3.json holds labeled runs of the large-n,
+# million-node sharded, and service group-commit benchmarks (parsed
+# metrics + raw benchfmt lines, benchstat-compatible; see
+# cmd/benchjson). BENCH_1.json (pre-sharding) and BENCH_2.json
+# (pre-group-commit) are the frozen historical baselines. bench-json
+# appends a fresh labeled run; bench-diff compares a fresh run against
+# the last recorded one and exits non-zero past the threshold
+# (cross-machine, so advisory only); bench-gate is the blocking variant
+# — it compares against a baseline measured on the same runner minutes
+# earlier, so CI can fail the check on a >10% ns/op regression in a
+# pinned benchmark.
+BENCH_JSON := BENCH_3.json
+BENCH_PATTERN ?= BenchmarkLarge|BenchmarkShard|BenchmarkServiceMutations
+BENCH_PKGS ?= . ./internal/service
 BENCH_LABEL ?= dev
 BENCH_GATE_BASE ?= bench-base.json
-BENCH_PIN ?= ^Benchmark(Large|Shard1M)_
+BENCH_PIN ?= ^Benchmark(Large|Shard1M)_|^BenchmarkServiceMutations
 
 .PHONY: all build vet lint lint-sarif lint-diff lint-service tools test race cover bench bench-json bench-diff bench-gate bench-trend service-test load-smoke experiments experiments-quick soak soak-quick fuzz clean
 
@@ -132,7 +135,7 @@ bench:
 # Append a labeled run of the large-n benchmarks to the committed
 # baseline: make bench-json BENCH_LABEL=my-change
 bench-json:
-	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' . > bench-out.txt
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' $(BENCH_PKGS) > bench-out.txt
 	$(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -merge $(BENCH_JSON) < bench-out.txt > $(BENCH_JSON).tmp
 	mv $(BENCH_JSON).tmp $(BENCH_JSON)
 	rm -f bench-out.txt
@@ -142,7 +145,7 @@ bench-json:
 # (the committed baseline was measured on a different machine, so ns/op
 # ratios against it are too noisy to block merges on).
 bench-diff:
-	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -diff $(BENCH_JSON)
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -diff $(BENCH_JSON)
 
 # Blocking regression gate: compare a fresh run against a baseline
 # recorded on this same machine (CI measures origin/main in a worktree
@@ -151,7 +154,7 @@ bench-diff:
 #   git worktree add /tmp/base origin/main && cd /tmp/base && \
 #   make bench-json BENCH_JSON=$(CURDIR)/$(BENCH_GATE_BASE)
 bench-gate:
-	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -gate $(BENCH_GATE_BASE) -pin '$(BENCH_PIN)'
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -run='^$$' $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -gate $(BENCH_GATE_BASE) -pin '$(BENCH_PIN)'
 
 # Per-benchmark ns/op + allocs history across every committed baseline
 # file (BENCH_1.json, BENCH_2.json, ...), oldest first.

@@ -7,8 +7,11 @@
 //
 // Robustness contract:
 //
-//   - Every mutation is journaled (fsync) before it is applied, so a
-//     crash at any instant replays to the exact pre-crash state.
+//   - Every mutation is journaled durably before it is applied: the
+//     event loop group-commits each batch with a single fsync issued
+//     before the first apply, so a crash at any instant replays to the
+//     exact pre-crash state. The journal is segmented; checkpoints
+//     retire segments the snapshot covers, bounding replay.
 //   - Overload degrades, never collapses: per-tenant token buckets
 //     answer 429 and bounded queues answer 503, both with Retry-After.
 //   - A panic inside one tenant quarantines that tenant (503) while the
@@ -57,6 +60,9 @@ func run(args []string, out, errw io.Writer, sig <-chan os.Signal) int {
 	slice := fs.Int("slice", 0, "rounds per scheduling slice inside an epoch (0 = default)")
 	shards := fs.Int("shards", 0, "executor shards per tenant (0 or 1 = single-threaded)")
 	maxTenants := fs.Int("max-tenants", 0, "tenant cap (0 = default)")
+	commitInterval := fs.Duration("commit-interval", 0, "group-commit window a lone mutation may wait for batch-mates (0 = default 200µs, negative disables)")
+	segmentBytes := fs.Int64("segment-bytes", 0, "journal segment rotation threshold in bytes (0 = default 4MiB)")
+	fsyncEach := fs.Bool("fsync-each", false, "fsync every journal entry individually instead of group-committing batches")
 	chaos := fs.Bool("chaos", false, "enable the chaos_panic fault-injection op")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget before hard kill")
 	if err := fs.Parse(args); err != nil {
@@ -69,15 +75,18 @@ func run(args []string, out, errw io.Writer, sig <-chan os.Signal) int {
 	}
 
 	svc, err := service.Open(service.Options{
-		DataDir:       *data,
-		QueueDepth:    *queue,
-		RatePerSec:    *rate,
-		Burst:         *burst,
-		SnapshotEvery: *snapEvery,
-		ConvergeSlice: *slice,
-		Shards:        *shards,
-		MaxTenants:    *maxTenants,
-		EnableChaos:   *chaos,
+		DataDir:        *data,
+		QueueDepth:     *queue,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		SnapshotEvery:  *snapEvery,
+		ConvergeSlice:  *slice,
+		Shards:         *shards,
+		MaxTenants:     *maxTenants,
+		CommitInterval: *commitInterval,
+		SegmentBytes:   *segmentBytes,
+		FsyncEach:      *fsyncEach,
+		EnableChaos:    *chaos,
 	})
 	if err != nil {
 		fmt.Fprintf(errw, "selfstabd: open service: %v\n", err)

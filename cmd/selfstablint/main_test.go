@@ -64,8 +64,10 @@ func TestSuiteAcceptsSchedulerPackages(t *testing.T) {
 // mapiter (every map that reaches a response or a snapshot is drained
 // in sorted order, keeping the journal byte-replayable), and the
 // service-invariant tier: walorder (the //selfstab:durable fields seq
-// and dedupQ are journal-dominated everywhere outside the three
-// reasoned //lint:ignore seams in begin), singlewriter (the
+// and the dedup window are journal-dominated everywhere outside the
+// one reasoned //lint:ignore seam in prepare — group commit's
+// buffered-append-then-commitBatch shape satisfies W1 structurally,
+// since the batch fsync dominates the first apply), singlewriter (the
 // //selfstab:owner fields are written only from tenant.loop's call
 // graph), and ctxflow (ctx threads through, durability errors are
 // consumed). A new diagnostic here means the crash-recovery discipline

@@ -1,11 +1,14 @@
 // Command stabload is a closed-loop traffic generator for selfstabd.
-// It hammers a daemon with a read-heavy mix (~80% status/membership/
-// snapshot/node reads, ~20% topology mutations and corruptions) from N
-// workers, then reports latency percentiles and the status-code
-// breakdown as JSON.
+// It hammers a daemon with a configurable read/write mix (default ~80%
+// status/membership/snapshot/node reads, ~20% topology mutations and
+// corruptions; raise -mutate for write-heavy runs) from N workers, then
+// reports latency percentiles, the status-code breakdown, and the
+// server-reported mutation/fsync deltas as JSON — so the group-commit
+// amortization (fsyncs per mutation) shows up in load reports.
 //
 //	stabload -addr http://127.0.0.1:8080 -tenants 4 -workers 8 -duration 5s
 //	stabload -duration 2s -rate 50 -burst 10   # self-hosted in-process run
+//	stabload -duration 5s -mutate 0.9          # write-heavy mix
 //
 // With no -addr it boots an in-process service on a throwaway data
 // directory, which is how the CI load-smoke step runs: the point is not
@@ -42,6 +45,13 @@ type Report struct {
 	RetryAfterMissing int            `json:"retry_after_missing"`
 	TransportErrors   int            `json:"transport_errors"`
 	LatencyMs         Latency        `json:"latency_ms"`
+	// Mutations/Fsyncs are server-reported /varz deltas across the run;
+	// FsyncsPerMutation is the group-commit amortization ratio (1.0 means
+	// per-entry fsync, well under 1.0 means batches are forming).
+	Mutations         int64   `json:"mutations"`
+	MutationsPerSec   float64 `json:"mutations_per_sec"`
+	Fsyncs            int64   `json:"fsyncs"`
+	FsyncsPerMutation float64 `json:"fsyncs_per_mutation"`
 }
 
 // Latency is the percentile summary of request latencies.
@@ -75,6 +85,7 @@ func run(args []string, out, errw io.Writer) int {
 	workers := fs.Int("workers", 4, "concurrent closed-loop workers")
 	duration := fs.Duration("duration", 2*time.Second, "how long to generate load")
 	seed := fs.Int64("seed", 1, "rng seed for the traffic mix")
+	mutate := fs.Float64("mutate", 0.2, "fraction of requests that are mutations (0..1; 0.8+ is a write-heavy mix)")
 	rate := fs.Float64("rate", 0, "in-process only: per-tenant rate limit (0 = service default)")
 	burst := fs.Int("burst", 0, "in-process only: per-tenant burst (0 = service default)")
 	queue := fs.Int("queue", 0, "in-process only: per-tenant queue depth (0 = service default)")
@@ -84,6 +95,10 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	if *tenants < 1 || *workers < 1 || *n < 2 {
 		fmt.Fprintln(errw, "stabload: need -tenants >= 1, -workers >= 1, -n >= 2")
+		return 2
+	}
+	if *mutate < 0 || *mutate > 1 {
+		fmt.Fprintln(errw, "stabload: -mutate must be in [0, 1]")
 		return 2
 	}
 
@@ -121,7 +136,26 @@ func run(args []string, out, errw io.Writer) int {
 		return 1
 	}
 
-	rep := generate(base, ids, *n, *workers, *duration, *seed)
+	before, verr := fetchVarz(base)
+	if verr != nil {
+		fmt.Fprintf(errw, "stabload: varz before run: %v (mutation/fsync deltas will be zero)\n", verr)
+	}
+	rep := generate(base, ids, *n, *workers, *duration, *seed, *mutate)
+	if verr == nil {
+		after, err := fetchVarz(base)
+		if err != nil {
+			fmt.Fprintf(errw, "stabload: varz after run: %v (mutation/fsync deltas will be zero)\n", err)
+		} else {
+			rep.Mutations = after.Mutations - before.Mutations
+			rep.Fsyncs = after.Fsyncs - before.Fsyncs
+			if rep.DurationSec > 0 {
+				rep.MutationsPerSec = float64(rep.Mutations) / rep.DurationSec
+			}
+			if rep.Mutations > 0 {
+				rep.FsyncsPerMutation = float64(rep.Fsyncs) / float64(rep.Mutations)
+			}
+		}
+	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if *outPath != "" {
@@ -171,8 +205,32 @@ func ensureTenants(base string, tenants, n int, seed int64) ([]string, error) {
 	return ids, nil
 }
 
+// fetchVarz reads the daemon counters the report's delta fields need.
+func fetchVarz(base string) (varzSnapshot, error) {
+	resp, err := http.Get(base + "/varz")
+	if err != nil {
+		return varzSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return varzSnapshot{}, fmt.Errorf("varz: status %d", resp.StatusCode)
+	}
+	var v varzSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return varzSnapshot{}, err
+	}
+	return v, nil
+}
+
+// varzSnapshot is the subset of /varz the report consumes.
+type varzSnapshot struct {
+	Mutations int64 `json:"mutations"`
+	Fsyncs    int64 `json:"fsyncs"`
+}
+
 // generate runs the closed-loop workers and merges their tallies.
-func generate(base string, ids []string, n, workers int, duration time.Duration, seed int64) Report {
+func generate(base string, ids []string, n, workers int, duration time.Duration, seed int64, mutate float64) Report {
 	deadline := time.Now().Add(duration)
 	all := make([]workerStats, workers)
 	var wg sync.WaitGroup
@@ -186,7 +244,7 @@ func generate(base string, ids []string, n, workers int, duration time.Duration,
 			ws := &all[w]
 			ws.status = make(map[int]int)
 			for time.Now().Before(deadline) {
-				oneRequest(client, base, ids, n, rng, ws)
+				oneRequest(client, base, ids, n, rng, ws, mutate)
 			}
 		}(w)
 	}
@@ -222,14 +280,14 @@ func generate(base string, ids []string, n, workers int, duration time.Duration,
 }
 
 // oneRequest issues one draw from the traffic mix and records it.
-func oneRequest(client *http.Client, base string, ids []string, n int, rng *rand.Rand, ws *workerStats) {
+func oneRequest(client *http.Client, base string, ids []string, n int, rng *rand.Rand, ws *workerStats, mutate float64) {
 	id := ids[rng.Intn(len(ids))]
 	var (
 		resp *http.Response
 		err  error
 	)
 	began := time.Now()
-	if rng.Float64() < 0.8 {
+	if rng.Float64() < 1-mutate {
 		// Read mix: status, membership, snapshot, single node.
 		var path string
 		switch rng.Intn(4) {

@@ -63,6 +63,37 @@ func TestLoadProvokesBackpressure(t *testing.T) {
 	}
 }
 
+// TestLoadWriteHeavyReportsFsyncRatio drives a mutation-dominated mix
+// and checks the report's server-side counters: mutations happened,
+// their rate is derived, and fsyncs-per-mutation is coherent (group
+// commit can only make it <= ~1; well under 1 when batches form).
+func TestLoadWriteHeavyReportsFsyncRatio(t *testing.T) {
+	rep, code, errs := runLoad(t,
+		"-duration", "400ms", "-workers", "4", "-tenants", "1", "-n", "8",
+		"-mutate", "1", "-rate", "100000", "-burst", "100000", "-seed", "11")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if rep.Mutations == 0 {
+		t.Fatalf("write-heavy run recorded no server-side mutations: %+v", rep)
+	}
+	if rep.MutationsPerSec <= 0 {
+		t.Fatalf("mutations/sec not derived: %+v", rep)
+	}
+	if rep.Fsyncs == 0 {
+		t.Fatalf("no fsyncs reported for %d mutations", rep.Mutations)
+	}
+	// Each mutation fsyncs at most once (group commit only merges);
+	// converge-free mixes never exceed one fsync per mutation, modulo
+	// the final checkpoint-free commit accounting.
+	if rep.FsyncsPerMutation > 1.5 {
+		t.Fatalf("fsyncs/mutation = %.2f, want <= 1", rep.FsyncsPerMutation)
+	}
+	if rep.Status["200"] == 0 {
+		t.Fatalf("no successful mutations: %+v", rep.Status)
+	}
+}
+
 func TestLoadReportFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "load.json")
 	var out, errw bytes.Buffer

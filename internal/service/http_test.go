@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"testing"
@@ -128,6 +129,65 @@ func TestHealthAndVarz(t *testing.T) {
 	}
 	if vz.Requests == 0 {
 		t.Fatal("request counter not incremented")
+	}
+}
+
+// TestVarzJournalShape pins the JSON wire shape of the group-commit
+// observability counters: the aggregate fsync total plus the per-tenant
+// journal block (appends, fsyncs, batches, segment count, replayable
+// suffix bytes, batch-size histogram). Dashboards key on these names.
+func TestVarzJournalShape(t *testing.T) {
+	svc := newTestService(t, Options{})
+	h := svc.Handler()
+	if code, _ := doJSON(t, h, "GET", "/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	pathTenant(t, h, "jz", ProtocolSMM, 6)
+	var res MutationResult
+	for i := 0; i < 3; i++ {
+		m := Mutation{Op: OpCorrupt, Nodes: []int{i}}
+		if code, _ := doJSON(t, h, "POST", "/v1/tenants/jz/mutations", m, &res); code != http.StatusOK {
+			t.Fatalf("mutation %d: status %d", i, code)
+		}
+	}
+
+	// Decode into loose maps so a renamed or dropped key fails here, not
+	// in a consumer.
+	var raw map[string]json.RawMessage
+	if code, _ := doJSON(t, h, "GET", "/varz", nil, &raw); code != http.StatusOK {
+		t.Fatalf("varz: %d", code)
+	}
+	var fsyncs int64
+	if err := json.Unmarshal(raw["fsyncs"], &fsyncs); err != nil || fsyncs < 1 {
+		t.Fatalf("varz fsyncs = %s (err %v), want a positive count", raw["fsyncs"], err)
+	}
+	var journal map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(raw["journal"], &journal); err != nil {
+		t.Fatalf("varz journal block: %v", err)
+	}
+	jz, ok := journal["jz"]
+	if !ok {
+		t.Fatalf("varz journal missing tenant jz: %v", journal)
+	}
+	for _, key := range []string{"appends", "fsyncs", "batches", "segments", "replay_suffix_bytes"} {
+		var v int64
+		if err := json.Unmarshal(jz[key], &v); err != nil {
+			t.Fatalf("journal.jz.%s = %s: %v", key, jz[key], err)
+		}
+		if v < 1 {
+			t.Fatalf("journal.jz.%s = %d, want >= 1 after 3 mutations", key, v)
+		}
+	}
+	var hist []int64
+	if err := json.Unmarshal(jz["batch_size_hist"], &hist); err != nil || len(hist) != 8 {
+		t.Fatalf("journal.jz.batch_size_hist = %s (err %v), want 8 buckets", jz["batch_size_hist"], err)
+	}
+	var total int64
+	for _, b := range hist {
+		total += b
+	}
+	if total < 1 {
+		t.Fatalf("batch_size_hist empty after 3 mutations: %v", hist)
 	}
 }
 

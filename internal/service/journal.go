@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -67,14 +68,14 @@ const (
 // mutation-sequence boundaries only, so (snapshot, journal entries with
 // seq > Snapshot.Seq) replays to the exact live state.
 type tenantSnapshot struct {
-	Seq            int64           `json:"seq"`
-	Rounds         int             `json:"rounds"`
-	Moves          int             `json:"moves"`
-	Converged      bool            `json:"converged"`
-	EpochsOverBound int            `json:"epochs_over_bound"`
-	MaxEpochRounds int             `json:"max_epoch_rounds"`
-	Edges          [][2]int        `json:"edges"`
-	States         json.RawMessage `json:"states"`
+	Seq             int64           `json:"seq"`
+	Rounds          int             `json:"rounds"`
+	Moves           int             `json:"moves"`
+	Converged       bool            `json:"converged"`
+	EpochsOverBound int             `json:"epochs_over_bound"`
+	MaxEpochRounds  int             `json:"max_epoch_rounds"`
+	Edges           [][2]int        `json:"edges"`
+	States          json.RawMessage `json:"states"`
 	// DedupKeys persists the idempotency window (ascending seq) so a
 	// recovered tenant still rejects duplicates of pre-crash requests.
 	DedupKeys []dedupEntry `json:"dedup_keys,omitempty"`
@@ -85,20 +86,139 @@ type dedupEntry struct {
 	Seq int64  `json:"seq"`
 }
 
-// journal is the append-only write-ahead log for one tenant. Entries
-// are JSON lines, fsynced before the mutation is applied, so every
-// applied mutation is durable and a torn final line (crash mid-write)
-// is detected and discarded on open.
-type journal struct {
-	f *os.File
+// defaultSegmentBytes rotates the journal to a fresh segment once the
+// active one passes this size; checkpoints then retire covered
+// segments, bounding replay to snapshot + live suffix.
+const defaultSegmentBytes = 4 << 20
+
+// segment is one on-disk journal file. size is the validated byte
+// length (buffered-but-unflushed appends included for the active
+// segment); last is the seq of the segment's final entry, 0 when empty.
+type segment struct {
+	num  int64
+	size int64
+	last int64
 }
 
-func openJournal(path string) (*journal, []Mutation, error) {
-	entries, good, err := readJournal(path)
+// journal is the append-only write-ahead log for one tenant, split into
+// numbered JSONL segment files. Entries are buffered by append and made
+// durable in groups by commit (one fsync per batch, issued before any
+// entry of the batch is applied), so every acknowledged mutation is
+// durable and a torn final line (crash mid-write) is detected and
+// discarded on open. Rotation happens only at commit boundaries, so
+// every segment except the last ends on a complete, fsynced line.
+type journal struct {
+	dir      string
+	segBytes int64
+	f        *os.File // active (last) segment
+	w        *bufio.Writer
+	segs     []segment
+	// pendingN counts entries buffered since the last commit — appended
+	// but not yet durable, so not yet applicable.
+	pendingN int
+	appends  int64
+	fsyncs   int64
+	commits  int64
+}
+
+// journalStats is the observability snapshot behind the varz journal
+// block.
+type journalStats struct {
+	appends   int64
+	fsyncs    int64
+	commits   int64
+	segments  int
+	liveBytes int64
+}
+
+func segmentPath(dir string, num int64) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%012d.jsonl", num))
+}
+
+// segmentNums lists the journal segment numbers present in dir,
+// ascending. Non-segment files are ignored.
+func segmentNums(dir string) ([]int64, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var nums []int64
+	for _, de := range des {
+		name := de.Name()
+		if !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".jsonl"), 10, 64)
+		if err != nil || v <= 0 {
+			continue
+		}
+		nums = append(nums, v)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums, nil
+}
+
+// openJournal opens (or creates) a tenant's segmented journal and
+// returns every entry, concatenated across segments in order. Non-final
+// segments were sealed by a successful commit, so any damage there is
+// corruption and fails loudly; torn-tail truncation applies only to the
+// last segment, the only one a crash can tear.
+func openJournal(dir string, segBytes int64) (*journal, []Mutation, error) {
+	if segBytes <= 0 {
+		segBytes = defaultSegmentBytes
+	}
+	nums, err := segmentNums(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	// Migrate a pre-segmentation journal in place: the single file
+	// becomes segment 1.
+	legacy := filepath.Join(dir, "journal.jsonl")
+	if len(nums) == 0 {
+		if _, serr := os.Stat(legacy); serr == nil {
+			if err := os.Rename(legacy, segmentPath(dir, 1)); err != nil {
+				return nil, nil, err
+			}
+			nums = []int64{1}
+		}
+	}
+	created := len(nums) == 0
+	if created {
+		nums = []int64{1}
+	}
+	for i := 1; i < len(nums); i++ {
+		if nums[i] != nums[i-1]+1 {
+			return nil, nil, fmt.Errorf("journal segment gap: segment %d follows segment %d (a middle segment was deleted or misnumbered)", nums[i], nums[i-1])
+		}
+	}
+	var (
+		entries []Mutation
+		segs    []segment
+		lastSeq int64
+	)
+	for _, num := range nums[:len(nums)-1] {
+		es, size, err := readSegmentStrict(segmentPath(dir, num), num, lastSeq)
+		if err != nil {
+			return nil, nil, err
+		}
+		seg := segment{num: num, size: size}
+		if len(es) > 0 {
+			seg.last = es[len(es)-1].Seq
+			lastSeq = seg.last
+		}
+		entries = append(entries, es...)
+		segs = append(segs, seg)
+	}
+	lastNum := nums[len(nums)-1]
+	lastPath := segmentPath(dir, lastNum)
+	lastEntries, good, err := readJournal(lastPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(lastEntries) > 0 && lastEntries[0].Seq <= lastSeq {
+		return nil, nil, fmt.Errorf("journal segment %d: entry seq %d not after seq %d (segments out of order)", lastNum, lastEntries[0].Seq, lastSeq)
+	}
+	f, err := os.OpenFile(lastPath, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,11 +231,77 @@ func openJournal(path string) (*journal, []Mutation, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &journal{f: f}, entries, nil
+	if created {
+		// The brand-new segment's directory entry must be durable before
+		// any acknowledged entry lands in it: fsync on the file alone
+		// does not persist the name.
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	seg := segment{num: lastNum, size: good}
+	if len(lastEntries) > 0 {
+		seg.last = lastEntries[len(lastEntries)-1].Seq
+	}
+	segs = append(segs, seg)
+	entries = append(entries, lastEntries...)
+	j := &journal{
+		dir:      dir,
+		segBytes: segBytes,
+		f:        f,
+		w:        bufio.NewWriterSize(f, 64<<10),
+		segs:     segs,
+	}
+	return j, entries, nil
 }
 
-// readJournal parses the journal, returning the decoded entries and the
-// byte offset of the end of the last complete, well-formed line.
+// readSegmentStrict parses a sealed (non-final) segment. Rotation only
+// happens after a successful commit, so a crash cannot tear these
+// files: every line must be complete, well-formed, and in ascending
+// sequence after prevSeq. Damage here is corruption or tampering, and
+// recovery fails loudly instead of silently dropping entries.
+//
+//selfstab:journal-read
+func readSegmentStrict(path string, num, prevSeq int64) ([]Mutation, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var (
+		entries []Mutation
+		size    int64
+	)
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, 0, err
+		}
+		if len(line) > 0 && err != nil {
+			return nil, 0, fmt.Errorf("journal segment %d: torn final line in a sealed segment", num)
+		}
+		if err != nil {
+			break
+		}
+		var m Mutation
+		if jerr := json.Unmarshal(line, &m); jerr != nil {
+			return nil, 0, fmt.Errorf("journal segment %d: corrupt entry: %v", num, jerr)
+		}
+		if m.Seq <= prevSeq {
+			return nil, 0, fmt.Errorf("journal segment %d: entry seq %d not after seq %d (segments out of order)", num, m.Seq, prevSeq)
+		}
+		prevSeq = m.Seq
+		size += int64(len(line))
+		entries = append(entries, m)
+	}
+	return entries, size, nil
+}
+
+// readJournal parses the final (active) segment, returning the decoded
+// entries and the byte offset of the end of the last complete,
+// well-formed line.
 //
 //selfstab:journal-read
 func readJournal(path string) ([]Mutation, int64, error) {
@@ -150,8 +336,9 @@ func readJournal(path string) ([]Mutation, int64, error) {
 	return entries, good, nil
 }
 
-// append durably writes one entry: the line is written and fsynced
-// before the caller applies the mutation.
+// append buffers one entry onto the active segment. The entry is NOT
+// durable until the next commit; callers must commit (one fsync for the
+// whole batch) before applying or acknowledging it.
 //
 //selfstab:journal
 func (j *journal) append(m Mutation) error {
@@ -160,13 +347,121 @@ func (j *journal) append(m Mutation) error {
 		return err
 	}
 	line = append(line, '\n')
-	if _, err := j.f.Write(line); err != nil {
+	if _, err := j.w.Write(line); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	active := &j.segs[len(j.segs)-1]
+	active.size += int64(len(line))
+	active.last = m.Seq
+	j.pendingN++
+	j.appends++
+	return nil
 }
 
+// commit makes every buffered entry durable with a single fsync, then
+// rotates to a fresh segment if the active one is full. A clean journal
+// (nothing buffered) commits for free, so callers can invoke it
+// unconditionally per batch.
+//
+//selfstab:journal
+func (j *journal) commit() error {
+	if j.pendingN == 0 {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.fsyncs++
+	j.commits++
+	j.pendingN = 0
+	if j.segs[len(j.segs)-1].size >= j.segBytes {
+		return j.rotate()
+	}
+	return nil
+}
+
+// rotate seals the active segment and opens the next numbered one. Only
+// called from commit, so sealed segments always end on a complete,
+// fsynced line.
+func (j *journal) rotate() error {
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	next := j.segs[len(j.segs)-1].num + 1
+	f, err := os.OpenFile(segmentPath(j.dir, next), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	// Persist the new segment's directory entry before anything
+	// acknowledged lands in it: a post-crash recovery that cannot see
+	// the file would silently lose every entry fsynced into it.
+	if err := syncDir(j.dir); err != nil {
+		f.Close()
+		return err
+	}
+	j.f = f
+	j.w.Reset(f)
+	j.segs = append(j.segs, segment{num: next})
+	return nil
+}
+
+// compact retires every sealed segment whose entries are all covered by
+// the snapshot at snapSeq, bounding replay to snapshot + live suffix.
+// Deletion runs oldest-first so a crash mid-compaction still leaves a
+// contiguous segment range.
+func (j *journal) compact(snapSeq int64) error {
+	for len(j.segs) > 1 {
+		s := j.segs[0]
+		if s.last == 0 || s.last > snapSeq {
+			return nil
+		}
+		if err := os.Remove(segmentPath(j.dir, s.num)); err != nil {
+			return err
+		}
+		j.segs = j.segs[1:]
+	}
+	return nil
+}
+
+// pendingEntries reports how many appends are buffered awaiting the
+// next commit.
+func (j *journal) pendingEntries() int { return j.pendingN }
+
+func (j *journal) stats() journalStats {
+	var bytes int64
+	for _, s := range j.segs {
+		bytes += s.size
+	}
+	return journalStats{
+		appends:   j.appends,
+		fsyncs:    j.fsyncs,
+		commits:   j.commits,
+		segments:  len(j.segs),
+		liveBytes: bytes,
+	}
+}
+
+// close releases the active segment. Buffered entries that were never
+// committed are dropped deliberately: they were never acknowledged, and
+// on the kill path recovery replays only what commit made durable.
 func (j *journal) close() error { return j.f.Close() }
+
+// syncDir fsyncs a directory so freshly created entries (new journal
+// segments) survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
 
 func tenantDir(dataDir, id string) string {
 	return filepath.Join(dataDir, "tenants", id)

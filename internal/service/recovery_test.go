@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -134,7 +134,7 @@ func TestTornJournalLineDiscarded(t *testing.T) {
 	want := snapshotJSON(t, h, "torn")
 	svc.Kill()
 
-	jp := filepath.Join(tenantDir(dir, "torn"), "journal.jsonl")
+	jp := activeSegmentPath(t, tenantDir(dir, "torn"))
 	f, err := os.OpenFile(jp, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -164,6 +164,256 @@ func TestTornJournalLineDiscarded(t *testing.T) {
 	}
 }
 
+// activeSegmentPath returns the highest-numbered journal segment file
+// in a tenant directory — the one a crash can tear.
+func activeSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	nums, err := segmentNums(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nums) == 0 {
+		t.Fatalf("no journal segments in %s", dir)
+	}
+	return segmentPath(dir, nums[len(nums)-1])
+}
+
+// TestGroupCommitBatchesFsyncs pins the amortization mechanics: a burst
+// of mutations queued inside one commit window is journaled with a
+// single fsync, and the varz counters (appends, fsyncs, batches, the
+// batch-size histogram) report exactly that.
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	const burst = 16
+	dir := t.TempDir()
+	meta := tenantMeta{ID: "batch", Protocol: ProtocolSMM, N: 8, Seed: 7}
+	tn, err := newTenant(context.Background(), dir, meta, tenantOptions{
+		queueDepth: burst + 4,
+		slice:      64,
+		// A window far longer than the enqueue loop below, so all 16
+		// commands land in one gather and therefore one commit.
+		commitEvery: 500 * time.Millisecond,
+		now:         time.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { tn.close(); <-tn.dead }()
+
+	cmds := make([]*command, burst)
+	for i := range cmds {
+		cmds[i] = &command{
+			mut:   Mutation{Op: OpCorrupt, Nodes: []int{i % 8}},
+			reply: make(chan cmdResult, 1),
+		}
+		tn.cmds <- cmds[i]
+	}
+	for i, cmd := range cmds {
+		res := <-cmd.reply
+		if res.Err != nil {
+			t.Fatalf("command %d: %v", i, res.Err)
+		}
+		if res.Seq != int64(i+1) {
+			t.Fatalf("command %d: seq %d, want %d (batch replies out of order)", i, res.Seq, i+1)
+		}
+	}
+
+	jv := tn.journalVars()
+	if jv.Appends != burst {
+		t.Fatalf("appends = %d, want %d", jv.Appends, burst)
+	}
+	if jv.Fsyncs != 1 {
+		t.Fatalf("fsyncs = %d, want 1 (burst split across commits)", jv.Fsyncs)
+	}
+	if jv.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", jv.Batches)
+	}
+	// 16 entries land in histogram bucket ≤16 (index 4).
+	want := [8]int64{4: 1}
+	if jv.BatchSizes != want {
+		t.Fatalf("batch_size_hist = %v, want %v", jv.BatchSizes, want)
+	}
+}
+
+// TestSegmentRotationAndCompaction pins the journal lifecycle: tiny
+// segments rotate under a mutation stream, a checkpoint retires every
+// sealed segment it covers, and a post-compaction kill still recovers
+// byte-identical state.
+func TestSegmentRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// No checkpoints in phase one: every entry stays replayable, so
+	// rotation must leave several live segments.
+	svc, err := Open(Options{DataDir: dir, SegmentBytes: 150, SnapshotEvery: -1, CommitInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+	pathTenant(t, h, "seg", ProtocolSMM, 8)
+	applyScript(t, h, "seg", mutationScript(8))
+	want := snapshotJSON(t, h, "seg")
+	tdir := tenantDir(dir, "seg")
+	tn, err := svc.Tenant("seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv := tn.journalVars(); jv.Segments < 3 {
+		t.Fatalf("segments = %d after 8 mutations at 150-byte rotation, want >= 3", jv.Segments)
+	}
+	svc.Kill()
+	nums, err := segmentNums(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nums) < 3 {
+		t.Fatalf("on-disk segments = %v, want >= 3", nums)
+	}
+
+	// Reopen with per-mutation checkpoints: the next mutation snapshots
+	// at its seq, which covers every sealed segment — compaction must
+	// retire them all.
+	svc2 := newTestService(t, Options{DataDir: dir, SegmentBytes: 150, SnapshotEvery: 1, CommitInterval: -1})
+	h2 := svc2.Handler()
+	if got := snapshotJSON(t, h2, "seg"); string(got) != string(want) {
+		t.Fatalf("multi-segment recovery diverged:\nwant %s\ngot  %s", want, got)
+	}
+	var res MutationResult
+	if code, _ := doJSON(t, h2, "POST", "/v1/tenants/seg/mutations",
+		Mutation{Op: OpCorrupt, Nodes: []int{1}}, &res); code != http.StatusOK || res.Seq != 9 {
+		t.Fatalf("post-recovery mutation: code %d res %+v", code, res)
+	}
+	after, err := segmentNums(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(nums) || len(after) > 2 {
+		t.Fatalf("compaction kept %v (was %v); want at most the live suffix", after, nums)
+	}
+	postCompact := snapshotJSON(t, h2, "seg")
+
+	// Post-compaction kill: snapshot + surviving suffix must still
+	// replay to the acknowledged state.
+	svc2.Kill()
+	svc3 := newTestService(t, Options{DataDir: dir, SegmentBytes: 150, CommitInterval: -1})
+	if got := snapshotJSON(t, svc3.Handler(), "seg"); string(got) != string(postCompact) {
+		t.Fatalf("post-compaction recovery diverged:\nwant %s\ngot  %s", postCompact, got)
+	}
+}
+
+// TestKillBetweenRotationAndCheckpoint pins the window the segmented
+// journal opens: segments have rotated but no checkpoint has retired
+// them, the process dies, and recovery must concatenate the full
+// segment chain — landing byte-identical to an uninterrupted twin.
+func TestKillBetweenRotationAndCheckpoint(t *testing.T) {
+	script := mutationScript(10)
+
+	dirA := t.TempDir()
+	// SnapshotEvery -1: rotation happens (tiny segments) but no
+	// checkpoint ever runs, so the kill lands squarely between the two.
+	svcA, err := Open(Options{DataDir: dirA, SegmentBytes: 150, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hA := svcA.Handler()
+	pathTenant(t, hA, "rot", ProtocolSMI, 10)
+	applyScript(t, hA, "rot", script)
+	preCrash := snapshotJSON(t, hA, "rot")
+	nums, err := segmentNums(tenantDir(dirA, "rot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nums) < 2 {
+		t.Fatalf("kill window needs rotated segments, got %v", nums)
+	}
+	svcA.Kill()
+
+	dirB := t.TempDir()
+	svcB := newTestService(t, Options{DataDir: dirB, SegmentBytes: 150, SnapshotEvery: -1})
+	hB := svcB.Handler()
+	pathTenant(t, hB, "rot", ProtocolSMI, 10)
+	applyScript(t, hB, "rot", script)
+	uninterrupted := snapshotJSON(t, hB, "rot")
+	if string(preCrash) != string(uninterrupted) {
+		t.Fatalf("pre-crash state diverged from uninterrupted twin:\nA: %s\nB: %s", preCrash, uninterrupted)
+	}
+
+	svcA2 := newTestService(t, Options{DataDir: dirA, SegmentBytes: 150, SnapshotEvery: -1})
+	if got := snapshotJSON(t, svcA2.Handler(), "rot"); string(got) != string(preCrash) {
+		t.Fatalf("recovery across rotated, uncompacted segments diverged:\nwant %s\ngot  %s", preCrash, got)
+	}
+}
+
+// TestSegmentGapFailsRecovery pins loud failure over silent data loss:
+// a deleted middle segment must abort recovery with a segment-gap
+// error, not replay around the hole.
+func TestSegmentGapFailsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(Options{DataDir: dir, SegmentBytes: 150, SnapshotEvery: -1, CommitInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+	pathTenant(t, h, "gap", ProtocolSMM, 8)
+	applyScript(t, h, "gap", mutationScript(8))
+	tdir := tenantDir(dir, "gap")
+	nums, err := segmentNums(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nums) < 3 {
+		t.Fatalf("need >= 3 segments to delete a middle one, got %v", nums)
+	}
+	svc.Kill()
+
+	if err := os.Remove(segmentPath(tdir, nums[1])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{DataDir: dir, SegmentBytes: 150}); err == nil ||
+		!strings.Contains(err.Error(), "segment gap") {
+		t.Fatalf("Open with a missing middle segment: err=%v, want a segment-gap failure", err)
+	}
+}
+
+// TestSegmentOutOfOrderFails pins the cross-segment sequence check: two
+// sealed segments with swapped contents (forged or misnumbered files)
+// must abort recovery.
+func TestSegmentOutOfOrderFails(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(Options{DataDir: dir, SegmentBytes: 150, SnapshotEvery: -1, CommitInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := svc.Handler()
+	pathTenant(t, h, "ooo", ProtocolSMM, 8)
+	applyScript(t, h, "ooo", mutationScript(8))
+	tdir := tenantDir(dir, "ooo")
+	nums, err := segmentNums(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nums) < 3 {
+		t.Fatalf("need >= 3 segments to swap two sealed ones, got %v", nums)
+	}
+	svc.Kill()
+
+	a, err := os.ReadFile(segmentPath(tdir, nums[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(segmentPath(tdir, nums[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segmentPath(tdir, nums[0]), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segmentPath(tdir, nums[1]), a, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{DataDir: dir, SegmentBytes: 150}); err == nil ||
+		!strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("Open with swapped sealed segments: err=%v, want an out-of-order failure", err)
+	}
+}
+
 // TestRecoveryAcrossManyTenants pins deterministic multi-tenant
 // startup: several tenants with different protocols all recover.
 func TestRecoveryAcrossManyTenants(t *testing.T) {
@@ -181,7 +431,7 @@ func TestRecoveryAcrossManyTenants(t *testing.T) {
 			proto = ProtocolSMI
 		}
 		pathTenant(t, h, id, proto, 6+i)
-		applyScript(t, h, id, mutationScript(6+i)[:4])
+		applyScript(t, h, id, mutationScript(6 + i)[:4])
 		views[id] = snapshotJSON(t, h, id)
 	}
 	svc.Kill()

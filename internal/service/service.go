@@ -40,6 +40,20 @@ type Options struct {
 	MaxTenants int
 	// EnableChaos admits the chaos_panic operation (test clusters only).
 	EnableChaos bool
+	// CommitInterval is the group-commit window: after the first command
+	// of a batch arrives, the event loop waits up to this long for more
+	// before the batch's single fsync. It caps the extra latency a lone
+	// mutation pays for amortization. Default 200µs; negative disables
+	// the wait entirely (batches are whatever is already queued).
+	CommitInterval time.Duration
+	// SegmentBytes is the journal rotation threshold: once the active
+	// segment passes it (checked at commit boundaries), the journal
+	// rotates to a fresh numbered segment, and checkpoints retire every
+	// segment wholly covered by the snapshot. Default 4 MiB.
+	SegmentBytes int64
+	// FsyncEach forces one fsync per journaled mutation (the
+	// pre-group-commit discipline); kept as the benchmark baseline.
+	FsyncEach bool
 	// Now is the clock seam for rate limiting; defaults to time.Now.
 	Now func() time.Time
 }
@@ -63,6 +77,15 @@ func (o Options) withDefaults() Options {
 	if o.MaxTenants <= 0 {
 		o.MaxTenants = 256
 	}
+	if o.CommitInterval == 0 {
+		o.CommitInterval = 200 * time.Microsecond
+	}
+	if o.CommitInterval < 0 {
+		o.CommitInterval = 0
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
 	if o.Now == nil {
 		o.Now = time.Now
 	}
@@ -71,14 +94,36 @@ func (o Options) withDefaults() Options {
 
 // Vars is the operational counter block served by GET /varz.
 type Vars struct {
-	Tenants      int   `json:"tenants"`
-	Quarantined  int   `json:"quarantined"`
-	Requests     int64 `json:"requests"`
-	RateLimited  int64 `json:"rate_limited"`
-	Overloaded   int64 `json:"overloaded"`
-	Accepted     int64 `json:"accepted_async"`
-	Mutations    int64 `json:"mutations"`
-	Panics       int64 `json:"panics"`
+	Tenants     int   `json:"tenants"`
+	Quarantined int   `json:"quarantined"`
+	Requests    int64 `json:"requests"`
+	RateLimited int64 `json:"rate_limited"`
+	Overloaded  int64 `json:"overloaded"`
+	Accepted    int64 `json:"accepted_async"`
+	Mutations   int64 `json:"mutations"`
+	Panics      int64 `json:"panics"`
+	// Fsyncs totals journal fsyncs across tenants; Fsyncs/Mutations is
+	// the group-commit amortization ratio load reports track.
+	Fsyncs int64 `json:"fsyncs"`
+	// Journal holds the per-tenant journal counters, keyed by tenant id.
+	Journal map[string]TenantJournalVars `json:"journal,omitempty"`
+}
+
+// TenantJournalVars is one tenant's journal observability block.
+type TenantJournalVars struct {
+	// Appends counts journal entries written (buffered); Fsyncs counts
+	// physical syncs; Batches counts group commits that contained at
+	// least one entry.
+	Appends int64 `json:"appends"`
+	Fsyncs  int64 `json:"fsyncs"`
+	Batches int64 `json:"batches"`
+	// Segments is the live segment-file count; ReplaySuffixBytes is the
+	// total bytes recovery would read (all live segments).
+	Segments          int   `json:"segments"`
+	ReplaySuffixBytes int64 `json:"replay_suffix_bytes"`
+	// BatchSizes histograms realized group-commit sizes into buckets
+	// 1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, >64.
+	BatchSizes [8]int64 `json:"batch_size_hist"`
 }
 
 // Service hosts many tenant graphs, each behind its own single-writer
@@ -164,13 +209,16 @@ func Open(opts Options) (*Service, error) {
 
 func (s *Service) startTenant(dir string, meta tenantMeta) (*tenant, error) {
 	t, err := newTenant(s.killCtx, dir, meta, tenantOptions{
-		queueDepth: s.opts.QueueDepth,
-		slice:      s.opts.ConvergeSlice,
-		snapEvery:  int64(s.opts.SnapshotEvery),
-		shards:     s.opts.Shards,
-		ratePerSec: s.opts.RatePerSec,
-		burst:      s.opts.Burst,
-		now:        s.opts.Now,
+		queueDepth:  s.opts.QueueDepth,
+		slice:       s.opts.ConvergeSlice,
+		snapEvery:   int64(s.opts.SnapshotEvery),
+		shards:      s.opts.Shards,
+		ratePerSec:  s.opts.RatePerSec,
+		burst:       s.opts.Burst,
+		commitEvery: s.opts.CommitInterval,
+		segBytes:    s.opts.SegmentBytes,
+		fsyncEach:   s.opts.FsyncEach,
+		now:         s.opts.Now,
 	})
 	if err != nil {
 		return nil, err
@@ -362,14 +410,24 @@ func (s *Service) liveTenants() []*tenant {
 	return ts
 }
 
-// Varz snapshots the operational counters.
+// Varz snapshots the operational counters. Per-tenant journal blocks
+// are read in sorted id order so map iteration never shapes a response.
 func (s *Service) Varz() Vars {
 	ids := s.TenantIDs()
 	quarantined := 0
+	var fsyncs int64
+	journal := make(map[string]TenantJournalVars, len(ids))
 	for _, id := range ids {
-		if t, err := s.Tenant(id); err == nil && t.status().Quarantined != "" {
+		t, err := s.Tenant(id)
+		if err != nil {
+			continue
+		}
+		if t.status().Quarantined != "" {
 			quarantined++
 		}
+		jv := t.journalVars()
+		fsyncs += jv.Fsyncs
+		journal[id] = jv
 	}
 	return Vars{
 		Tenants:     len(ids),
@@ -380,5 +438,7 @@ func (s *Service) Varz() Vars {
 		Accepted:    s.accepted.Load(),
 		Mutations:   s.mutations.Load(),
 		Panics:      s.panics.Load(),
+		Fsyncs:      fsyncs,
+		Journal:     journal,
 	}
 }

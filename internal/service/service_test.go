@@ -161,7 +161,10 @@ func TestSMITenantConverges(t *testing.T) {
 // the event loop wedged, a full bounded queue returns 503 +
 // Retry-After instead of queueing unboundedly.
 func TestBackpressure503(t *testing.T) {
-	svc := newTestService(t, Options{QueueDepth: 1})
+	// CommitInterval -1 disables the gather window: once the loop has
+	// dequeued the wedge command it proceeds straight to prepare, so a
+	// command sent afterwards provably stays in the queue.
+	svc := newTestService(t, Options{QueueDepth: 1, CommitInterval: -1})
 	h := svc.Handler()
 	pathTenant(t, h, "bp", ProtocolSMM, 4)
 	tn, err := svc.Tenant("bp")
@@ -170,7 +173,7 @@ func TestBackpressure503(t *testing.T) {
 	}
 
 	// Wedge the loop: hold the tenant write lock so the next command
-	// blocks inside begin, then fill the 1-slot queue behind it with
+	// blocks inside prepare, then fill the 1-slot queue behind it with
 	// direct sends (the loop is provably holding the first command once
 	// it leaves the queue — only the loop dequeues).
 	tn.mu.Lock()
@@ -185,6 +188,11 @@ func TestBackpressure503(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+	// The loop dequeued the wedge but may still be inside gather's
+	// non-blocking drain; give it time to reach prepare (where it blocks
+	// on mu) before refilling the queue, so the refill cannot join the
+	// wedge's batch.
+	time.Sleep(100 * time.Millisecond)
 	tn.cmds <- queued
 
 	var errBody struct {

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"path/filepath"
 	"sync"
 	"time"
 
@@ -92,6 +91,13 @@ type tenant struct {
 	bound     int
 	slice     int
 	snapEvery int64
+	// commitEvery is the group-commit window: after the first command of
+	// a batch arrives, the loop waits up to this long for more before
+	// the single fsync. Zero disables the wait (drain-only batching).
+	commitEvery time.Duration
+	// fsyncEach forces the pre-group-commit discipline of one fsync per
+	// journaled mutation; kept as the benchmark baseline.
+	fsyncEach bool
 
 	limiter *tokenBucket
 
@@ -151,17 +157,23 @@ type tenant struct {
 	// guarded by mu
 	//selfstab:durable
 	//selfstab:owner loop
-	dedupQ []dedupEntry
+	dedupR dedupRing
+	// guarded by mu
+	//selfstab:owner loop
+	batchHist [8]int64
 }
 
 type tenantOptions struct {
-	queueDepth int
-	slice      int
-	snapEvery  int64
-	shards     int
-	ratePerSec float64
-	burst      int
-	now        func() time.Time
+	queueDepth  int
+	slice       int
+	snapEvery   int64
+	shards      int
+	ratePerSec  float64
+	burst       int
+	commitEvery time.Duration
+	segBytes    int64
+	fsyncEach   bool
+	now         func() time.Time
 }
 
 // newTenant builds (or recovers) a tenant from its directory and starts
@@ -179,26 +191,28 @@ func newTenant(svcCtx context.Context, dir string, meta tenantMeta, opts tenantO
 	if err != nil {
 		return nil, err
 	}
-	jr, entries, err := openJournal(filepath.Join(dir, "journal.jsonl"))
+	jr, entries, err := openJournal(dir, opts.segBytes)
 	if err != nil {
 		eng.close()
 		return nil, err
 	}
 	t := &tenant{
-		id:        meta.ID,
-		meta:      meta,
-		dir:       dir,
-		bound:     protocolBound(meta.Protocol, meta.N),
-		slice:     opts.slice,
-		snapEvery: opts.snapEvery,
-		limiter:   newTokenBucket(opts.ratePerSec, opts.burst, opts.now),
-		cmds:      make(chan *command, opts.queueDepth),
-		quit:      make(chan struct{}),
-		dead:      make(chan struct{}),
-		svcCtx:    svcCtx,
-		eng:       eng,
-		jr:        jr,
-		dedup:     make(map[string]int64),
+		id:          meta.ID,
+		meta:        meta,
+		dir:         dir,
+		bound:       protocolBound(meta.Protocol, meta.N),
+		slice:       opts.slice,
+		snapEvery:   opts.snapEvery,
+		commitEvery: opts.commitEvery,
+		fsyncEach:   opts.fsyncEach,
+		limiter:     newTokenBucket(opts.ratePerSec, opts.burst, opts.now),
+		cmds:        make(chan *command, opts.queueDepth),
+		quit:        make(chan struct{}),
+		dead:        make(chan struct{}),
+		svcCtx:      svcCtx,
+		eng:         eng,
+		jr:          jr,
+		dedup:       make(map[string]int64),
 	}
 	if err := t.recoverFrom(entries); err != nil {
 		t.closeResources()
@@ -289,7 +303,7 @@ func (t *tenant) restore(snap tenantSnapshot) error {
 	t.maxEpochRounds = snap.MaxEpochRounds
 	t.epochsOverBound = snap.EpochsOverBound
 	for _, de := range snap.DedupKeys {
-		t.dedupQ = remember(t.dedup, t.dedupQ, de.Key, de.Seq)
+		remember(t.dedup, &t.dedupR, de.Key, de.Seq)
 	}
 	if snap.Converged {
 		if err := t.eng.check(); err != nil {
@@ -319,12 +333,14 @@ func (t *tenant) replayEntry(m Mutation) error {
 	}
 	t.seq = m.Seq
 	if m.Key != "" {
-		t.dedupQ = remember(t.dedup, t.dedupQ, m.Key, m.Seq)
+		remember(t.dedup, &t.dedupR, m.Key, m.Seq)
 	}
 	return applyMutation(t.eng, m)
 }
 
-// loop is the single writer. It exits on graceful quit (drain queue,
+// loop is the single writer. Each wakeup gathers a batch from the
+// bounded queue and processes it with one group commit per contiguous
+// run of journalable mutations. It exits on graceful quit (drain queue,
 // flush a final checkpoint), service kill (immediately, no flush — the
 // journal is already durable), or quarantine after a panic.
 func (t *tenant) loop() {
@@ -336,28 +352,174 @@ func (t *tenant) loop() {
 			return
 		case <-t.quit:
 			for {
-				select {
-				case cmd := <-t.cmds:
-					if !t.handle(cmd) {
-						return
-					}
-				default:
+				batch := t.drainQueued()
+				if len(batch) == 0 {
 					t.flush()
+					return
+				}
+				if !t.handleBatch(batch) {
 					return
 				}
 			}
 		case cmd := <-t.cmds:
-			if !t.handle(cmd) {
+			if !t.handleBatch(t.gather(cmd)) {
 				return
 			}
 		}
 	}
 }
 
-// handle processes one command. A panic anywhere in the pipeline
-// quarantines the tenant: the panic value is recorded, the waiting
-// client gets an error, and the loop exits — the daemon keeps serving
-// every other tenant.
+// drainQueued empties the bounded queue without blocking.
+func (t *tenant) drainQueued() []*command {
+	var batch []*command
+	for {
+		select {
+		case cmd := <-t.cmds:
+			batch = append(batch, cmd)
+		default:
+			return batch
+		}
+	}
+}
+
+// gather builds one batch: the command that woke the loop, everything
+// already queued behind it, and — when a commit window is configured —
+// whatever else arrives within commitEvery. The window is how a
+// sustained stream amortizes one fsync over many mutations; its length
+// caps the extra latency a lone request can pay.
+func (t *tenant) gather(first *command) []*command {
+	batch := append([]*command{first}, t.drainQueued()...)
+	if t.commitEvery <= 0 {
+		return batch
+	}
+	limit := cap(t.cmds) + 1
+	if len(batch) >= limit {
+		return batch
+	}
+	timer := time.NewTimer(t.commitEvery)
+	defer timer.Stop()
+	for len(batch) < limit {
+		select {
+		case cmd := <-t.cmds:
+			batch = append(batch, cmd)
+		case <-timer.C:
+			return batch
+		case <-t.quit:
+			// Shutting down: stop collecting and let the loop drain.
+			return batch
+		case <-t.svcCtx.Done():
+			return batch
+		}
+	}
+	return batch
+}
+
+// isBarrier reports whether an op cannot join a group commit: converge
+// journals post-hoc (its entry records the rounds actually executed,
+// unknowable before running) and chaos panics never journal at all.
+// Batching either with write-ahead mutations would let a later seq
+// reach the journal before an earlier one, breaking the strictly
+// ascending order recovery depends on.
+func isBarrier(op string) bool { return op == OpConverge || op == OpChaosPanic }
+
+// handleBatch splits a batch into contiguous runs of journalable
+// mutations (group-committed by handleRun) separated by barrier ops
+// (processed singly by handle). Commands are replied to strictly in
+// arrival order. Returns false when the loop must exit; commands not
+// yet replied to are then covered by the closed dead channel.
+func (t *tenant) handleBatch(batch []*command) bool {
+	for len(batch) > 0 {
+		if isBarrier(batch[0].mut.Op) {
+			if !t.handle(batch[0]) {
+				return false
+			}
+			batch = batch[1:]
+			continue
+		}
+		n := 1
+		if !t.fsyncEach {
+			for n < len(batch) && !isBarrier(batch[n].mut.Op) {
+				n++
+			}
+		}
+		if !t.handleRun(batch[:n]) {
+			return false
+		}
+		batch = batch[n:]
+	}
+	return true
+}
+
+// pendingCmd is one command of a group-commit run between its prepare
+// (seq assigned, entry buffered) and its apply+reply.
+type pendingCmd struct {
+	cmd *command
+	mut Mutation
+	res cmdResult
+	// done marks commands resolved at prepare time (duplicates and
+	// validation failures): nothing was journaled, reply res as-is.
+	done bool
+}
+
+// handleRun processes one contiguous run of journalable mutations as a
+// group commit: every entry is prepared (seq assigned, buffered
+// append), then a single fsync makes the whole run durable, and only
+// then is anything applied. That keeps the write-ahead invariant
+// batch-wide — no mutation's effect exists in memory before its entry
+// is durable — at one fsync per run instead of one per entry. A panic
+// anywhere quarantines the tenant; a commit failure does too, because a
+// partially flushed buffer would corrupt every later append.
+func (t *tenant) handleRun(run []*command) (ok bool) {
+	var current *command
+	defer func() {
+		if r := recover(); r != nil {
+			t.setQuarantined(fmt.Sprintf("%v", r))
+			if current != nil {
+				current.reply <- cmdResult{Err: fmt.Errorf("%w: %v", errQuarantined, r)}
+			}
+			ok = false
+		}
+	}()
+	pend := make([]pendingCmd, 0, len(run))
+	for _, cmd := range run {
+		current = cmd
+		m := cmd.mut
+		res, done := t.prepare(&m)
+		pend = append(pend, pendingCmd{cmd: cmd, mut: m, res: res, done: done})
+	}
+	current = nil
+	if err := t.commitBatch(); err != nil {
+		t.setQuarantined(fmt.Sprintf("journal commit: %v", err))
+		for _, p := range pend {
+			p.cmd.reply <- cmdResult{Err: fmt.Errorf("%w: journal commit: %v", errQuarantined, err)}
+		}
+		return false
+	}
+	for i := range pend {
+		p := &pend[i]
+		current = p.cmd
+		if p.done {
+			p.cmd.reply <- p.res
+			continue
+		}
+		t.applyLocked(p.mut)
+		rounds, moves, stable, cerr := t.runEpoch(t.svcCtx, t.bound+1)
+		if t.svcCtx.Err() != nil {
+			// Killed mid-epoch: the in-memory state is off the
+			// deterministic trajectory and will be discarded; recovery
+			// replays the journal. Do not checkpoint.
+			p.cmd.reply <- cmdResult{Seq: p.mut.Seq, Err: t.svcCtx.Err()}
+			return false
+		}
+		p.cmd.reply <- t.finish(p.mut, rounds, moves, stable, true, cerr)
+	}
+	return true
+}
+
+// handle processes one barrier command (converge or chaos panic). A
+// panic anywhere in the pipeline quarantines the tenant: the panic
+// value is recorded, the waiting client gets an error, and the loop
+// exits — the daemon keeps serving every other tenant.
 func (t *tenant) handle(cmd *command) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -372,44 +534,46 @@ func (t *tenant) handle(cmd *command) (ok bool) {
 		// must recover the tenant, not re-crash it.
 		panic("chaos: injected panic via API")
 	}
-	res, done := t.begin(&m)
+	res, done := t.prepare(&m)
 	if done {
 		cmd.reply <- res
 		return true
 	}
 
 	ctx := t.svcCtx
-	budget := t.bound + 1
-	counted := true
-	if m.Op == OpConverge {
-		budget = m.Rounds
-		counted = false
-		if cmd.ctx != nil {
-			// A converge request honors its deadline (unlike mutations):
-			// truncation is journaled with the rounds actually executed,
-			// so replay reproduces it.
-			mctx, cancel := context.WithCancel(cmd.ctx)
-			defer cancel()
-			stop := context.AfterFunc(t.svcCtx, cancel)
-			defer stop()
-			ctx = mctx
-		}
+	if cmd.ctx != nil {
+		// A converge request honors its deadline (unlike mutations):
+		// truncation is journaled with the rounds actually executed,
+		// so replay reproduces it.
+		mctx, cancel := context.WithCancel(cmd.ctx)
+		defer cancel()
+		stop := context.AfterFunc(t.svcCtx, cancel)
+		defer stop()
+		ctx = mctx
 	}
-	rounds, moves, stable, cerr := t.runEpoch(ctx, budget)
+	rounds, moves, stable, cerr := t.runEpoch(ctx, m.Rounds)
 	if t.svcCtx.Err() != nil {
-		// Killed mid-epoch: the in-memory state is off the deterministic
-		// trajectory and will be discarded; recovery replays the
-		// journal. Do not journal, do not checkpoint.
+		// Killed mid-epoch: see handleRun.
 		cmd.reply <- cmdResult{Seq: m.Seq, Err: t.svcCtx.Err()}
 		return false
 	}
-	cmd.reply <- t.finish(m, rounds, moves, stable, counted, cerr)
+	// Journal the converge entry post-hoc with the outcome it actually
+	// had, committed (fsynced) before the client is acknowledged.
+	m.Rounds, m.Stable = rounds, stable
+	if err := t.journalAppend(m); err != nil {
+		t.setQuarantined(fmt.Sprintf("journal commit: %v", err))
+		cmd.reply <- cmdResult{Seq: m.Seq, Err: fmt.Errorf("%w: journal commit: %v", errQuarantined, err)}
+		return false
+	}
+	cmd.reply <- t.finish(m, rounds, moves, stable, false, cerr)
 	return true
 }
 
-// begin assigns the sequence number, journals the mutation (write-ahead:
-// durable before applied), and applies its topology/state change.
-func (t *tenant) begin(m *Mutation) (cmdResult, bool) {
+// prepare assigns the sequence number and buffers the journal entry for
+// the mutation (write-ahead: the caller must commit — fsync — before
+// applying it). Converge entries skip the append here and are journaled
+// post-hoc in handle with the rounds they actually executed.
+func (t *tenant) prepare(m *Mutation) (cmdResult, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if m.Key != "" {
@@ -420,7 +584,7 @@ func (t *tenant) begin(m *Mutation) (cmdResult, bool) {
 	if err := validateMutation(*m, t.eng.n()); err != nil {
 		return cmdResult{Err: err}, true
 	}
-	//lint:ignore walorder seq is assigned before the append so the entry carries it; the append-failure path rolls it back
+	//lint:ignore walorder seq is assigned before the buffered append so the entry carries it; the append-failure path rolls it back, and commitBatch fsyncs the run before the first apply
 	t.seq++
 	m.Seq = t.seq
 	if m.Op == OpCorrupt {
@@ -435,16 +599,53 @@ func (t *tenant) begin(m *Mutation) (cmdResult, bool) {
 		}
 	}
 	if m.Key != "" {
-		//lint:ignore walorder the OpConverge path skips the write-ahead append on purpose; converge entries are journaled post-hoc in finish with the rounds actually executed
-		t.dedupQ = remember(t.dedup, t.dedupQ, m.Key, m.Seq)
-	}
-	//lint:ignore walorder the OpConverge path skips the write-ahead append on purpose; OpConverge applies no topology/state change and is journaled post-hoc in finish
-	if err := applyMutation(t.eng, *m); err != nil {
-		// Validation runs first, so this is unreachable for live
-		// traffic; surface it rather than hide a journal/apply split.
-		return cmdResult{Seq: m.Seq, Err: err}, true
+		remember(t.dedup, &t.dedupR, m.Key, m.Seq)
 	}
 	return cmdResult{Seq: m.Seq}, false
+}
+
+// commitBatch makes every entry buffered by the run's prepares durable
+// with one fsync — the batch-wide write-ahead point — and folds the
+// realized batch size into the histogram. A clean journal commits for
+// free, so runs of pure duplicates/rejects cost nothing.
+//
+//selfstab:journal
+func (t *tenant) commitBatch() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.jr.pendingEntries()
+	if err := t.jr.commit(); err != nil {
+		return err
+	}
+	if n > 0 {
+		t.batchHist[batchBucket(n)]++
+	}
+	return nil
+}
+
+// batchBucket maps a realized batch size onto the varz histogram
+// buckets 1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, >64.
+func batchBucket(n int) int {
+	b := 0
+	for limit := 1; b < 7 && n > limit; b++ {
+		limit <<= 1
+	}
+	return b
+}
+
+// applyLocked applies one prepared entry's topology/state change.
+// Callers invoke it strictly after commitBatch has fsynced the run —
+// the entry is durable before its effect exists in memory. prepare
+// validated the mutation, so a failure here means the engine and the
+// journal have diverged; quarantine via panic rather than ack.
+//
+//selfstab:applies
+func (t *tenant) applyLocked(m Mutation) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := applyMutation(t.eng, m); err != nil {
+		panic(fmt.Sprintf("apply journaled mutation seq %d: %v", m.Seq, err))
+	}
 }
 
 // runEpoch drives convergence in short slices, releasing the lock
@@ -472,17 +673,10 @@ func (t *tenant) runEpoch(ctx context.Context, budget int) (rounds, moves int, s
 	return rounds, moves, false, nil
 }
 
-// finish updates epoch accounting, journals a completed converge entry
-// post-hoc with the rounds it actually executed, and checkpoints at the
-// snapshot cadence. Only the event-loop goroutine calls it, so the
-// lock/unlock seams between the steps admit readers but never writers.
+// finish updates epoch accounting and checkpoints at the snapshot
+// cadence. Only the event-loop goroutine calls it, so the lock/unlock
+// seams between the steps admit readers but never writers.
 func (t *tenant) finish(m Mutation, rounds, moves int, stable, counted bool, cerr error) cmdResult {
-	if m.Op == OpConverge {
-		m.Rounds, m.Stable = rounds, stable
-		if err := t.journalAppend(m); err != nil {
-			return cmdResult{Seq: m.Seq, Err: err}
-		}
-	}
 	t.noteEpoch(rounds, moves, stable, counted)
 	res := t.epochResult(m.Seq, rounds)
 	if cerr != nil {
@@ -497,14 +691,18 @@ func (t *tenant) finish(m Mutation, rounds, moves int, stable, counted bool, cer
 	return res
 }
 
-// journalAppend is the locked append seam for post-hoc (OpConverge)
-// journal entries.
+// journalAppend is the locked append+commit seam for post-hoc
+// (OpConverge) journal entries: one entry, one fsync, durable before
+// the acknowledgement.
 //
 //selfstab:journal
 func (t *tenant) journalAppend(m Mutation) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.jr.append(m)
+	if err := t.jr.append(m); err != nil {
+		return err
+	}
+	return t.jr.commit()
 }
 
 // noteEpoch folds one epoch's outcome into the tenant counters.
@@ -543,18 +741,19 @@ func (t *tenant) epochResult(seq int64, rounds int) cmdResult {
 }
 
 // checkpoint writes a deterministic snapshot of the current
-// (mutation-boundary) state.
+// (mutation-boundary) state, then retires every journal segment the
+// snapshot wholly covers.
 func (t *tenant) checkpoint() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.quarantined != "" {
 		return nil
 	}
-	// dedupQ is already in ascending seq order: live inserts follow seq
-	// assignment, snapshots persist it in that order, and restore
-	// re-inserts in stored order.
-	keys := append([]dedupEntry(nil), t.dedupQ...)
-	return writeSnapshot(t.dir, tenantSnapshot{
+	// The ring yields the window oldest-first, i.e. ascending seq: live
+	// inserts follow seq assignment and restore re-inserts in stored
+	// order.
+	keys := t.dedupR.entries()
+	if err := writeSnapshot(t.dir, tenantSnapshot{
 		Seq:             t.seq,
 		Rounds:          t.roundsTotal,
 		Moves:           t.movesTotal,
@@ -564,7 +763,12 @@ func (t *tenant) checkpoint() error {
 		Edges:           t.eng.edges(),
 		States:          t.eng.encodeStates(),
 		DedupKeys:       keys,
-	})
+	}); err != nil {
+		return err
+	}
+	// Replay now starts from this snapshot: segments whose entries all
+	// fall at or before it can never be read again.
+	return t.jr.compact(t.seq)
 }
 
 // flush writes a final checkpoint on graceful shutdown, unless a kill
@@ -653,18 +857,71 @@ func (t *tenant) node(v int) (NodeInfo, error) {
 	return t.eng.nodeInfo(graph.NodeID(v)), nil
 }
 
+// journalVars snapshots the tenant's journal observability counters for
+// varz.
+func (t *tenant) journalVars() TenantJournalVars {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := t.jr.stats()
+	return TenantJournalVars{
+		Appends:           st.appends,
+		Fsyncs:            st.fsyncs,
+		Batches:           st.commits,
+		Segments:          st.segments,
+		ReplaySuffixBytes: st.liveBytes,
+		BatchSizes:        t.batchHist,
+	}
+}
+
 // --- mutation mechanics shared by the live path and replay ---
 
+// dedupRing is the fixed-capacity idempotency window: a circular buffer
+// that overwrites the oldest entry in place once full, so sustained
+// streams reuse one backing array instead of the previous
+// evict-front+append slice, which reallocated and kept evicted keys
+// reachable through the old backing array.
+type dedupRing struct {
+	buf []dedupEntry
+	// head indexes the oldest entry; entries occupy head..head+n-1 mod
+	// len(buf).
+	head int
+	n    int
+}
+
+// push records e, returning the entry it displaced when the window was
+// already full.
+func (r *dedupRing) push(e dedupEntry) (evicted dedupEntry, full bool) {
+	if r.buf == nil {
+		r.buf = make([]dedupEntry, dedupWindow)
+	}
+	if r.n == len(r.buf) {
+		evicted = r.buf[r.head]
+		r.buf[r.head] = e
+		r.head = (r.head + 1) % len(r.buf)
+		return evicted, true
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+	return dedupEntry{}, false
+}
+
+// entries returns the window oldest-first.
+func (r *dedupRing) entries() []dedupEntry {
+	out := make([]dedupEntry, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}
+
 // remember records key→seq in the dedup window, evicting the oldest
-// entry when full. The caller owns the lock guarding both structures
-// and stores the returned queue back.
-func remember(dedup map[string]int64, q []dedupEntry, key string, seq int64) []dedupEntry {
-	if len(q) >= dedupWindow {
-		delete(dedup, q[0].Key)
-		q = q[1:]
+// key in place when the ring is full. The caller owns the lock guarding
+// both structures and passes them in explicitly.
+func remember(dedup map[string]int64, r *dedupRing, key string, seq int64) {
+	if old, full := r.push(dedupEntry{Key: key, Seq: seq}); full {
+		delete(dedup, old.Key)
 	}
 	dedup[key] = seq
-	return append(q, dedupEntry{Key: key, Seq: seq})
 }
 
 func validateMutation(m Mutation, n int) error {
@@ -701,7 +958,7 @@ func validateMutation(m Mutation, n int) error {
 			return fmt.Errorf("%s rounds must be >= 0", m.Op)
 		}
 	case OpChaosPanic:
-		// handled before begin; listed for exhaustiveness
+		// handled before prepare; listed for exhaustiveness
 	default:
 		return fmt.Errorf("unknown op %q", m.Op)
 	}
